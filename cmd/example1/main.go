@@ -1,0 +1,96 @@
+// Command example1 regenerates the paper's Example 1 (§5.1): the unstable
+// poles of the variational reduced-order model across the spatial
+// parameter range (Table 3), the nominal/extreme/reconstructed macromodel
+// waveform comparison (Figure 3), and the SPICE-divergence demonstration
+// with the raw non-passive macromodel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/experiments"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "print Table 3 (unstable poles vs p)")
+	figure3 := flag.Bool("figure3", false, "print Figure 3 (waveform agreement)")
+	divergence := flag.Bool("divergence", false, "run the SPICE-divergence experiment")
+	all := flag.Bool("all", false, "run everything")
+	order := flag.Int("order", 4, "reduced-order model internal order")
+	csvPath := flag.String("csv", "", "write the Figure 3 waveforms as CSV to this file")
+	flag.Parse()
+	if !*table3 && !*figure3 && !*divergence {
+		*all = true
+	}
+	if *all || *table3 {
+		res, err := experiments.RunTable3(*order, []float64{0.05, 0.06, 0.08, 0.09, 0.1})
+		fail(err)
+		fmt.Print(experiments.RenderTable3(res))
+		fmt.Println()
+	}
+	if *all || *figure3 {
+		res, err := experiments.RunFigure3()
+		fail(err)
+		if *csvPath != "" {
+			fail(writeFigure3CSV(*csvPath, res))
+			fmt.Println("wrote", *csvPath)
+		}
+		fmt.Println("Figure 3 — Example 1 waveforms (driver output, V vs ns)")
+		fmt.Printf("max |reconstructed - exact| = %.4g V, 50%% crossing error = %.4g ps\n",
+			res.MaxErrV, res.Cross50ErrS*1e12)
+		// Compact sampled rendering of the three series.
+		step := len(res.Series[0].T) / 24
+		if step < 1 {
+			step = 1
+		}
+		fmt.Printf("%-10s %-12s %-12s %-12s\n", "t(ns)", "nominal", "extreme", "reconstr.")
+		for i := 0; i < len(res.Series[0].T); i += step {
+			fmt.Printf("%-10.2f %-12.4f %-12.4f %-12.4f\n",
+				res.Series[0].T[i]*1e9, res.Series[0].V[i], res.Series[1].V[i], res.Series[2].V[i])
+		}
+		fmt.Println()
+	}
+	if *all || *divergence {
+		rows, err := experiments.RunDivergence([]float64{0, 0.02, 0.05, 0.08, 0.1})
+		fail(err)
+		fmt.Println("§5.1 divergence — raw variational macromodel in the Newton simulator")
+		fmt.Printf("%-8s %-14s %-12s %-10s\n", "p", "ROM stable?", "SPICE", "framework")
+		for _, r := range rows {
+			stable := "stable"
+			if r.ROMUnstable {
+				stable = "UNSTABLE"
+			}
+			fmt.Printf("%-8.2f %-14s %-12s %-10s\n", r.P, stable, r.SPICEOutcome, r.Framework)
+		}
+	}
+}
+
+// writeFigure3CSV exports the three Figure-3 series as plot data.
+func writeFigure3CSV(path string, res *experiments.Figure3Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	labels := make([]string, len(res.Series))
+	waves := make([]circuit.Waveform, len(res.Series))
+	for i, s := range res.Series {
+		labels[i] = s.Label
+		w, err := circuit.NewPWL(s.T, s.V)
+		if err != nil {
+			return err
+		}
+		waves[i] = w
+	}
+	return circuit.WriteCSV(f, res.Series[0].T, labels, waves)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "example1:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command example2 regenerates the paper's Example 2 (§5.2): the CPU-time
+// comparison against the Newton baseline across wirelengths (Figure 5) and
+// the delay-histogram accuracy comparison between the variational
+// framework and exact per-sample recharacterization (Figure 6), on the
+// 4-port coupled-line stage of Figure 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lcsim/internal/experiments"
+)
+
+func main() {
+	figure5 := flag.Bool("figure5", false, "run the CPU-time sweep")
+	figure6 := flag.Bool("figure6", false, "run the delay-histogram comparison")
+	samples := flag.Int("samples", 100, "LHS samples (the paper uses 100)")
+	spiceSamples := flag.Int("spice-samples", 2, "baseline samples timed per length")
+	lengths := flag.String("lengths", "25,50,100,200", "comma-separated wirelengths in um")
+	hlen := flag.Float64("hist-length", 100, "wirelength for the Figure 6 histograms")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	flag.Parse()
+	all := !*figure5 && !*figure6
+
+	o := experiments.Ex2Options{Samples: *samples, Seed: *seed}
+	if all || *figure5 {
+		var ls []float64
+		for _, f := range strings.Split(*lengths, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			fail(err)
+			ls = append(ls, v)
+		}
+		rows, err := experiments.RunFigure5(o, ls, *spiceSamples)
+		fail(err)
+		fmt.Print(experiments.RenderFigure5(rows))
+		fmt.Println()
+	}
+	if all || *figure6 {
+		res, err := experiments.RunFigure6(o, *hlen)
+		fail(err)
+		fmt.Print(experiments.RenderFigure6(res))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "example2:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command example3 regenerates the paper's Example 3 (§5.3): the
+// framework-vs-SPICE speedup table over the ISCAS-89 benchmark set
+// (Table 4), the GA-vs-MC longest-path delay statistics (Table 5), and the
+// MC/GA histogram pairs (Figure 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lcsim/internal/experiments"
+	"lcsim/internal/iscas"
+)
+
+func main() {
+	table4 := flag.Bool("table4", false, "run the speedup table")
+	table5 := flag.Bool("table5", false, "run the GA-vs-MC statistics table")
+	figure7 := flag.Bool("figure7", false, "run the s27/s208 histogram pairs")
+	samples := flag.Int("samples", 100, "MC samples (the paper uses 100)")
+	fwSamples := flag.Int("fw-samples", 10, "framework samples timed in Table 4")
+	spiceSamples := flag.Int("spice-samples", 1, "baseline samples timed in Table 4")
+	small := flag.Bool("small", false, "restrict to s27/s208 (quick run)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	parallel := flag.Bool("parallel", true, "evaluate MC samples in parallel")
+	flag.Parse()
+	all := !*table4 && !*table5 && !*figure7
+
+	o := experiments.Ex3Options{Samples: *samples, Seed: *seed, Parallel: *parallel, Progress: os.Stderr}
+	set4, set5 := iscas.Table4Set, iscas.Table5Set
+	if *small {
+		set4 = set4[:2]
+		set5 = set5[:2]
+	}
+	if all || *table4 {
+		rows, err := experiments.RunTable4(o, set4, []int{10, 500}, *fwSamples, *spiceSamples)
+		fail(err)
+		fmt.Print(experiments.RenderTable4(rows))
+		fmt.Println()
+	}
+	if all || *table5 {
+		rows, err := experiments.RunTable5(o, set5, 10)
+		fail(err)
+		fmt.Print(experiments.RenderTable5(rows))
+		fmt.Println()
+	}
+	if all || *figure7 {
+		for _, b := range set5[:2] {
+			res, err := experiments.RunFigure7(o, b, 10)
+			fail(err)
+			fmt.Print(experiments.RenderFigure7(res))
+			fmt.Println()
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "example3:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package lcsim is a pure-Go reproduction of Acar, Pileggi & Nassif,
+// "A Linear-Centric Simulation Framework for Parametric Fluctuations"
+// (DATE 2002): variational reduced-order interconnect models, the TETA
+// Successive-Chords waveform engine with pole/residue stabilization, and
+// statistical path-delay analysis (Monte-Carlo and Gradient Analysis).
+//
+// The root package carries the benchmark suite (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and is exercised by the cmd/ report tools and the runnable
+// examples/ programs.
+package lcsim

@@ -1,0 +1,79 @@
+// Clock skew: statistical skew between two branches of a buffered clock
+// distribution — the application that motivated the variational
+// interconnect models the paper builds on (Liu et al., DAC 2000: "Impact
+// of interconnect variations on the clock skew of a gigahertz
+// microprocessor").
+//
+// Two buffer chains drive two leaves through different wire lengths.
+// Global wire variations affect both branches coherently (they shift
+// together); device variations are drawn independently per branch. Skew =
+// arrival(A) − arrival(B).
+//
+//	go run ./examples/clockskew
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcsim/internal/core"
+	"lcsim/internal/device"
+	"lcsim/internal/stat"
+)
+
+func buildBranch(wireUm float64, stages int) (*core.Path, error) {
+	cells := make([]string, stages)
+	for i := range cells {
+		cells[i] = "BUF"
+	}
+	return core.BuildChain(core.ChainSpec{
+		Cells:        cells,
+		Drive:        4,
+		ElemsBetween: int(2 * wireUm), // 1 segment/µm → 2 elements/µm
+		WireLengthUm: wireUm,
+		Variational:  true,
+		Tech:         device.Tech180,
+		DT:           4e-12,
+		TStop:        2.5e-9,
+		Order:        4,
+	})
+}
+
+func main() {
+	// Branch A: 3 buffers × 120 µm; branch B: 3 buffers × 100 µm — an
+	// intentionally skewed tree.
+	branchA, err := buildBranch(120, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	branchB, err := buildBranch(100, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := device.Tech180
+
+	pair := &core.PathPair{
+		A: branchA, B: branchB,
+		Shared:       core.UniformWireSources(),
+		IndependentA: core.DeviceSources(tech, 0.33, 0.33),
+		IndependentB: core.DeviceSources(tech, 0.33, 0.33),
+	}
+	res, err := pair.MonteCarloSkew(60, 2026, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa, sb, sk := res.ArrivalA, res.ArrivalB, res.Skew
+	fmt.Printf("branch A arrival: mean %.1f ps, σ %.2f ps\n", sa.Mean*1e12, sa.Std*1e12)
+	fmt.Printf("branch B arrival: mean %.1f ps, σ %.2f ps\n", sb.Mean*1e12, sb.Std*1e12)
+	fmt.Printf("skew A−B       : mean %.2f ps, σ %.2f ps, range [%.2f, %.2f] ps\n",
+		sk.Mean*1e12, sk.Std*1e12, sk.Min*1e12, sk.Max*1e12)
+	fmt.Println()
+	fmt.Println(stat.NewHistogram(res.Skews, 10).Render(40, func(v float64) string {
+		return fmt.Sprintf("%7.2f ps", v*1e12)
+	}))
+	// Because wire variations are shared, skew σ is smaller than the
+	// root-sum-square of the branch σs — the correlation the variational
+	// models capture and per-corner analysis misses.
+	fmt.Printf("skew σ %.2f ps vs uncorrelated-branch RSS %.2f ps: shared wire variation cancels in skew\n",
+		sk.Std*1e12, res.RSS*1e12)
+}

@@ -1,0 +1,80 @@
+// Quickstart: simulate one logic stage — an inverter driving 100 µm of
+// minimum-width wire into a receiver — with the linear-centric TETA engine
+// and cross-check the waveform against the Newton (SPICE-style) baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/interconnect"
+	"lcsim/internal/spice"
+	"lcsim/internal/teta"
+)
+
+func main() {
+	tech := device.Tech180
+	// 1. Build the linear load: a 100 µm RC line (1 segment per µm), the
+	//    near end driven, the far end probed and loaded by a receiver gate.
+	load := circuit.New()
+	far := interconnect.AddLine(load, interconnect.Wire180, "near", "w", 100, 1, false)
+	load.MarkPort("near")
+	load.MarkPort(far)
+	load.AddC("Crcv", far, "0", circuit.V(2e-15))
+
+	// 2. Characterize the stage: chord models for the driver, the chord
+	//    output conductance folded into the load, PACT/PRIMA reduction.
+	cfg := teta.Config{Tech: tech, DT: 2e-12, TStop: 2e-9, Order: 6}
+	stage, err := teta.BuildStage(load, []teta.DriverSpec{
+		{Name: "drv", Cell: device.INV, Drive: 4, Port: 0},
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage: %d-node load, %d linear elements, reduced to order %d\n",
+		stage.BuildStats.LoadNodes, stage.BuildStats.LoadElements, stage.BuildStats.ROMOrder)
+
+	// 3. Simulate a rising input edge.
+	in := circuit.SatRamp{V0: 0, V1: tech.VDD, Start: 0.3e-9, Slew: 0.1e-9}
+	res, err := stage.Run(teta.RunSpec{Inputs: [][]circuit.Waveform{{in}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf, err := res.PortWaveform(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cross, slew := wf.MeasureSatRamp(0, tech.VDD, -1)
+	fmt.Printf("TETA : far-end 50%% fall at %.2f ps, slew %.2f ps (%d SC iterations over %d steps)\n",
+		cross*1e12, slew*1e12, res.Stats.SCIterations, res.Stats.Steps)
+
+	// 4. Same circuit in the Newton baseline.
+	nl := circuit.New()
+	nl.AddV("VDD", "vdd", "0", circuit.DC(tech.VDD))
+	nl.AddV("VIN", "in", "0", in)
+	if err := device.INV.Instantiate(nl, "drv", []string{"in"}, "near", device.BuildOpts{Tech: tech, Drive: 4}); err != nil {
+		log.Fatal(err)
+	}
+	far2 := interconnect.AddLine(nl, interconnect.Wire180, "near", "w", 100, 1, false)
+	nl.AddC("Crcv", far2, "0", circuit.V(2e-15))
+	sim, err := spice.NewSimulator(nl, spice.Options{DT: cfg.DT, TStop: cfg.TStop, Models: tech})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := sim.Run([]string{far2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rw, err := ref.Waveform(far2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc, rs := rw.MeasureSatRamp(0, tech.VDD, -1)
+	fmt.Printf("SPICE: far-end 50%% fall at %.2f ps, slew %.2f ps (%d LU factorizations)\n",
+		rc*1e12, rs*1e12, ref.Stats.LUFactorizations)
+	fmt.Printf("crossing agreement: %.2f ps\n", (cross-rc)*1e12)
+}

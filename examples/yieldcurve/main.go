@@ -1,0 +1,60 @@
+// Yield curve: sweep the cycle-time budget of a critical path and report
+// the timing yield from both statistical views — the GA normal model and
+// the MC empirical distribution, with a bootstrap confidence interval on
+// the MC estimate (the Gattiker-style timing-yield question the paper
+// cites as [13]).
+//
+//	go run ./examples/yieldcurve
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lcsim/internal/core"
+	"lcsim/internal/device"
+	"lcsim/internal/stat"
+)
+
+func main() {
+	tech := device.Tech180
+	path, err := core.BuildChain(core.ChainSpec{
+		Cells:        []string{"INV", "NAND2", "AOI21", "NOR2", "INV"},
+		Drive:        2,
+		ElemsBetween: 30,
+		WireLengthUm: 15,
+		Tech:         tech,
+		DT:           4e-12,
+		TStop:        1.6e-9,
+		Order:        4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := core.DeviceSources(tech, 0.33, 0.33)
+	ga, err := path.GradientAnalysis(core.GAConfig{Sources: sources})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := path.MonteCarlo(core.MCConfig{N: 100, Seed: 7, Sources: sources, Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path: GA mean %.1f ps σ %.2f ps | MC mean %.1f ps σ %.2f ps\n\n",
+		ga.Mean*1e12, ga.Std*1e12, mc.Summary.Mean*1e12, mc.Summary.Std*1e12)
+
+	fmt.Printf("%-12s %-10s %-10s %-22s\n", "budget(ps)", "GA yield", "MC yield", "MC mean 95% CI (ps)")
+	lo := mc.Summary.Mean - 3*mc.Summary.Std
+	hi := mc.Summary.Mean + 4*mc.Summary.Std
+	for b := lo; b <= hi; b += (hi - lo) / 10 {
+		y := core.Yield(b, ga, mc)
+		ciLo, ciHi := stat.BootstrapCI(mc.Delays, stat.Mean, 300, 0.95, 13)
+		bar := strings.Repeat("#", int(y.MCYield*24))
+		fmt.Printf("%-12.1f %-10.4f %-10.4f [%6.1f, %6.1f]  %s\n",
+			b*1e12, y.GAYield, y.MCYield, ciLo*1e12, ciHi*1e12, bar)
+	}
+	fmt.Println("\nThe GA curve is the normal CDF implied by eq. (24); MC is the empirical")
+	fmt.Println("fraction of passing samples. They agree in the bulk and diverge in the")
+	fmt.Println("tails, where the first-order model misses distribution skew.")
+}

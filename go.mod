@@ -1,0 +1,3 @@
+module lcsim
+
+go 1.22

@@ -1,0 +1,171 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// ladder builds a 2-node RC divider: port "in" -R1- "mid" -R2- gnd, caps
+// at both nodes.
+func ladder() *Netlist {
+	nl := New()
+	nl.AddR("R1", "in", "mid", VarV(10, "p", 50.0))
+	nl.AddR("R2", "mid", "0", V(20))
+	nl.AddC("C1", "in", "0", VarV(1e-12, "p", 1e-11))
+	nl.AddC("C2", "mid", "0", V(2e-12))
+	nl.MarkPort("in")
+	return nl
+}
+
+func TestAssembleOrdering(t *testing.T) {
+	nl := ladder()
+	s, err := AssembleVariational(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 || s.Np != 1 {
+		t.Fatalf("N=%d Np=%d", s.N, s.Np)
+	}
+	// Port "in" must be system index 0.
+	if s.Order[nl.Node("in")] != 0 {
+		t.Fatal("port must be ordered first")
+	}
+	if s.Order[nl.Node("mid")] != 1 {
+		t.Fatal("internal node must follow ports")
+	}
+}
+
+func TestAssembleNominalStamps(t *testing.T) {
+	s, err := AssembleVariational(ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.GNominal()
+	// G[0][0] = 1/10, G[0][1] = -1/10, G[1][1] = 1/10+1/20.
+	if !almostEq(g.At(0, 0), 0.1, 1e-15) {
+		t.Fatalf("G00 = %v", g.At(0, 0))
+	}
+	if !almostEq(g.At(0, 1), -0.1, 1e-15) || !almostEq(g.At(1, 0), -0.1, 1e-15) {
+		t.Fatal("off-diagonal stamps wrong")
+	}
+	if !almostEq(g.At(1, 1), 0.15, 1e-15) {
+		t.Fatalf("G11 = %v", g.At(1, 1))
+	}
+	c := s.CNominal()
+	if !almostEq(c.At(0, 0), 1e-12, 1e-25) || !almostEq(c.At(1, 1), 2e-12, 1e-25) {
+		t.Fatal("C stamps wrong")
+	}
+	if c.At(0, 1) != 0 {
+		t.Fatal("grounded caps must not couple")
+	}
+}
+
+func TestAssembleSensitivities(t *testing.T) {
+	s, err := AssembleVariational(ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Params) != 1 || s.Params[0] != "p" {
+		t.Fatalf("Params = %v", s.Params)
+	}
+	// dG/dp for R1: -dR/R0² = -50/100 = -0.5 on the R1 stamp pattern.
+	dg := s.DG["p"]
+	if !almostEq(dg.At(0, 0), -0.5, 1e-15) || !almostEq(dg.At(0, 1), 0.5, 1e-15) {
+		t.Fatalf("dG stamps wrong: %v %v", dg.At(0, 0), dg.At(0, 1))
+	}
+	dc := s.DC["p"]
+	if !almostEq(dc.At(0, 0), 1e-11, 1e-24) {
+		t.Fatalf("dC stamp wrong: %v", dc.At(0, 0))
+	}
+}
+
+func TestFirstOrderVsExactSmallPerturbation(t *testing.T) {
+	s, err := AssembleVariational(ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := map[string]float64{"p": 1e-3}
+	gfo := s.GFirstOrder(w)
+	gex, err := s.ExactG(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-order and exact must agree to O(w²).
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(gfo.At(i, j)-gex.At(i, j)) > 1e-4 {
+				t.Fatalf("first-order vs exact G at (%d,%d): %v vs %v", i, j, gfo.At(i, j), gex.At(i, j))
+			}
+		}
+	}
+	cfo := s.CFirstOrder(w)
+	cex := s.ExactC(w)
+	// Capacitances are exactly affine, so these must match to roundoff.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(cfo.At(i, j)-cex.At(i, j)) > 1e-27 {
+				t.Fatalf("C first-order must equal exact at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPortConductanceFolding(t *testing.T) {
+	s, err := AssembleVariational(ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPortConductance([]float64{0.05}); err != nil {
+		t.Fatal(err)
+	}
+	g := s.GNominal()
+	if !almostEq(g.At(0, 0), 0.15, 1e-15) {
+		t.Fatalf("port conductance not folded: %v", g.At(0, 0))
+	}
+	gex, err := s.ExactG(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(gex.At(0, 0), 0.15, 1e-15) {
+		t.Fatal("port conductance must also appear in exact stamps")
+	}
+	if err := s.SetPortConductance([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-length port conductance must error")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := AssembleVariational(New()); err == nil {
+		t.Fatal("empty netlist must error")
+	}
+	nl := New()
+	nl.AddR("R1", "a", "0", V(-5))
+	if _, err := AssembleVariational(nl); err == nil {
+		t.Fatal("negative resistance must error")
+	}
+}
+
+func TestExactGNegativeAtSample(t *testing.T) {
+	nl := New()
+	nl.AddR("R1", "a", "0", VarV(1, "p", -10.0))
+	s, err := AssembleVariational(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExactG(map[string]float64{"p": 1}); err == nil {
+		t.Fatal("resistance driven negative at sample must error")
+	}
+}
+
+func TestCouplingCapStamp(t *testing.T) {
+	nl := New()
+	nl.AddC("CC", "a", "b", V(3e-12))
+	s, err := AssembleVariational(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.CNominal()
+	if !almostEq(c.At(0, 1), -3e-12, 1e-25) || !almostEq(c.At(0, 0), 3e-12, 1e-25) {
+		t.Fatal("coupling cap stamps wrong")
+	}
+}

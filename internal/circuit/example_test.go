@@ -1,0 +1,63 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+)
+
+func ExampleParseNetlistString() {
+	nl, err := circuit.ParseNetlistString(`
+R1 in out 10k
+C1 out 0 2pF
+V1 in 0 RAMP(0 1.8 1n 0.2n)
+.PORT out
+`)
+	if err != nil {
+		panic(err)
+	}
+	st := nl.Stats()
+	fmt.Println(st.Resistors, st.Capacitors, st.VSources, st.Ports)
+	// Output: 1 1 1 1
+}
+
+func ExampleValue_Eval() {
+	// An element value affine in a global parameter: R(w) = 10 + 50·w.
+	v := circuit.VarV(10, "p", 50.0)
+	fmt.Println(v.Eval(nil), v.Eval(map[string]float64{"p": 0.1}))
+	// Output: 10 15
+}
+
+func ExampleSatRamp() {
+	r := circuit.SatRamp{V0: 0, V1: 1.8, Start: 1e-9, Slew: 2e-9}
+	fmt.Printf("%.2f %.2f %.2f\n", r.At(0), r.At(2e-9), r.At(5e-9))
+	// Output: 0.00 0.90 1.80
+}
+
+func ExamplePWL_Compress() {
+	// 101 samples of a clean ramp compress to its breakpoints.
+	var ts, vs []float64
+	for i := 0; i <= 100; i++ {
+		t := float64(i)
+		ts = append(ts, t)
+		switch {
+		case t < 20:
+			vs = append(vs, 0)
+		case t < 80:
+			vs = append(vs, (t-20)/60)
+		default:
+			vs = append(vs, 1)
+		}
+	}
+	p, _ := circuit.NewPWL(ts, vs)
+	fmt.Println(len(p.T), "->", len(p.Compress(1e-9).T))
+	// Output: 101 -> 4
+}
+
+func ExampleNetlist_AddG() {
+	// The conductance-affine element of the paper's eq. (3).
+	nl := circuit.New()
+	nl.AddG("G1", "a", "0", circuit.VarV(0.1, "p", -0.01))
+	fmt.Printf("%.3f\n", nl.Conductors[0].G.Eval(map[string]float64{"p": 1}))
+	// Output: 0.090
+}

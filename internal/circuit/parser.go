@@ -1,0 +1,379 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseNetlist reads a SPICE-like netlist description:
+//
+//   - comment
+//     R<name> a b <value> [VAR(p=sens,...)]
+//     C<name> a b <value> [VAR(p=sens,...)]
+//     V<name> a b DC <v> | PULSE(v1 v2 d r f w per) | PWL(t1 v1 ...) | RAMP(v0 v1 start slew)
+//     I<name> a b <same source forms>
+//     M<name> d g s b <model> W=<v> L=<v>
+//     .PORT n1 [n2 ...]
+//     .END
+//
+// Values accept SPICE SI suffixes (f p n u m k meg g t). A leading model
+// name starting with 'P' (e.g. PMOS, PCH) makes the device PMOS.
+func ParseNetlist(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.EqualFold(line, ".END") {
+			break
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Flatten .SUBCKT definitions and X instances first.
+	flat, err := expandHierarchy(lines)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	nl := New()
+	for i, line := range flat {
+		if err := parseLine(nl, line); err != nil {
+			return nil, fmt.Errorf("netlist line %d (%q): %w", i+1, line, err)
+		}
+	}
+	return nl, nil
+}
+
+// ParseNetlistString is ParseNetlist on a string.
+func ParseNetlistString(s string) (*Netlist, error) {
+	return ParseNetlist(strings.NewReader(s))
+}
+
+func parseLine(nl *Netlist, line string) error {
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	head := fields[0]
+	switch {
+	case strings.HasPrefix(head, "."):
+		return parseDirective(nl, fields)
+	case head[0] == 'R' || head[0] == 'r':
+		return parseRC(nl, fields, true)
+	case head[0] == 'C' || head[0] == 'c':
+		return parseRC(nl, fields, false)
+	case head[0] == 'V' || head[0] == 'v':
+		return parseSource(nl, fields, true)
+	case head[0] == 'I' || head[0] == 'i':
+		return parseSource(nl, fields, false)
+	case head[0] == 'M' || head[0] == 'm':
+		return parseMOS(nl, fields)
+	default:
+		return fmt.Errorf("unknown element %q", head)
+	}
+}
+
+// tokenize splits on whitespace but keeps parenthesized groups together:
+// "PULSE(0 1 2)" is one token.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	for _, r := range line {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseDirective(nl *Netlist, fields []string) error {
+	switch strings.ToUpper(fields[0]) {
+	case ".PORT", ".PORTS":
+		if len(fields) < 2 {
+			return fmt.Errorf(".PORT needs at least one node")
+		}
+		for _, n := range fields[1:] {
+			nl.MarkPort(n)
+		}
+		return nil
+	case ".END":
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func parseRC(nl *Netlist, fields []string, isR bool) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("%s: need name a b value", fields[0])
+	}
+	v, err := ParseValue(fields[3])
+	if err != nil {
+		return fmt.Errorf("%s: %w", fields[0], err)
+	}
+	val := V(v)
+	for _, extra := range fields[4:] {
+		val, err = parseVarSpec(val, extra)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fields[0], err)
+		}
+	}
+	if isR {
+		nl.AddR(fields[0], fields[1], fields[2], val)
+	} else {
+		nl.AddC(fields[0], fields[1], fields[2], val)
+	}
+	return nil
+}
+
+// parseVarSpec parses VAR(p1=s1,p2=s2,...).
+func parseVarSpec(val Value, tok string) (Value, error) {
+	up := strings.ToUpper(tok)
+	if !strings.HasPrefix(up, "VAR(") || !strings.HasSuffix(tok, ")") {
+		return val, fmt.Errorf("unexpected token %q", tok)
+	}
+	body := tok[4 : len(tok)-1]
+	if strings.TrimSpace(body) == "" {
+		return val, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return val, fmt.Errorf("bad VAR pair %q", pair)
+		}
+		s, err := ParseValue(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return val, fmt.Errorf("bad VAR sensitivity %q: %w", kv[1], err)
+		}
+		val = val.WithSens(strings.TrimSpace(kv[0]), s)
+	}
+	return val, nil
+}
+
+func parseSource(nl *Netlist, fields []string, isV bool) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("%s: need name a b spec", fields[0])
+	}
+	w, err := parseWaveform(fields[3:])
+	if err != nil {
+		return fmt.Errorf("%s: %w", fields[0], err)
+	}
+	if isV {
+		nl.AddV(fields[0], fields[1], fields[2], w)
+	} else {
+		nl.AddI(fields[0], fields[1], fields[2], w)
+	}
+	return nil
+}
+
+func parseWaveform(fields []string) (Waveform, error) {
+	spec := strings.Join(fields, " ")
+	up := strings.ToUpper(spec)
+	switch {
+	case strings.HasPrefix(up, "DC"):
+		v, err := ParseValue(strings.TrimSpace(spec[2:]))
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(up, "PULSE("):
+		args, err := parseArgs(spec, "PULSE")
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 6 {
+			return nil, fmt.Errorf("PULSE needs v1 v2 delay rise fall width [period]")
+		}
+		p := Pulse{V1: args[0], V2: args[1], Delay: args[2], Rise: args[3], Fall: args[4], Width: args[5]}
+		if len(args) > 6 {
+			p.Period = args[6]
+		}
+		return p, nil
+	case strings.HasPrefix(up, "PWL("):
+		args, err := parseArgs(spec, "PWL")
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs t,v pairs")
+		}
+		ts := make([]float64, len(args)/2)
+		vs := make([]float64, len(args)/2)
+		for i := range ts {
+			ts[i], vs[i] = args[2*i], args[2*i+1]
+		}
+		return NewPWL(ts, vs)
+	case strings.HasPrefix(up, "RAMP("):
+		args, err := parseArgs(spec, "RAMP")
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 4 {
+			return nil, fmt.Errorf("RAMP needs v0 v1 start slew")
+		}
+		return SatRamp{V0: args[0], V1: args[1], Start: args[2], Slew: args[3]}, nil
+	case strings.HasPrefix(up, "SIN("):
+		args, err := parseArgs(spec, "SIN")
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 {
+			return nil, fmt.Errorf("SIN needs offset amp freq [delay]")
+		}
+		s := Sine{Offset: args[0], Amp: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			s.Delay = args[3]
+		}
+		return s, nil
+	default:
+		// Bare number means DC.
+		v, err := ParseValue(spec)
+		if err != nil {
+			return nil, fmt.Errorf("unknown source spec %q", spec)
+		}
+		return DC(v), nil
+	}
+}
+
+func parseArgs(spec, kw string) ([]float64, error) {
+	open := strings.Index(spec, "(")
+	close := strings.LastIndex(spec, ")")
+	if open < 0 || close <= open {
+		return nil, fmt.Errorf("%s: malformed argument list", kw)
+	}
+	body := spec[open+1 : close]
+	body = strings.ReplaceAll(body, ",", " ")
+	var out []float64
+	for _, f := range strings.Fields(body) {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s arg %q: %w", kw, f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseMOS(nl *Netlist, fields []string) error {
+	if len(fields) < 6 {
+		return fmt.Errorf("%s: need name d g s b model", fields[0])
+	}
+	m := MOSFET{Name: fields[0], Model: fields[5]}
+	if strings.HasPrefix(strings.ToUpper(fields[5]), "P") {
+		m.Type = PMOS
+	}
+	for _, f := range fields[6:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("%s: bad parameter %q", fields[0], f)
+		}
+		v, err := ParseValue(kv[1])
+		if err != nil {
+			return fmt.Errorf("%s: parameter %q: %w", fields[0], f, err)
+		}
+		switch strings.ToUpper(kv[0]) {
+		case "W":
+			m.W = v
+		case "L":
+			m.L = v
+		case "DL":
+			m.DL = v
+		case "DVT":
+			m.DVT = v
+		default:
+			return fmt.Errorf("%s: unknown parameter %q", fields[0], kv[0])
+		}
+	}
+	nl.AddMOSFET(m, fields[1], fields[2], fields[3], fields[4])
+	return nil
+}
+
+// ParseValue parses a SPICE-style number with optional SI suffix:
+// f=1e-15 p=1e-12 n=1e-9 u=1e-6 m=1e-3 k=1e3 meg=1e6 g=1e9 t=1e12.
+// Trailing unit letters after the suffix (e.g. "2pF", "10kOhm") are
+// ignored, matching SPICE convention.
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	low := strings.ToLower(s)
+	// Longest numeric prefix.
+	i := 0
+	for i < len(low) {
+		c := low[i]
+		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' {
+			i++
+			continue
+		}
+		if (c == 'e') && i+1 < len(low) {
+			// exponent only if followed by digit or sign+digit
+			j := i + 1
+			if low[j] == '+' || low[j] == '-' {
+				j++
+			}
+			if j < len(low) && low[j] >= '0' && low[j] <= '9' {
+				i = j + 1
+				for i < len(low) && low[i] >= '0' && low[i] <= '9' {
+					i++
+				}
+				continue
+			}
+		}
+		break
+	}
+	num, err := strconv.ParseFloat(low[:i], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	suffix := low[i:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case suffix[0] == 'f':
+		mult = 1e-15
+	case suffix[0] == 'p':
+		mult = 1e-12
+	case suffix[0] == 'n':
+		mult = 1e-9
+	case suffix[0] == 'u':
+		mult = 1e-6
+	case suffix[0] == 'm':
+		mult = 1e-3
+	case suffix[0] == 'k':
+		mult = 1e3
+	case suffix[0] == 'g':
+		mult = 1e9
+	case suffix[0] == 't':
+		mult = 1e12
+	default:
+		// Unit letters like "v", "a", "ohm", "hz" — no scaling.
+	}
+	return num * mult, nil
+}

@@ -1,0 +1,195 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"10":     10,
+		"2p":     2e-12,
+		"2pF":    2e-12,
+		"3n":     3e-9,
+		"1.5u":   1.5e-6,
+		"4m":     4e-3,
+		"10k":    1e4,
+		"1meg":   1e6,
+		"2f":     2e-15,
+		"1g":     1e9,
+		"1t":     1e12,
+		"-3.5":   -3.5,
+		"1e-9":   1e-9,
+		"2.5e3":  2500,
+		"100ohm": 100,
+		"5v":     5,
+	}
+	for in, want := range cases {
+		got, err := ParseValue(in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", in, err)
+		}
+		if !almostEq(got, want, 1e-20+1e-12*math.Abs(want)) {
+			t.Fatalf("ParseValue(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "--1"} {
+		if _, err := ParseValue(in); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseNetlistBasic(t *testing.T) {
+	src := `
+* Example 1 circuit fragment
+R1 in mid 10
+C1 mid 0 2p VAR(p=1e-11)
+V1 in 0 DC 1.8
+I1 mid 0 PULSE(0 1m 0 1n 1n 5n 20n)
+.PORT in
+.END
+`
+	nl, err := ParseNetlistString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nl.Stats()
+	if st.Resistors != 1 || st.Capacitors != 1 || st.VSources != 1 || st.ISources != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if len(nl.Ports()) != 1 {
+		t.Fatal("port not parsed")
+	}
+	c := nl.Capacitors[0]
+	if !almostEq(c.C.Nominal, 2e-12, 1e-25) || !almostEq(c.C.Sens["p"], 1e-11, 1e-24) {
+		t.Fatalf("variational cap wrong: %v", c.C)
+	}
+	if _, ok := nl.ISources[0].W.(Pulse); !ok {
+		t.Fatalf("PULSE not parsed: %T", nl.ISources[0].W)
+	}
+}
+
+func TestParseNetlistMOSFET(t *testing.T) {
+	src := `
+M1 out in 0 0 NMOS W=2u L=0.18u
+M2 out in vdd vdd PMOS W=4u L=0.18u DL=0.01u DVT=0.02
+V1 vdd 0 DC 1.8
+`
+	nl, err := ParseNetlistString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.MOSFETs) != 2 {
+		t.Fatalf("MOSFETs = %d", len(nl.MOSFETs))
+	}
+	m1, m2 := nl.MOSFETs[0], nl.MOSFETs[1]
+	if m1.Type != NMOS || m2.Type != PMOS {
+		t.Fatal("device polarity wrong")
+	}
+	if !almostEq(m1.W, 2e-6, 1e-18) || !almostEq(m2.L, 0.18e-6, 1e-18) {
+		t.Fatal("geometry wrong")
+	}
+	if !almostEq(m2.DL, 0.01e-6, 1e-18) || !almostEq(m2.DVT, 0.02, 1e-12) {
+		t.Fatal("variations wrong")
+	}
+}
+
+func TestParseNetlistSourceForms(t *testing.T) {
+	src := `
+V1 a 0 RAMP(0 1.8 1n 0.2n)
+V2 b 0 PWL(0 0 1n 1.8)
+V3 c 0 SIN(0 1 1meg)
+V4 d 0 2.5
+`
+	nl, err := ParseNetlistString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nl.VSources[0].W.(SatRamp); !ok {
+		t.Fatalf("RAMP: %T", nl.VSources[0].W)
+	}
+	if _, ok := nl.VSources[1].W.(*PWL); !ok {
+		t.Fatalf("PWL: %T", nl.VSources[1].W)
+	}
+	if _, ok := nl.VSources[2].W.(Sine); !ok {
+		t.Fatalf("SIN: %T", nl.VSources[2].W)
+	}
+	if dc, ok := nl.VSources[3].W.(DC); !ok || float64(dc) != 2.5 {
+		t.Fatalf("bare DC: %T %v", nl.VSources[3].W, nl.VSources[3].W)
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b",                   // missing value
+		"X1 a b 5",                 // unknown element
+		"C1 a b 1p VAR(p)",         // malformed VAR
+		"V1 a 0 PULSE(0 1)",        // too few pulse args
+		"M1 d g s b",               // missing model
+		".FOO bar",                 // unknown directive
+		"V1 a 0 PWL(0 0 0 1)",      // non-increasing PWL
+		"M1 d g s b NMOS W=2u L=q", // bad param value
+		"M1 d g s b NMOS FOO=1",    // unknown param
+	}
+	for _, src := range bad {
+		if _, err := ParseNetlistString(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseNetlistCommentsAndEnd(t *testing.T) {
+	src := `
+* comment
+; another comment
+
+R1 a 0 5
+.END
+R2 b 0 7
+`
+	nl, err := ParseNetlistString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Resistors) != 1 {
+		t.Fatal("content after .END must be ignored")
+	}
+}
+
+func TestParseRoundTripAssemble(t *testing.T) {
+	// A parsed netlist must assemble identically to the builder version.
+	src := `
+R1 in mid 10 VAR(p=50)
+R2 mid 0 20
+C1 in 0 1p VAR(p=1e-11)
+C2 mid 0 2p
+.PORT in
+`
+	parsed, err := ParseNetlist(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := AssembleVariational(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := AssembleVariational(ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(sp.GNominal().At(i, j), sb.GNominal().At(i, j), 1e-15) {
+				t.Fatalf("G mismatch at (%d,%d)", i, j)
+			}
+			if !almostEq(sp.DG["p"].At(i, j), sb.DG["p"].At(i, j), 1e-15) {
+				t.Fatalf("DG mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// subcktDef is a parsed .SUBCKT body awaiting expansion.
+type subcktDef struct {
+	name  string
+	ports []string
+	lines []string
+}
+
+// expandHierarchy rewrites a netlist source with .SUBCKT definitions and
+// X-instance cards into a flat element list. Instances are expanded
+// textually with node substitution: instance-local nodes become
+// "<inst>.<node>", ports map to the connecting nodes, and element names
+// are prefixed with the instance path. Nested subcircuit definitions are
+// not supported (definitions must be top-level); nested *instantiation*
+// (an X card inside a .SUBCKT body) is.
+func expandHierarchy(lines []string) ([]string, error) {
+	defs := map[string]*subcktDef{}
+	var top []string
+	var cur *subcktDef
+	for _, raw := range lines {
+		txt := strings.TrimSpace(raw)
+		up := strings.ToUpper(txt)
+		switch {
+		case strings.HasPrefix(up, ".SUBCKT"):
+			if cur != nil {
+				return nil, fmt.Errorf("nested .SUBCKT definition")
+			}
+			f := strings.Fields(txt)
+			if len(f) < 2 {
+				return nil, fmt.Errorf(".SUBCKT needs a name")
+			}
+			cur = &subcktDef{name: strings.ToUpper(f[1]), ports: f[2:]}
+		case strings.HasPrefix(up, ".ENDS"):
+			if cur == nil {
+				return nil, fmt.Errorf(".ENDS without .SUBCKT")
+			}
+			defs[cur.name] = cur
+			cur = nil
+		default:
+			if cur != nil {
+				cur.lines = append(cur.lines, txt)
+			} else {
+				top = append(top, txt)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf(".SUBCKT %s not closed", cur.name)
+	}
+	var out []string
+	var expand func(lines []string, depth int) error
+	expand = func(lines []string, depth int) error {
+		if depth > 16 {
+			return fmt.Errorf("subcircuit nesting too deep (recursive definition?)")
+		}
+		for _, l := range lines {
+			if l == "" || l[0] != 'X' && l[0] != 'x' {
+				out = append(out, l)
+				continue
+			}
+			f := strings.Fields(l)
+			if len(f) < 2 {
+				return fmt.Errorf("malformed instance %q", l)
+			}
+			inst := f[0]
+			defName := strings.ToUpper(f[len(f)-1])
+			def, ok := defs[defName]
+			if !ok {
+				return fmt.Errorf("instance %s references unknown subcircuit %q", inst, defName)
+			}
+			conns := f[1 : len(f)-1]
+			if len(conns) != len(def.ports) {
+				return fmt.Errorf("instance %s connects %d nodes to %d-port subcircuit %s",
+					inst, len(conns), len(def.ports), defName)
+			}
+			nodeMap := map[string]string{"0": "0", "gnd": "0", "GND": "0"}
+			for i, p := range def.ports {
+				nodeMap[p] = conns[i]
+			}
+			rename := func(node string) string {
+				if mapped, ok := nodeMap[node]; ok {
+					return mapped
+				}
+				return inst + "." + node
+			}
+			var body []string
+			for _, bl := range def.lines {
+				bf := tokenize(bl)
+				if len(bf) == 0 || strings.HasPrefix(bf[0], ".") || strings.HasPrefix(bf[0], "*") {
+					continue
+				}
+				nf := make([]string, len(bf))
+				copy(nf, bf)
+				// Keep the element-type letter first: the parser (and this
+				// expander) dispatch on it.
+				nf[0] = bf[0] + "." + inst
+				if bf[0][0] == 'X' || bf[0][0] == 'x' {
+					// Nested instance: every middle field is a connection.
+					for k := 1; k < len(bf)-1; k++ {
+						nf[k] = rename(bf[k])
+					}
+				} else {
+					nNodes, ok := elementNodeCount(bf[0])
+					if !ok {
+						return fmt.Errorf("subcircuit %s: unsupported element %q", defName, bf[0])
+					}
+					if len(bf) < 1+nNodes {
+						return fmt.Errorf("subcircuit %s: element %q too short", defName, bf[0])
+					}
+					for k := 1; k <= nNodes; k++ {
+						nf[k] = rename(bf[k])
+					}
+				}
+				body = append(body, strings.Join(nf, " "))
+			}
+			if err := expand(body, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := expand(top, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// elementNodeCount returns how many leading fields after the name are node
+// names for an element card.
+func elementNodeCount(name string) (int, bool) {
+	switch name[0] {
+	case 'R', 'r', 'C', 'c', 'V', 'v', 'I', 'i':
+		return 2, true
+	case 'M', 'm':
+		return 4, true
+	case 'X', 'x':
+		// Nested instance: every field except the trailing subckt name is
+		// a node; handled by the expander itself.
+		return 0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,137 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNetlist renders the netlist in the SPICE-like syntax ParseNetlist
+// reads, so circuits built programmatically can be saved, diffed and fed
+// to the cmd/lcsim tools. Waveform sources are rendered when their type is
+// one of the parser-supported forms; other Waveform implementations fall
+// back to their DC value at t = 0.
+func (n *Netlist) WriteNetlist(w io.Writer, title string) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "* %s\n", title); err != nil {
+			return err
+		}
+	}
+	for _, r := range n.Resistors {
+		if err := writeRC(w, "R", r.Name, n.NodeName(r.A), n.NodeName(r.B), r.R); err != nil {
+			return err
+		}
+	}
+	for _, g := range n.Conductors {
+		// No conductor card in the parser grammar: emit the reciprocal
+		// resistance with reciprocal-transformed sensitivities only when
+		// deterministic; otherwise document the value inline.
+		if !g.G.IsVariational() {
+			if err := writeRC(w, "R", g.Name, n.NodeName(g.A), n.NodeName(g.B), V(1/g.G.Nominal)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "* conductor %s %s %s G = %s (variational; not expressible as an R card)\n",
+			g.Name, n.NodeName(g.A), n.NodeName(g.B), g.G); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Capacitors {
+		if err := writeRC(w, "C", c.Name, n.NodeName(c.A), n.NodeName(c.B), c.C); err != nil {
+			return err
+		}
+	}
+	for _, v := range n.VSources {
+		if _, err := fmt.Fprintf(w, "%s %s %s %s\n", v.Name, n.NodeName(v.A), n.NodeName(v.B), renderWaveform(v.W)); err != nil {
+			return err
+		}
+	}
+	for _, i := range n.ISources {
+		if _, err := fmt.Fprintf(w, "%s %s %s %s\n", i.Name, n.NodeName(i.A), n.NodeName(i.B), renderWaveform(i.W)); err != nil {
+			return err
+		}
+	}
+	for _, m := range n.MOSFETs {
+		line := fmt.Sprintf("%s %s %s %s %s %s W=%g L=%g",
+			m.Name, n.NodeName(m.D), n.NodeName(m.G), n.NodeName(m.S), n.NodeName(m.B), m.Model, m.W, m.L)
+		if m.DL != 0 {
+			line += fmt.Sprintf(" DL=%g", m.DL)
+		}
+		if m.DVT != 0 {
+			line += fmt.Sprintf(" DVT=%g", m.DVT)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if len(n.ports) > 0 {
+		names := make([]string, len(n.ports))
+		for i, p := range n.ports {
+			names[i] = n.NodeName(p)
+		}
+		if _, err := fmt.Fprintf(w, ".PORT %s\n", strings.Join(names, " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ".END")
+	return err
+}
+
+func writeRC(w io.Writer, kind, name, a, b string, v Value) error {
+	line := fmt.Sprintf("%s %s %s %g", ensurePrefix(name, kind), a, b, v.Nominal)
+	if v.IsVariational() {
+		params := v.Params()
+		sort.Strings(params)
+		var parts []string
+		for _, p := range params {
+			parts = append(parts, fmt.Sprintf("%s=%g", p, v.Sens[p]))
+		}
+		line += " VAR(" + strings.Join(parts, ",") + ")"
+	}
+	_, err := fmt.Fprintln(w, line)
+	return err
+}
+
+// ensurePrefix guarantees the element name starts with the letter the
+// parser dispatches on.
+func ensurePrefix(name, kind string) string {
+	if name == "" {
+		return kind + "x"
+	}
+	if strings.HasPrefix(strings.ToUpper(name), kind) {
+		return name
+	}
+	return kind + name
+}
+
+func renderWaveform(w Waveform) string {
+	switch s := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %g", float64(s))
+	case SatRamp:
+		return fmt.Sprintf("RAMP(%g %g %g %g)", s.V0, s.V1, s.Start, s.Slew)
+	case Pulse:
+		out := fmt.Sprintf("PULSE(%g %g %g %g %g %g", s.V1, s.V2, s.Delay, s.Rise, s.Fall, s.Width)
+		if s.Period > 0 {
+			out += fmt.Sprintf(" %g", s.Period)
+		}
+		return out + ")"
+	case Sine:
+		return fmt.Sprintf("SIN(%g %g %g %g)", s.Offset, s.Amp, s.Freq, s.Delay)
+	case *PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i := range s.T {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%g %g", s.T[i], s.V[i])
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return fmt.Sprintf("DC %g", w.At(0))
+	}
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteNetlistRoundTrip(t *testing.T) {
+	nl := New()
+	nl.AddR("R1", "in", "mid", VarV(10, "p", 50.0))
+	nl.AddR("R2", "mid", "0", V(20))
+	nl.AddC("C1", "in", "0", VarV(1e-12, "p", 1e-11))
+	nl.AddC("C2", "mid", "0", V(2e-12))
+	nl.AddV("V1", "in", "0", SatRamp{V0: 0, V1: 1.8, Start: 1e-9, Slew: 1e-10})
+	nl.AddI("I1", "mid", "0", DC(1e-3))
+	nl.AddMOSFET(MOSFET{Name: "M1", Model: "NMOS018", W: 1e-6, L: 1.8e-7, DVT: 0.02}, "mid", "in", "0", "0")
+	nl.MarkPort("in")
+
+	var buf bytes.Buffer
+	if err := nl.WriteNetlist(&buf, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetlistString(buf.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+	}
+	s1, err := AssembleVariational(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AssembleVariational(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.N != s2.N || s1.Np != s2.Np {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", s1.N, s1.Np, s2.N, s2.Np)
+	}
+	for i := 0; i < s1.N; i++ {
+		for j := 0; j < s1.N; j++ {
+			if !almostEq(s1.GNominal().At(i, j), s2.GNominal().At(i, j), 1e-12) {
+				t.Fatalf("G differs at (%d,%d)", i, j)
+			}
+			if !almostEq(s1.DG["p"].At(i, j), s2.DG["p"].At(i, j), 1e-12) {
+				t.Fatalf("DG differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Sources and devices survive.
+	if len(back.VSources) != 1 || len(back.ISources) != 1 || len(back.MOSFETs) != 1 {
+		t.Fatalf("sources/devices lost: %+v", back.Stats())
+	}
+	if back.MOSFETs[0].DVT != 0.02 {
+		t.Fatal("device deviation lost")
+	}
+	ramp, ok := back.VSources[0].W.(SatRamp)
+	if !ok || ramp.V1 != 1.8 {
+		t.Fatalf("ramp source lost: %#v", back.VSources[0].W)
+	}
+}
+
+func TestWriteNetlistWaveformForms(t *testing.T) {
+	pwl, _ := NewPWL([]float64{0, 1e-9}, []float64{0, 1})
+	nl := New()
+	nl.AddV("V1", "a", "0", Pulse{V1: 0, V2: 1, Delay: 1e-9, Rise: 1e-10, Fall: 1e-10, Width: 1e-9, Period: 4e-9})
+	nl.AddV("V2", "b", "0", pwl)
+	nl.AddV("V3", "c", "0", Sine{Offset: 0.9, Amp: 0.9, Freq: 1e6})
+	var buf bytes.Buffer
+	if err := nl.WriteNetlist(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetlistString(buf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if _, ok := back.VSources[0].W.(Pulse); !ok {
+		t.Fatal("pulse lost")
+	}
+	if _, ok := back.VSources[1].W.(*PWL); !ok {
+		t.Fatal("pwl lost")
+	}
+	if _, ok := back.VSources[2].W.(Sine); !ok {
+		t.Fatal("sine lost")
+	}
+}
+
+func TestWriteNetlistConductor(t *testing.T) {
+	nl := New()
+	nl.AddG("G1", "a", "0", V(0.01))
+	nl.AddG("G2", "a", "0", VarV(0.01, "p", 0.001))
+	var buf bytes.Buffer
+	if err := nl.WriteNetlist(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RG1 a 0 100") {
+		t.Fatalf("fixed conductor must become a resistor card:\n%s", out)
+	}
+	if !strings.Contains(out, "* conductor G2") {
+		t.Fatalf("variational conductor must be documented:\n%s", out)
+	}
+}
+
+func TestPWLCompress(t *testing.T) {
+	// A ramp sampled densely compresses to its two endpoints (plus the
+	// corner breakpoints).
+	var ts, vs []float64
+	for i := 0; i <= 100; i++ {
+		t := float64(i) * 1e-11
+		ts = append(ts, t)
+		v := 0.0
+		switch {
+		case t < 2e-10:
+			v = 0
+		case t < 8e-10:
+			v = (t - 2e-10) / 6e-10
+		default:
+			v = 1
+		}
+		vs = append(vs, v)
+	}
+	p, err := NewPWL(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Compress(1e-6)
+	if len(c.T) >= len(p.T)/10 {
+		t.Fatalf("compression ineffective: %d -> %d points", len(p.T), len(c.T))
+	}
+	// Accuracy bound holds everywhere.
+	for i, tt := range p.T {
+		if !almostEq(c.At(tt), p.V[i], 1.1e-6) {
+			t.Fatalf("compress error at t=%g: %g vs %g", tt, c.At(tt), p.V[i])
+		}
+	}
+	// Degenerate inputs pass through.
+	small, _ := NewPWL([]float64{0, 1}, []float64{0, 1})
+	if small.Compress(0.1) != small {
+		t.Fatal("2-point PWL must pass through")
+	}
+	if p.Compress(0) != p {
+		t.Fatal("zero tolerance must pass through")
+	}
+}
+
+func TestPWLCompressPreservesExtremes(t *testing.T) {
+	// A glitch must survive compression with a tolerance below its height.
+	p, _ := NewPWL(
+		[]float64{0, 1, 2, 3, 4},
+		[]float64{0, 0, 0.5, 0, 0},
+	)
+	c := p.Compress(0.1)
+	if !almostEq(c.At(2), 0.5, 1e-12) {
+		t.Fatalf("glitch lost: %g", c.At(2))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := SatRamp{V0: 0, V1: 1, Start: 0, Slew: 1}
+	d := DC(0.5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []float64{0, 0.5, 1}, []string{"ramp", "dc"}, []Waveform{r, d}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if lines[0] != "t,ramp,dc" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "5.000000e-01,5.000000e-01") {
+		t.Fatalf("row: %s", lines[2])
+	}
+	if err := WriteCSV(&buf, nil, []string{"a"}, nil); err == nil {
+		t.Fatal("label/wave mismatch must error")
+	}
+}

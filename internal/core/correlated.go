@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"lcsim/internal/mat"
+	"lcsim/internal/stat"
+	"lcsim/internal/teta"
+)
+
+// CorrelatedSources models a correlated population of variation sources
+// through a PCA factorization (§4.1.1): sampling happens in the compact,
+// uncorrelated factor space and the by-product reverse transformation
+// recovers the physical source values. This is how the paper proposes
+// handling the ~60 correlated BSIM parameters with ~10 factors.
+type CorrelatedSources struct {
+	Sources []Source // the physical sources (their Sigma fields are ignored)
+	pca     *stat.PCA
+	factors int
+}
+
+// NewCorrelatedSources builds the factor model from a covariance matrix
+// over the sources (in their natural units). fraction selects how much
+// variance the retained factors must explain (e.g. 0.95).
+func NewCorrelatedSources(sources []Source, cov *mat.Dense, fraction float64) (*CorrelatedSources, error) {
+	if cov.Rows() != len(sources) || cov.Cols() != len(sources) {
+		return nil, fmt.Errorf("core: covariance is %dx%d for %d sources", cov.Rows(), cov.Cols(), len(sources))
+	}
+	for _, s := range sources {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	mean := make([]float64, len(sources))
+	p, err := stat.FitPCACov(mean, cov)
+	if err != nil {
+		return nil, err
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.95
+	}
+	nf := p.NumFactors(fraction)
+	if nf < 1 {
+		nf = 1
+	}
+	return &CorrelatedSources{Sources: sources, pca: p, factors: nf}, nil
+}
+
+// NumFactors reports the retained factor count.
+func (c *CorrelatedSources) NumFactors() int { return c.factors }
+
+// RunSpecFromFactors maps standard-normal factor scores (length
+// NumFactors) to a RunSpec through the inverse PCA transform.
+func (c *CorrelatedSources) RunSpecFromFactors(z []float64) (teta.RunSpec, error) {
+	if len(z) != c.factors {
+		return teta.RunSpec{}, fmt.Errorf("core: got %d factor scores, want %d", len(z), c.factors)
+	}
+	values := c.pca.Inverse(z)
+	return BuildRunSpec(c.Sources, values), nil
+}
+
+// MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.
+func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, parallel bool) (*MCResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: MC needs N > 0")
+	}
+	rng := stat.NewRNG(seed)
+	cube := stat.LatinHypercube(rng, n, cs.factors)
+	dists := make([]stat.Dist, cs.factors)
+	for i := range dists {
+		dists[i] = stat.Normal{Mean: 0, Sigma: 1}
+	}
+	samples := stat.SamplePlan(cube, dists)
+	res := &MCResult{Samples: samples}
+	delays, err := stat.MapSamples(samples, parallel, func(i int, z []float64) (float64, error) {
+		rs, err := cs.RunSpecFromFactors(z)
+		if err != nil {
+			return 0, err
+		}
+		ev, err := p.Evaluate(rs, false)
+		if err != nil {
+			return 0, err
+		}
+		return ev.Delay, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Delays = delays
+	res.Summary = stat.Summarize(delays)
+	return res, nil
+}

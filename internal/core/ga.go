@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcsim/internal/teta"
+)
+
+// GAConfig configures Gradient-Analysis path-delay statistics (§4.3.2).
+type GAConfig struct {
+	Sources []Source
+	// Step is the finite-difference step as a fraction of each source's
+	// sigma (default 0.5).
+	Step float64
+	// SlewStep is the relative perturbation of the input slew used for
+	// ∂/∂S derivatives (default 0.05).
+	SlewStep float64
+}
+
+// GAResult holds the gradient-analysis outcome: the nominal path delay,
+// the first-order standard deviation via eq. (24) and the per-source
+// delay sensitivities (eq. 32).
+type GAResult struct {
+	Mean        float64
+	Std         float64
+	Sensitivity map[string]float64 // dD/dsource (natural units)
+	StageCount  int
+	Simulations int // stage simulations spent (the GA cost metric)
+}
+
+// stageDerivs holds the stage Γ-function linearization (eq. 30–31):
+// output 50% crossing Π and slew Ψ as functions of input slew and each
+// variation source. ∂Π/∂M = 1 and ∂Ψ/∂M = 0 exactly, by time invariance
+// of the stage.
+type stageDerivs struct {
+	nom    StageDelayResult
+	dPidS  float64
+	dPsidS float64
+	dPidW  []float64
+	dPsidW []float64
+}
+
+// GradientAnalysis propagates nominal waveform parameters and their
+// derivatives through the path (the "differential timing analysis" view
+// of §4.3.2) and combines source sigmas via eq. (24).
+func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
+	for _, s := range cfg.Sources {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	step := cfg.Step
+	if step <= 0 {
+		step = 0.5
+	}
+	slewStep := cfg.SlewStep
+	if slewStep <= 0 {
+		slewStep = 0.05
+	}
+	nw := len(cfg.Sources)
+	res := &GAResult{Sensitivity: map[string]float64{}, StageCount: len(p.Stages)}
+
+	// Path state: nominal (M, S) plus dM/dw, dS/dw per source. M is
+	// carried as accumulated delay relative to the stimulus 50% point.
+	mTot := 0.0
+	slew := p.InputSlew
+	dM := make([]float64, nw)
+	dS := make([]float64, nw)
+	rising := true
+
+	for _, st := range p.Stages {
+		sd, err := p.stageDerivatives(st, cfg.Sources, slew, rising, step, slewStep, &res.Simulations)
+		if err != nil {
+			return nil, err
+		}
+		stageDelay := sd.nom.Cross50 - p.TStart
+		mTot += stageDelay
+		for l := 0; l < nw; l++ {
+			// eq. (31): dM_out = ∂Π/∂w + 1·dM_in + ∂Π/∂S·dS_in.
+			dMout := sd.dPidW[l] + dM[l] + sd.dPidS*dS[l]
+			dSout := sd.dPsidW[l] + sd.dPsidS*dS[l]
+			dM[l] = dMout
+			dS[l] = dSout
+		}
+		slew = sd.nom.Slew
+		rising = rising != st.Invert
+	}
+	res.Mean = mTot
+	// eq. (24): σ² = Σ σ_l² (∂D/∂w_l)².
+	varAcc := 0.0
+	for l, s := range cfg.Sources {
+		res.Sensitivity[s.Name] = dM[l]
+		varAcc += s.Sigma * s.Sigma * dM[l] * dM[l]
+	}
+	res.Std = math.Sqrt(varAcc)
+	return res, nil
+}
+
+// stageDerivatives evaluates the stage Γ function and its derivatives by
+// finite differences: nominal, slew perturbation (central), and a central
+// difference per variation source.
+func (p *Path) stageDerivatives(st *Stage, sources []Source, slew float64, rising bool, step, slewStep float64, sims *int) (*stageDerivs, error) {
+	nom, err := p.evalStage(st, teta.RunSpec{}, slew, rising, false)
+	if err != nil {
+		return nil, fmt.Errorf("GA nominal: %w", err)
+	}
+	*sims++
+	// Slew derivatives (central difference).
+	ds := slew * slewStep
+	hi, err := p.evalStage(st, teta.RunSpec{}, slew+ds, rising, false)
+	if err != nil {
+		return nil, fmt.Errorf("GA slew+: %w", err)
+	}
+	lo, err := p.evalStage(st, teta.RunSpec{}, slew-ds, rising, false)
+	if err != nil {
+		return nil, fmt.Errorf("GA slew-: %w", err)
+	}
+	*sims += 2
+	out := &stageDerivs{
+		nom:    nom,
+		dPidS:  (hi.Cross50 - lo.Cross50) / (2 * ds),
+		dPsidS: (hi.Slew - lo.Slew) / (2 * ds),
+		dPidW:  make([]float64, len(sources)),
+		dPsidW: make([]float64, len(sources)),
+	}
+	for l, s := range sources {
+		h := s.Sigma * step
+		var rsp, rsm teta.RunSpec
+		s.Apply(&rsp, h)
+		s.Apply(&rsm, -h)
+		ph, err := p.evalStage(st, rsp, slew, rising, false)
+		if err != nil {
+			return nil, fmt.Errorf("GA %s+: %w", s.Name, err)
+		}
+		pl, err := p.evalStage(st, rsm, slew, rising, false)
+		if err != nil {
+			return nil, fmt.Errorf("GA %s-: %w", s.Name, err)
+		}
+		*sims += 2
+		out.dPidW[l] = (ph.Cross50 - pl.Cross50) / (2 * h)
+		out.dPsidW[l] = (ph.Slew - pl.Slew) / (2 * h)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcsim/internal/stat"
+)
+
+// MCConfig configures Monte-Carlo path-delay analysis (§4.3.1).
+type MCConfig struct {
+	N       int
+	Seed    int64
+	Sources []Source
+	// UseLHS selects Latin Hypercube sampling (the default and the
+	// paper's Example-2 plan); UseHalton selects the deterministic
+	// low-discrepancy Halton sequence instead; with both false, plain
+	// pseudo-random sampling is used.
+	UseLHS    bool
+	UseHalton bool
+	Parallel  bool
+	Direct    bool // exact per-sample re-reduction instead of the library
+}
+
+// MCResult holds the Monte-Carlo outcome.
+type MCResult struct {
+	Delays  []float64
+	Summary stat.Summary
+	Samples [][]float64
+	// TotalSC counts successive-chord iterations across all runs (a cost
+	// proxy that needs no wall clock).
+	TotalSC int
+}
+
+// Correlations returns the Spearman rank correlation between each source's
+// sampled values and the resulting delays — a cheap post-hoc sensitivity
+// screen complementing Gradient Analysis (it needs no extra simulations).
+func (r *MCResult) Correlations(sources []Source) map[string]float64 {
+	out := map[string]float64{}
+	if len(r.Delays) < 3 || len(r.Samples) != len(r.Delays) {
+		return out
+	}
+	dRank := ranks(r.Delays)
+	for j, s := range sources {
+		col := make([]float64, len(r.Samples))
+		for i, row := range r.Samples {
+			if j < len(row) {
+				col[i] = row[j]
+			}
+		}
+		out[s.Name] = pearson(ranks(col), dRank)
+	}
+	return out
+}
+
+// ranks returns average ranks (1-based) of the values.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value (n is a sample count, typically ≤ a few hundred).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && xs[idx[k]] < xs[idx[k-1]]; k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
+	out := make([]float64, n)
+	for r, i := range idx {
+		out[i] = float64(r + 1)
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
+}
+
+// MonteCarlo estimates the path-delay distribution by full stage-by-stage
+// simulation per sample. The variational interconnect library is
+// characterized once (at BuildChain time); each sample costs only a
+// library evaluation plus the SC transient — the framework's headline
+// efficiency claim.
+func (p *Path) MonteCarlo(cfg MCConfig) (*MCResult, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: MC needs N > 0")
+	}
+	for _, s := range cfg.Sources {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	rng := stat.NewRNG(cfg.Seed)
+	d := len(cfg.Sources)
+	var cube [][]float64
+	if d > 0 {
+		switch {
+		case cfg.UseHalton:
+			cube = stat.Halton(cfg.N, d)
+		case cfg.UseLHS:
+			cube = stat.LatinHypercube(rng, cfg.N, d)
+		default:
+			cube = stat.MonteCarloCube(rng, cfg.N, d)
+		}
+	} else {
+		cube = make([][]float64, cfg.N)
+		for i := range cube {
+			cube[i] = nil
+		}
+	}
+	dists := make([]stat.Dist, d)
+	for i, s := range cfg.Sources {
+		dists[i] = s.dist()
+	}
+	samples := cube
+	if d > 0 {
+		samples = stat.SamplePlan(cube, dists)
+	}
+	res := &MCResult{Samples: samples}
+	scCounts := make([]int, cfg.N)
+	delays, err := stat.MapSamples(samples, cfg.Parallel, func(i int, sv []float64) (float64, error) {
+		rs := BuildRunSpec(cfg.Sources, sv)
+		ev, err := p.Evaluate(rs, cfg.Direct)
+		if err != nil {
+			return 0, err
+		}
+		scCounts[i] = ev.SCIters
+		return ev.Delay, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Delays = delays
+	res.Summary = stat.Summarize(delays)
+	for _, c := range scCounts {
+		res.TotalSC += c
+	}
+	return res, nil
+}

@@ -1,0 +1,321 @@
+// Package core is the paper's primary contribution assembled into a
+// user-facing framework: statistical path-delay analysis over chains of
+// logic stages with variational interconnect, using the linear-centric
+// TETA engine per stage. It implements both evaluation strategies of §4.3
+// — full Monte-Carlo waveform propagation and Gradient Analysis (GA) with
+// first-order sensitivity propagation through the stage recurrence — plus
+// builders for the paper's benchmark path structure (cells separated by
+// RC interconnect with a configurable number of linear elements).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/interconnect"
+	"lcsim/internal/teta"
+)
+
+// signalInfo describes how a propagating signal routes through a cell when
+// driven at input pin 0: the logic values of the side inputs that make pin
+// 0 controlling, and whether the cell inverts.
+type signalInfo struct {
+	side   []int // logic value (0/1) for inputs 1..NIn-1
+	invert bool
+}
+
+var cellSignal = map[string]signalInfo{
+	"INV":   {nil, true},
+	"BUF":   {nil, false},
+	"NAND2": {[]int{1}, true},
+	"NAND3": {[]int{1, 1}, true},
+	"NOR2":  {[]int{0}, true},
+	"NOR3":  {[]int{0, 0}, true},
+	"AOI21": {[]int{1, 0}, true},  // out = !(a·b + c): b=1, c=0
+	"OAI21": {[]int{0, 1}, true},  // out = !((a+b)·c): b=0, c=1
+	"XOR2":  {[]int{0}, false},    // b=0 -> out = a
+	"MUX2":  {[]int{0, 0}, false}, // in1=x(held 0), sel=0 -> out = in0
+	// Derived tech-mapping composites (device.AND2/OR2).
+	"AND2": {[]int{1}, false},
+	"OR2":  {[]int{0}, false},
+}
+
+// SignalInfo reports how a propagating signal routes through a named cell
+// when driven at pin 0: the logic values of the remaining (side) inputs
+// and whether the cell inverts. ok is false for unknown cells.
+func SignalInfo(cell string) (side []int, invert bool, ok bool) {
+	info, ok := cellSignal[cell]
+	if !ok {
+		return nil, false, false
+	}
+	side = append([]int(nil), info.side...)
+	return side, info.invert, true
+}
+
+// Stage is one logic stage on a path: a characterized TETA stage whose
+// driver 0 carries the propagating signal into input pin 0, and whose
+// OutPort waveform feeds the next stage.
+type Stage struct {
+	Name    string
+	Cell    *device.Cell
+	TStage  *teta.Stage
+	OutPort int
+	Invert  bool
+	side    []circuit.Waveform // waveforms for side inputs of driver 0
+}
+
+// Path is an ordered chain of stages.
+type Path struct {
+	Tech   *device.ModelSet
+	Stages []*Stage
+	// InputSlew is the nominal slew of the saturated-ramp stimulus at the
+	// path's primary input.
+	InputSlew float64
+	// TStart is the 50% arrival time of the stimulus within each stage's
+	// local simulation window.
+	TStart float64
+}
+
+// StageDelayResult reports one stage evaluation.
+type StageDelayResult struct {
+	Cross50 float64 // output 50% crossing (local time)
+	Slew    float64 // output 0–100% slew estimate
+	SCIters int
+}
+
+// evalStageWave runs one stage for an arbitrary input waveform and
+// returns the measured output ramp abstraction plus the full output
+// waveform. rising reports the *input* edge direction.
+func (p *Path) evalStageWave(st *Stage, rs teta.RunSpec, in circuit.Waveform, rising bool, direct bool) (StageDelayResult, *circuit.PWL, error) {
+	vdd := p.Tech.VDD
+	ins := make([]circuit.Waveform, 1+len(st.side))
+	ins[0] = in
+	copy(ins[1:], st.side)
+	rs.Inputs = [][]circuit.Waveform{ins}
+	var (
+		res *teta.Result
+		err error
+	)
+	if direct {
+		res, err = st.TStage.RunDirect(rs)
+	} else {
+		res, err = st.TStage.Run(rs)
+	}
+	if err != nil {
+		return StageDelayResult{}, nil, fmt.Errorf("stage %s: %w", st.Name, err)
+	}
+	wf, err := res.PortWaveform(st.OutPort)
+	if err != nil {
+		return StageDelayResult{}, nil, err
+	}
+	outRising := rising != st.Invert
+	dir := -1
+	if outRising {
+		dir = +1
+	}
+	cross, slew := wf.MeasureSatRamp(0, vdd, dir)
+	if math.IsNaN(cross) || math.IsNaN(slew) || slew <= 0 {
+		return StageDelayResult{}, nil, fmt.Errorf("stage %s: output did not complete its transition (cross=%g slew=%g); increase TStop", st.Name, cross, slew)
+	}
+	return StageDelayResult{Cross50: cross, Slew: slew, SCIters: res.Stats.SCIterations}, wf, nil
+}
+
+// evalStage is the saturated-ramp variant used by Gradient Analysis (the
+// paper's §4.3.2 propagates the ramp abstraction; Monte-Carlo propagates
+// the full waveform).
+func (p *Path) evalStage(st *Stage, rs teta.RunSpec, slewIn float64, rising bool, direct bool) (StageDelayResult, error) {
+	vdd := p.Tech.VDD
+	var ramp circuit.SatRamp
+	if rising {
+		ramp = circuit.SatRamp{V0: 0, V1: vdd, Start: p.TStart - slewIn/2, Slew: slewIn}
+	} else {
+		ramp = circuit.SatRamp{V0: vdd, V1: 0, Start: p.TStart - slewIn/2, Slew: slewIn}
+	}
+	r, _, err := p.evalStageWave(st, rs, ramp, rising, direct)
+	return r, err
+}
+
+// shiftPWL translates a waveform in time by dt.
+func shiftPWL(w *circuit.PWL, dt float64) *circuit.PWL {
+	ts := make([]float64, len(w.T))
+	for i, t := range w.T {
+		ts[i] = t + dt
+	}
+	return &circuit.PWL{T: ts, V: w.V}
+}
+
+// PathEval is a full stage-by-stage path evaluation at one statistical
+// sample (§4.3.1's inner loop).
+type PathEval struct {
+	Delay       float64 // total 50%-to-50% path delay
+	StageDelays []float64
+	FinalSlew   float64
+	SCIters     int
+}
+
+// Evaluate propagates the stimulus through every stage at the given
+// sample. When direct is true the interconnect models are exactly
+// re-reduced per sample instead of using the variational library (the
+// accuracy reference).
+func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("core: empty path")
+	}
+	rising := true
+	vdd := p.Tech.VDD
+	// The primary input is a saturated ramp; between stages the full
+	// measured waveform is propagated (time-shifted so its 50% crossing
+	// arrives at TStart, compressed with the adaptive-breakpoint rule) —
+	// the fine-resolution propagation of §4.3.1.
+	var in circuit.Waveform = circuit.SatRamp{
+		V0: 0, V1: vdd, Start: p.TStart - p.InputSlew/2, Slew: p.InputSlew,
+	}
+	out := &PathEval{}
+	for _, st := range p.Stages {
+		r, wf, err := p.evalStageWave(st, rs, in, rising, direct)
+		if err != nil {
+			return nil, err
+		}
+		d := r.Cross50 - p.TStart
+		out.StageDelays = append(out.StageDelays, d)
+		out.Delay += d
+		out.SCIters += r.SCIters
+		in = shiftPWL(wf, p.TStart-r.Cross50).Compress(1e-4 * vdd)
+		rising = rising != st.Invert
+		out.FinalSlew = r.Slew
+	}
+	return out, nil
+}
+
+// ChainSpec describes a benchmark path: a sequence of library cells with
+// identical interconnect between consecutive stages (the paper's Example 3
+// workload).
+type ChainSpec struct {
+	Cells        []string // library cell names, signal through pin 0
+	Drive        float64
+	ElemsBetween int     // linear elements (R+C) between stages
+	WireLengthUm float64 // physical length of each inter-stage wire
+	Variational  bool    // attach wire-parameter sensitivities
+
+	Tech      *device.ModelSet
+	DT, TStop float64
+	Order     int
+	Chord     teta.ChordPolicy
+}
+
+// BuildChain characterizes a chain path. Each stage's load is an RC line
+// with the requested element count, terminated by the next cell's input
+// capacitance.
+func BuildChain(spec ChainSpec) (*Path, error) {
+	if spec.Tech == nil {
+		return nil, fmt.Errorf("core: ChainSpec.Tech is required")
+	}
+	if len(spec.Cells) == 0 {
+		return nil, fmt.Errorf("core: empty cell chain")
+	}
+	if spec.Drive <= 0 {
+		spec.Drive = 2
+	}
+	if spec.WireLengthUm <= 0 {
+		spec.WireLengthUm = 100
+	}
+	if spec.ElemsBetween <= 0 {
+		spec.ElemsBetween = 10
+	}
+	wire := wireTechFor(spec.Tech)
+	p := &Path{
+		Tech:      spec.Tech,
+		InputSlew: 0.1e-9 * spec.Tech.VDD / 1.8,
+		TStart:    0.3e-9,
+	}
+	for i, cellName := range spec.Cells {
+		cell, err := device.LookupCell(cellName)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := cellSignal[cellName]
+		if !ok {
+			return nil, fmt.Errorf("core: no signal routing info for cell %s", cellName)
+		}
+		load := circuit.New()
+		far := interconnect.AddLineElements(load, wire, "near", "w", spec.ElemsBetween, spec.WireLengthUm, spec.Variational)
+		load.MarkPort("near")
+		load.MarkPort(far)
+		// Receiver loading: the next cell's pin-0 input capacitance (the
+		// final stage sees a nominal reference load instead).
+		rcvCell := cell
+		if i+1 < len(spec.Cells) {
+			rcvCell, err = device.LookupCell(spec.Cells[i+1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		load.AddC("Crcv", far, "0", circuit.V(InputCap(rcvCell, spec.Drive, spec.Tech, 0)))
+		ts, err := teta.BuildStage(load, []teta.DriverSpec{{
+			Name: fmt.Sprintf("s%d_%s", i, cellName), Cell: cell, Drive: spec.Drive, Port: 0,
+		}}, teta.Config{
+			Tech: spec.Tech, DT: spec.DT, TStop: spec.TStop,
+			Order: spec.Order, Chord: spec.Chord,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %d (%s): %w", i, cellName, err)
+		}
+		side := make([]circuit.Waveform, len(info.side))
+		for k, lv := range info.side {
+			if lv == 0 {
+				side[k] = circuit.DC(0)
+			} else {
+				side[k] = circuit.DC(spec.Tech.VDD)
+			}
+		}
+		p.Stages = append(p.Stages, &Stage{
+			Name:    fmt.Sprintf("s%d_%s", i, cellName),
+			Cell:    cell,
+			TStage:  ts,
+			OutPort: 1,
+			Invert:  info.invert,
+			side:    side,
+		})
+	}
+	return p, nil
+}
+
+// wireTechFor picks the wire technology matching a device model set.
+func wireTechFor(tech *device.ModelSet) interconnect.WireTech {
+	if tech == device.Tech600 {
+		return interconnect.Wire600
+	}
+	return interconnect.Wire180
+}
+
+// InputCap estimates the input capacitance at one pin of a cell instance:
+// the gate capacitance of every transistor whose gate connects to that
+// pin.
+func InputCap(cell *device.Cell, drive float64, tech *device.ModelSet, pin int) float64 {
+	nl := circuit.New()
+	ins := make([]string, cell.NIn)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("in%d", i)
+	}
+	if err := cell.Instantiate(nl, "x", ins, "out", device.BuildOpts{Tech: tech, Drive: drive}); err != nil {
+		return 2e-15
+	}
+	pinID := nl.Node(ins[pin])
+	total := 0.0
+	for _, m := range nl.MOSFETs {
+		if m.G != pinID {
+			continue
+		}
+		mod, err := tech.Lookup(m.Model)
+		if err != nil {
+			continue
+		}
+		total += mod.GateCap(device.Geometry{W: m.W, L: m.L})
+	}
+	if total <= 0 {
+		total = 2e-15
+	}
+	return total
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcsim/internal/device"
+	"lcsim/internal/mat"
+)
+
+func TestWorstCaseSlowCorner(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 10, false)
+	sources := DeviceSources(device.Tech180, 0.33, 0.33)
+	wc, err := p.WorstCase(WorstCaseConfig{Sources: sources, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Delay <= wc.Nominal {
+		t.Fatalf("slow corner %g must exceed nominal %g", wc.Delay, wc.Nominal)
+	}
+	// Slow corner: VT up (+), DL down (−).
+	if wc.CornerSigns["VT"] <= 0 {
+		t.Fatalf("slow corner should raise VT: %+v", wc.CornerSigns)
+	}
+	if wc.CornerSigns["DL"] >= 0 {
+		t.Fatalf("slow corner should reduce channel shortening: %+v", wc.CornerSigns)
+	}
+	// Corner magnitudes sit on the ±3σ box.
+	for name, sgn := range wc.CornerSigns {
+		if !almostEq(math.Abs(sgn), 3, 1e-9) {
+			t.Fatalf("source %s not on the box: %g", name, sgn)
+		}
+	}
+	if wc.Simulations <= 0 {
+		t.Fatal("simulation accounting missing")
+	}
+}
+
+func TestWorstCaseFastCorner(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 10, false)
+	sources := DeviceSources(device.Tech180, 0.33, 0.33)
+	slow, err := p.WorstCase(WorstCaseConfig{Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := p.WorstCase(WorstCaseConfig{Sources: sources, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.Delay < slow.Nominal && slow.Nominal < slow.Delay) {
+		t.Fatalf("corner ordering violated: fast %g nominal %g slow %g", fast.Delay, slow.Nominal, slow.Delay)
+	}
+}
+
+func TestWorstCaseValidation(t *testing.T) {
+	p := quickChain(t, []string{"INV"}, 10, false)
+	if _, err := p.WorstCase(WorstCaseConfig{}); err == nil {
+		t.Fatal("no sources must error")
+	}
+	if _, err := p.WorstCase(WorstCaseConfig{Sources: []Source{{Name: "bad", Sigma: 1}}}); err == nil {
+		t.Fatal("invalid source must error")
+	}
+}
+
+func TestYield(t *testing.T) {
+	ga := &GAResult{Mean: 100e-12, Std: 10e-12}
+	mc := &MCResult{Delays: []float64{90e-12, 95e-12, 105e-12, 120e-12}}
+	y := Yield(100e-12, ga, mc)
+	if !almostEq(y.GAYield, 0.5, 1e-12) {
+		t.Fatalf("GA yield at mean = %g, want 0.5", y.GAYield)
+	}
+	if !almostEq(y.MCYield, 0.5, 1e-12) {
+		t.Fatalf("MC yield = %g, want 0.5", y.MCYield)
+	}
+	// 3σ budget.
+	y3 := Yield(130e-12, ga, mc)
+	if y3.GAYield < 0.99 {
+		t.Fatalf("GA yield at +3σ = %g", y3.GAYield)
+	}
+	if y3.MCYield != 1 {
+		t.Fatalf("MC yield = %g", y3.MCYield)
+	}
+	// Degenerate GA.
+	y0 := Yield(99e-12, &GAResult{Mean: 100e-12}, nil)
+	if y0.GAYield != 0 {
+		t.Fatalf("zero-σ GA yield below mean = %g", y0.GAYield)
+	}
+	if !math.IsNaN(y0.MCYield) {
+		t.Fatal("missing MC must be NaN")
+	}
+}
+
+func TestCorrelatedSourcesRoundTrip(t *testing.T) {
+	sources := []Source{
+		{Name: "DL", Sigma: 1, IsDL: true},
+		{Name: "VT", Sigma: 1, IsDVT: true},
+	}
+	// Strongly correlated: one dominant factor.
+	cov := mat.NewDenseData(2, 2, []float64{
+		1e-16, 0.9e-9 * 1e-8 * 0, // keep units small but nontrivial
+		0, 0,
+	})
+	cov.Set(0, 0, 1e-16)
+	cov.Set(1, 1, 1e-4)
+	cov.Set(0, 1, 0.9*1e-8*1e-2)
+	cov.Set(1, 0, 0.9*1e-8*1e-2)
+	cs, err := NewCorrelatedSources(sources, cov, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumFactors() < 1 || cs.NumFactors() > 2 {
+		t.Fatalf("factors = %d", cs.NumFactors())
+	}
+	z := make([]float64, cs.NumFactors())
+	z[0] = 1
+	rs, err := cs.RunSpecFromFactors(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DL == 0 && rs.DVT == 0 {
+		t.Fatal("factor must move at least one source")
+	}
+	if _, err := cs.RunSpecFromFactors(make([]float64, cs.NumFactors()+1)); err == nil {
+		t.Fatal("wrong score length must error")
+	}
+}
+
+func TestCorrelatedSourcesValidation(t *testing.T) {
+	sources := []Source{{Name: "DL", Sigma: 1, IsDL: true}}
+	if _, err := NewCorrelatedSources(sources, mat.NewDense(2, 2), 0.9); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := NewCorrelatedSources([]Source{{Name: "bad", Sigma: 1}}, mat.NewDense(1, 1), 0.9); err == nil {
+		t.Fatal("invalid source must error")
+	}
+}
+
+func TestMonteCarloCorrelated(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 10, false)
+	tech := device.Tech180
+	sources := []Source{
+		{Name: "DL", Sigma: 1, IsDL: true},
+		{Name: "VT", Sigma: 1, IsDVT: true},
+	}
+	sDL := 0.33 * tech.TolDL
+	sVT := 0.33 * tech.TolDVT
+	rho := 0.8
+	cov := mat.NewDenseData(2, 2, []float64{
+		sDL * sDL, rho * sDL * sVT,
+		rho * sDL * sVT, sVT * sVT,
+	})
+	cs, err := NewCorrelatedSources(sources, cov, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MonteCarloCorrelated(cs, 12, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N != 12 || res.Summary.Std <= 0 {
+		t.Fatalf("correlated MC summary: %+v", res.Summary)
+	}
+}
+
+func TestMonteCarloSkewSharedCancellation(t *testing.T) {
+	// Two identical branches with shared wire variations: the skew spread
+	// must be far below the RSS of the branch spreads.
+	a := quickChain(t, []string{"BUF", "BUF"}, 20, true)
+	b := quickChain(t, []string{"BUF", "BUF"}, 20, true)
+	pp := &PathPair{
+		A: a, B: b,
+		Shared:       WireSources(0.33),
+		IndependentA: DeviceSources(device.Tech180, 0.1, 0.1),
+		IndependentB: DeviceSources(device.Tech180, 0.1, 0.1),
+	}
+	res, err := pp.MonteCarloSkew(16, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skew.Std <= 0 {
+		t.Fatal("independent device variations must leave some skew spread")
+	}
+	if res.Skew.Std >= res.RSS {
+		t.Fatalf("shared wire variation must cancel in skew: σ_skew %g vs RSS %g", res.Skew.Std, res.RSS)
+	}
+	// Identical branches: mean skew near zero relative to arrival times.
+	if math.Abs(res.Skew.Mean) > 0.1*res.ArrivalA.Mean {
+		t.Fatalf("mean skew %g implausible for identical branches", res.Skew.Mean)
+	}
+}
+
+func TestMonteCarloSkewValidation(t *testing.T) {
+	a := quickChain(t, []string{"INV"}, 10, false)
+	pp := &PathPair{A: a}
+	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+		t.Fatal("missing branch must error")
+	}
+	pp.B = a
+	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+		t.Fatal("no sources must error")
+	}
+	pp.Shared = []Source{{Name: "bad", Sigma: 1}}
+	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+		t.Fatal("invalid source must error")
+	}
+}

@@ -1,0 +1,270 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"lcsim/internal/circuit"
+)
+
+// BuildOpts controls cell instantiation.
+type BuildOpts struct {
+	Tech    *ModelSet
+	Drive   float64 // width multiplier; 1 is standard drive
+	DL, DVT float64 // statistical deviations applied to every transistor
+	VddNode string  // defaults to "vdd"
+}
+
+func (o BuildOpts) vdd() string {
+	if o.VddNode == "" {
+		return "vdd"
+	}
+	return o.VddNode
+}
+
+func (o BuildOpts) drive() float64 {
+	if o.Drive <= 0 {
+		return 1
+	}
+	return o.Drive
+}
+
+// Cell is a static CMOS logic cell that can be expanded to transistors.
+type Cell struct {
+	Name string
+	NIn  int
+	// build receives the instance context; stack is the series-stack depth
+	// compensation already applied by the helpers.
+	build func(cb *cellBuilder)
+}
+
+// cellBuilder carries instantiation state through a cell's build function.
+type cellBuilder struct {
+	nl    *circuit.Netlist
+	name  string
+	in    []string
+	out   string
+	opts  BuildOpts
+	nmosW float64
+	pmosW float64
+	nDev  int
+	nNode int
+}
+
+// node returns a fresh internal node name.
+func (cb *cellBuilder) node() string {
+	cb.nNode++
+	return fmt.Sprintf("%s_x%d", cb.name, cb.nNode)
+}
+
+// nmos adds an NMOS transistor d-g-s with bulk at ground.
+func (cb *cellBuilder) nmos(d, g, s string, stack float64) {
+	cb.nDev++
+	cb.nl.AddMOSFET(circuit.MOSFET{
+		Name:  fmt.Sprintf("%s_mn%d", cb.name, cb.nDev),
+		Type:  circuit.NMOS,
+		Model: cb.opts.Tech.NMOS.Name,
+		W:     cb.nmosW * stack,
+		L:     cb.opts.Tech.MinL,
+		DL:    cb.opts.DL,
+		DVT:   cb.opts.DVT,
+	}, d, g, s, "0")
+}
+
+// pmos adds a PMOS transistor d-g-s with bulk at vdd.
+func (cb *cellBuilder) pmos(d, g, s string, stack float64) {
+	cb.nDev++
+	cb.nl.AddMOSFET(circuit.MOSFET{
+		Name:  fmt.Sprintf("%s_mp%d", cb.name, cb.nDev),
+		Type:  circuit.PMOS,
+		Model: cb.opts.Tech.PMOS.Name,
+		W:     cb.pmosW * stack,
+		L:     cb.opts.Tech.MinL,
+		DL:    cb.opts.DL,
+		DVT:   cb.opts.DVT,
+	}, d, g, s, cb.opts.vdd())
+}
+
+// inverter builds an inverter from `in` to `out` inside the instance.
+func (cb *cellBuilder) inverter(in, out string) {
+	cb.nmos(out, in, "0", 1)
+	cb.pmos(out, in, cb.opts.vdd(), 1)
+}
+
+// nand2 builds a 2-input NAND from a, b to out.
+func (cb *cellBuilder) nand2(a, b, out string) {
+	mid := cb.node()
+	cb.nmos(out, a, mid, 2)
+	cb.nmos(mid, b, "0", 2)
+	cb.pmos(out, a, cb.opts.vdd(), 1)
+	cb.pmos(out, b, cb.opts.vdd(), 1)
+}
+
+// Instantiate expands the cell into transistors. inputs must have exactly
+// cell.NIn entries.
+func (c *Cell) Instantiate(nl *circuit.Netlist, instName string, inputs []string, output string, opts BuildOpts) error {
+	if opts.Tech == nil {
+		return fmt.Errorf("device: %s %s: nil technology", c.Name, instName)
+	}
+	if len(inputs) != c.NIn {
+		return fmt.Errorf("device: %s %s: got %d inputs, want %d", c.Name, instName, len(inputs), c.NIn)
+	}
+	wn := 2 * opts.Tech.MinW * opts.drive()
+	cb := &cellBuilder{
+		nl: nl, name: instName, in: inputs, out: output, opts: opts,
+		nmosW: wn, pmosW: 2 * wn,
+	}
+	c.build(cb)
+	return nil
+}
+
+// The standard-cell library: the ten logic cells of the paper's
+// benchmark set (§5.3, "ten different logic cells are used").
+var (
+	INV = &Cell{Name: "INV", NIn: 1, build: func(cb *cellBuilder) {
+		cb.inverter(cb.in[0], cb.out)
+	}}
+	BUF = &Cell{Name: "BUF", NIn: 1, build: func(cb *cellBuilder) {
+		mid := cb.node()
+		cb.inverter(cb.in[0], mid)
+		cb.inverter(mid, cb.out)
+	}}
+	NAND2 = &Cell{Name: "NAND2", NIn: 2, build: func(cb *cellBuilder) {
+		cb.nand2(cb.in[0], cb.in[1], cb.out)
+	}}
+	NAND3 = &Cell{Name: "NAND3", NIn: 3, build: func(cb *cellBuilder) {
+		m1, m2 := cb.node(), cb.node()
+		cb.nmos(cb.out, cb.in[0], m1, 3)
+		cb.nmos(m1, cb.in[1], m2, 3)
+		cb.nmos(m2, cb.in[2], "0", 3)
+		for _, in := range cb.in {
+			cb.pmos(cb.out, in, cb.opts.vdd(), 1)
+		}
+	}}
+	NOR2 = &Cell{Name: "NOR2", NIn: 2, build: func(cb *cellBuilder) {
+		mid := cb.node()
+		cb.pmos(cb.out, cb.in[0], mid, 2)
+		cb.pmos(mid, cb.in[1], cb.opts.vdd(), 2)
+		cb.nmos(cb.out, cb.in[0], "0", 1)
+		cb.nmos(cb.out, cb.in[1], "0", 1)
+	}}
+	NOR3 = &Cell{Name: "NOR3", NIn: 3, build: func(cb *cellBuilder) {
+		m1, m2 := cb.node(), cb.node()
+		cb.pmos(cb.out, cb.in[0], m1, 3)
+		cb.pmos(m1, cb.in[1], m2, 3)
+		cb.pmos(m2, cb.in[2], cb.opts.vdd(), 3)
+		for _, in := range cb.in {
+			cb.nmos(cb.out, in, "0", 1)
+		}
+	}}
+	// AOI21: out = !(a·b + c)
+	AOI21 = &Cell{Name: "AOI21", NIn: 3, build: func(cb *cellBuilder) {
+		a, b, c := cb.in[0], cb.in[1], cb.in[2]
+		mid := cb.node()
+		cb.nmos(cb.out, a, mid, 2)
+		cb.nmos(mid, b, "0", 2)
+		cb.nmos(cb.out, c, "0", 1)
+		pm := cb.node()
+		cb.pmos(pm, a, cb.opts.vdd(), 1)
+		cb.pmos(pm, b, cb.opts.vdd(), 1)
+		cb.pmos(cb.out, c, pm, 2)
+	}}
+	// OAI21: out = !((a+b)·c)
+	OAI21 = &Cell{Name: "OAI21", NIn: 3, build: func(cb *cellBuilder) {
+		a, b, c := cb.in[0], cb.in[1], cb.in[2]
+		mid := cb.node()
+		cb.nmos(mid, a, "0", 2)
+		cb.nmos(mid, b, "0", 2)
+		cb.nmos(cb.out, c, mid, 2)
+		pm := cb.node()
+		cb.pmos(pm, a, cb.opts.vdd(), 2)
+		cb.pmos(cb.out, b, pm, 2)
+		cb.pmos(cb.out, c, cb.opts.vdd(), 1)
+	}}
+	// XOR2 built from four NAND2 structures (robust static CMOS form).
+	XOR2 = &Cell{Name: "XOR2", NIn: 2, build: func(cb *cellBuilder) {
+		a, b := cb.in[0], cb.in[1]
+		n1 := cb.node()
+		n2 := cb.node()
+		n3 := cb.node()
+		cb.nand2(a, b, n1)
+		cb.nand2(a, n1, n2)
+		cb.nand2(b, n1, n3)
+		cb.nand2(n2, n3, cb.out)
+	}}
+	// MUX2: out = in0 when sel=0, in1 when sel=1 (inputs: in0, in1, sel).
+	MUX2 = &Cell{Name: "MUX2", NIn: 3, build: func(cb *cellBuilder) {
+		a, b, s := cb.in[0], cb.in[1], cb.in[2]
+		sn := cb.node()
+		cb.inverter(s, sn)
+		// AOI22: y = !(a·sn + b·s), then invert.
+		y := cb.node()
+		m1, m2 := cb.node(), cb.node()
+		cb.nmos(y, a, m1, 2)
+		cb.nmos(m1, sn, "0", 2)
+		cb.nmos(y, b, m2, 2)
+		cb.nmos(m2, s, "0", 2)
+		p1 := cb.node()
+		cb.pmos(p1, a, cb.opts.vdd(), 2)
+		cb.pmos(p1, sn, cb.opts.vdd(), 2)
+		cb.pmos(y, b, p1, 2)
+		cb.pmos(y, s, p1, 2)
+		cb.inverter(y, cb.out)
+	}}
+)
+
+// AND2 and OR2 are derived composite cells (base gate plus output
+// inverter inside one stage) used when tech-mapping benchmark netlists, so
+// an AND in a .bench file stays a single timing stage as the paper counts
+// them. They are not part of the ten-cell base library.
+var (
+	AND2 = &Cell{Name: "AND2", NIn: 2, build: func(cb *cellBuilder) {
+		mid := cb.node()
+		cb.nand2(cb.in[0], cb.in[1], mid)
+		cb.inverter(mid, cb.out)
+	}}
+	OR2 = &Cell{Name: "OR2", NIn: 2, build: func(cb *cellBuilder) {
+		mid, pm := cb.node(), cb.node()
+		cb.pmos(mid, cb.in[0], pm, 2)
+		cb.pmos(pm, cb.in[1], cb.opts.vdd(), 2)
+		cb.nmos(mid, cb.in[0], "0", 1)
+		cb.nmos(mid, cb.in[1], "0", 1)
+		cb.inverter(mid, cb.out)
+	}}
+)
+
+// Library maps cell names to the ten base cells.
+var Library = map[string]*Cell{
+	"INV": INV, "BUF": BUF,
+	"NAND2": NAND2, "NAND3": NAND3,
+	"NOR2": NOR2, "NOR3": NOR3,
+	"AOI21": AOI21, "OAI21": OAI21,
+	"XOR2": XOR2, "MUX2": MUX2,
+}
+
+// derived maps the composite tech-mapping cells.
+var derived = map[string]*Cell{
+	"AND2": AND2, "OR2": OR2,
+}
+
+// CellNames returns the sorted base-library cell names.
+func CellNames() []string {
+	out := make([]string, 0, len(Library))
+	for n := range Library {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupCell resolves a cell by name, covering both the base library and
+// the derived composite cells.
+func LookupCell(name string) (*Cell, error) {
+	if c, ok := Library[name]; ok {
+		return c, nil
+	}
+	if c, ok := derived[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("device: unknown cell %q", name)
+}

@@ -1,0 +1,137 @@
+package device
+
+import (
+	"testing"
+
+	"lcsim/internal/circuit"
+)
+
+func TestLibraryHasTenCells(t *testing.T) {
+	if len(Library) != 10 {
+		t.Fatalf("library has %d cells, the paper uses ten", len(Library))
+	}
+	for _, name := range CellNames() {
+		c, err := LookupCell(name)
+		if err != nil || c.Name != name {
+			t.Fatalf("LookupCell(%s): %v", name, err)
+		}
+	}
+	if _, err := LookupCell("NAND9"); err == nil {
+		t.Fatal("unknown cell must error")
+	}
+}
+
+func instantiate(t *testing.T, c *Cell, nIn int) *circuit.Netlist {
+	t.Helper()
+	nl := circuit.New()
+	ins := make([]string, nIn)
+	for i := range ins {
+		ins[i] = string(rune('a' + i))
+	}
+	if err := c.Instantiate(nl, "u1", ins, "out", BuildOpts{Tech: Tech180}); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestCellTransistorCounts(t *testing.T) {
+	want := map[string]int{
+		"INV": 2, "BUF": 4,
+		"NAND2": 4, "NAND3": 6,
+		"NOR2": 4, "NOR3": 6,
+		"AOI21": 6, "OAI21": 6,
+		"XOR2": 16, "MUX2": 12,
+	}
+	for name, n := range want {
+		c := Library[name]
+		nl := instantiate(t, c, c.NIn)
+		if got := len(nl.MOSFETs); got != n {
+			t.Fatalf("%s: %d transistors, want %d", name, got, n)
+		}
+	}
+}
+
+func TestCellComplementaryStructure(t *testing.T) {
+	// Every cell must have equal numbers of NMOS and PMOS devices (static
+	// complementary CMOS).
+	for name, c := range Library {
+		nl := instantiate(t, c, c.NIn)
+		var nN, nP int
+		for _, m := range nl.MOSFETs {
+			if m.Type == circuit.NMOS {
+				nN++
+			} else {
+				nP++
+			}
+		}
+		if nN != nP {
+			t.Fatalf("%s: %d NMOS vs %d PMOS", name, nN, nP)
+		}
+	}
+}
+
+func TestCellBulkConnections(t *testing.T) {
+	for name, c := range Library {
+		nl := instantiate(t, c, c.NIn)
+		vdd := nl.Node("vdd")
+		for _, m := range nl.MOSFETs {
+			if m.Type == circuit.NMOS && m.B != circuit.Gnd {
+				t.Fatalf("%s: NMOS bulk not grounded", name)
+			}
+			if m.Type == circuit.PMOS && m.B != vdd {
+				t.Fatalf("%s: PMOS bulk not at vdd", name)
+			}
+		}
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	nl := circuit.New()
+	if err := INV.Instantiate(nl, "u1", []string{"a", "b"}, "out", BuildOpts{Tech: Tech180}); err == nil {
+		t.Fatal("wrong input count must error")
+	}
+	if err := INV.Instantiate(nl, "u1", []string{"a"}, "out", BuildOpts{}); err == nil {
+		t.Fatal("nil tech must error")
+	}
+}
+
+func TestDriveScalesWidth(t *testing.T) {
+	nl1 := circuit.New()
+	if err := INV.Instantiate(nl1, "u1", []string{"a"}, "out", BuildOpts{Tech: Tech180, Drive: 1}); err != nil {
+		t.Fatal(err)
+	}
+	nl4 := circuit.New()
+	if err := INV.Instantiate(nl4, "u1", []string{"a"}, "out", BuildOpts{Tech: Tech180, Drive: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if nl4.MOSFETs[0].W != 4*nl1.MOSFETs[0].W {
+		t.Fatal("Drive must scale transistor widths")
+	}
+}
+
+func TestDeviationsPropagate(t *testing.T) {
+	nl := circuit.New()
+	if err := NAND2.Instantiate(nl, "u1", []string{"a", "b"}, "out", BuildOpts{Tech: Tech180, DL: 1e-8, DVT: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nl.MOSFETs {
+		if m.DL != 1e-8 || m.DVT != 0.02 {
+			t.Fatal("DL/DVT must propagate to every transistor")
+		}
+	}
+}
+
+func TestDistinctInstancesDoNotCollide(t *testing.T) {
+	nl := circuit.New()
+	if err := NAND2.Instantiate(nl, "u1", []string{"a", "b"}, "x", BuildOpts{Tech: Tech180}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NAND2.Instantiate(nl, "u2", []string{"x", "b"}, "y", BuildOpts{Tech: Tech180}); err != nil {
+		t.Fatal(err)
+	}
+	// Internal nodes must be distinct between instances: total nodes =
+	// a, b, x, y, vdd + 2 internal mid nodes = 7.
+	if nl.NumNodes() != 7 {
+		t.Fatalf("nodes = %d, want 7", nl.NumNodes())
+	}
+}

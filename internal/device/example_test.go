@@ -1,0 +1,26 @@
+package device_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+)
+
+func ExampleCell_Instantiate() {
+	nl := circuit.New()
+	if err := device.NAND2.Instantiate(nl, "u1", []string{"a", "b"}, "y", device.BuildOpts{
+		Tech: device.Tech180, Drive: 2,
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(nl.MOSFETs), "transistors")
+	// Output: 4 transistors
+}
+
+func ExampleModel_Eval() {
+	m := device.Tech180.NMOS
+	op := m.Eval(1.8, 1.8, 0, device.Geometry{W: 1e-6, L: 0.18e-6})
+	fmt.Printf("saturated: Id > 0 (%v), gm > gds (%v)\n", op.ID > 0, op.Gm > op.Gds)
+	// Output: saturated: Id > 0 (true), gm > gds (true)
+}

@@ -1,0 +1,188 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcsim/internal/circuit"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func nmosGeom() Geometry {
+	return Geometry{W: 1e-6, L: Tech180.MinL}
+}
+
+func TestLevel1Regions(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	// Cutoff.
+	op := m.Eval(0.2, 1.0, 0, g)
+	if math.Abs(op.ID) > 1e-10 {
+		t.Fatalf("cutoff current = %g, want ~0", op.ID)
+	}
+	// Saturation: vgs=1.8, vds=1.8 > vov.
+	sat := m.Eval(1.8, 1.8, 0, g)
+	if sat.ID <= 0 {
+		t.Fatal("saturation current must be positive")
+	}
+	// Triode: small vds.
+	tri := m.Eval(1.8, 0.05, 0, g)
+	if tri.ID <= 0 || tri.ID >= sat.ID {
+		t.Fatalf("triode current %g must be between 0 and saturation %g", tri.ID, sat.ID)
+	}
+}
+
+func TestLevel1ContinuityAtBoundary(t *testing.T) {
+	// Current and gm must be continuous at the linear/saturation boundary.
+	m := Tech180.NMOS
+	g := nmosGeom()
+	vgs := 1.2
+	vth := m.VT0 // vbs = 0 -> no body effect shift
+	vdsat := vgs - vth
+	below := m.Eval(vgs, vdsat-1e-9, 0, g)
+	above := m.Eval(vgs, vdsat+1e-9, 0, g)
+	if !almostEq(below.ID, above.ID, 1e-9*math.Abs(above.ID)+1e-15) {
+		t.Fatalf("Id discontinuous at vdsat: %g vs %g", below.ID, above.ID)
+	}
+	if !almostEq(below.Gm, above.Gm, 1e-6*math.Abs(above.Gm)+1e-12) {
+		t.Fatalf("gm discontinuous at vdsat: %g vs %g", below.Gm, above.Gm)
+	}
+}
+
+func TestLevel1DerivativesMatchFiniteDifference(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	const h = 1e-7
+	for _, pt := range [][3]float64{
+		{1.8, 1.8, 0}, {1.2, 0.3, 0}, {0.9, 0.9, -0.3}, {1.5, 0.05, -0.1},
+	} {
+		vgs, vds, vbs := pt[0], pt[1], pt[2]
+		op := m.Eval(vgs, vds, vbs, g)
+		gmFD := (m.Eval(vgs+h, vds, vbs, g).ID - m.Eval(vgs-h, vds, vbs, g).ID) / (2 * h)
+		gdsFD := (m.Eval(vgs, vds+h, vbs, g).ID - m.Eval(vgs, vds-h, vbs, g).ID) / (2 * h)
+		gmbFD := (m.Eval(vgs, vds, vbs+h, g).ID - m.Eval(vgs, vds, vbs-h, g).ID) / (2 * h)
+		scale := math.Abs(op.ID) + 1e-9
+		if !almostEq(op.Gm, gmFD, 1e-4*scale/1e-3) {
+			t.Fatalf("gm mismatch at %v: analytic %g fd %g", pt, op.Gm, gmFD)
+		}
+		if !almostEq(op.Gds, gdsFD, 1e-4*scale/1e-3) {
+			t.Fatalf("gds mismatch at %v: analytic %g fd %g", pt, op.Gds, gdsFD)
+		}
+		if !almostEq(op.Gmb, gmbFD, 1e-4*scale/1e-3) {
+			t.Fatalf("gmb mismatch at %v: analytic %g fd %g", pt, op.Gmb, gmbFD)
+		}
+	}
+}
+
+func TestLevel1SymmetryProperty(t *testing.T) {
+	// Swapping drain and source negates the current: Id(vg,vd,vs) =
+	// -Id(vg,vs,vd) for a symmetric device at vbs tied to source/drain.
+	m := Tech180.NMOS
+	g := nmosGeom()
+	f := func(a, b, c uint8) bool {
+		vg := float64(a%19) * 0.1
+		vd := float64(b%19) * 0.1
+		vs := float64(c%19) * 0.1
+		fwd := m.Eval(vg-vs, vd-vs, -vs, g).ID
+		rev := m.Eval(vg-vd, vs-vd, -vd, g).ID
+		return almostEq(fwd, -rev, 1e-9*(math.Abs(fwd)+1e-12)+1e-18)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevel1MonotoneInVgs(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	prev := -1.0
+	for vgs := 0.0; vgs <= 1.8; vgs += 0.05 {
+		id := m.Eval(vgs, 1.8, 0, g).ID
+		if id < prev-1e-15 {
+			t.Fatalf("Id not monotone in vgs at %g", vgs)
+		}
+		prev = id
+	}
+}
+
+func TestDVTShiftsThreshold(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	gHi := g
+	gHi.DVT = 0.1
+	if m.Eval(0.9, 1.8, 0, gHi).ID >= m.Eval(0.9, 1.8, 0, g).ID {
+		t.Fatal("raising VT must reduce current")
+	}
+}
+
+func TestDLIncreasesCurrent(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	gShort := g
+	gShort.DL = 0.02e-6
+	if m.Eval(1.8, 1.8, 0, gShort).ID <= m.Eval(1.8, 1.8, 0, g).ID {
+		t.Fatal("channel-length reduction must increase current")
+	}
+}
+
+func TestLeffFloor(t *testing.T) {
+	m := Tech180.NMOS
+	g := Geometry{W: 1e-6, L: 0.02e-6, DL: 0.1e-6}
+	if m.Leff(g) < 1e-9 {
+		t.Fatal("Leff must be floored")
+	}
+}
+
+func TestEvalDevicePMOSReflection(t *testing.T) {
+	p := Tech180.PMOS
+	dev := circuit.MOSFET{Type: circuit.PMOS, W: 2e-6, L: 0.18e-6}
+	// PMOS with source at vdd, gate at 0, drain at 0: strongly on,
+	// current flows from source to drain, i.e. into the drain terminal is
+	// positive... by our convention ID is current into drain (negative for
+	// a conducting PMOS pulling the drain up).
+	op := EvalDevice(p, dev, 0, 0, 1.8, 1.8)
+	if op.ID >= 0 {
+		t.Fatalf("conducting PMOS: ID into drain = %g, want < 0", op.ID)
+	}
+	// Off PMOS (gate at vdd).
+	off := EvalDevice(p, dev, 0, 1.8, 1.8, 1.8)
+	if math.Abs(off.ID) > 1e-9 {
+		t.Fatalf("off PMOS leaks %g", off.ID)
+	}
+}
+
+func TestEvalDeviceNMOSDirection(t *testing.T) {
+	n := Tech180.NMOS
+	dev := circuit.MOSFET{Type: circuit.NMOS, W: 2e-6, L: 0.18e-6}
+	op := EvalDevice(n, dev, 1.8, 1.8, 0, 0)
+	if op.ID <= 0 {
+		t.Fatalf("conducting NMOS: ID into drain = %g, want > 0", op.ID)
+	}
+}
+
+func TestGateAndJunctionCaps(t *testing.T) {
+	m := Tech180.NMOS
+	g := nmosGeom()
+	cg := m.GateCap(g)
+	if cg <= 0 || cg > 1e-12 {
+		t.Fatalf("gate cap %g implausible for a 1 µm device", cg)
+	}
+	cj := m.JunctionCap(g)
+	if cj <= 0 || cj > 1e-12 {
+		t.Fatalf("junction cap %g implausible", cj)
+	}
+}
+
+func TestModelSetLookup(t *testing.T) {
+	if m, err := Tech180.Lookup("NMOS018"); err != nil || m != Tech180.NMOS {
+		t.Fatal("NMOS lookup failed")
+	}
+	if m, err := Tech180.Lookup("PMOS018"); err != nil || m != Tech180.PMOS {
+		t.Fatal("PMOS lookup failed")
+	}
+	if _, err := Tech180.Lookup("XMOS"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lcsim/internal/core"
+	"lcsim/internal/iscas"
+)
+
+func TestFrameworkOnlyBigRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	o := Ex3Options{}
+	o.setDefaults()
+	sources := core.DeviceSources(o.Tech, 0.33, 0.33)
+	for _, tc := range []struct {
+		b     iscas.Benchmark
+		elems int
+	}{
+		{iscas.Benchmark{Name: "s1423", Stages: 54, Seed: 1423}, 500},
+		{iscas.Benchmark{Name: "s9234", Stages: 58, Seed: 9234}, 10},
+		{iscas.Benchmark{Name: "s9234", Stages: 58, Seed: 9234}, 500},
+	} {
+		p, cells, err := buildBenchPath(o, tc.b, tc.elems, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 10
+		t0 := time.Now()
+		if _, err := p.MonteCarlo(core.MCConfig{N: n, Seed: 2, Sources: sources}); err != nil {
+			t.Fatal(err)
+		}
+		per := time.Since(t0).Seconds() / n
+		fmt.Printf("fw-only: %s stages=%d elems=%d %.4gs/sample\n", tc.b.Name, len(cells), tc.elems, per)
+	}
+}

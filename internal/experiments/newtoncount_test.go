@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"lcsim/internal/spice"
+)
+
+func TestNewtonIterationsDeepPath(t *testing.T) {
+	o := Ex3Options{}
+	o.setDefaults()
+	cells := make([]string, 20)
+	for i := range cells {
+		cells[i] = "NAND2"
+	}
+	nl, out, err := buildFullPathNetlist(o, cells, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := spice.NewSimulator(nl, spice.Options{DT: o.DT, TStop: 2e-9, Models: o.Tech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run([]string{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("20-stage path: steps=%d newton=%d (%.1f/step) dcIter=%d\n",
+		res.Stats.Steps, res.Stats.NewtonIterations,
+		float64(res.Stats.NewtonIterations)/float64(res.Stats.Steps), res.DCIter)
+	// The Newton count per step must stay small (the baseline's cost is
+	// the repeated factorization, not iteration churn).
+	if avg := float64(res.Stats.NewtonIterations) / float64(res.Stats.Steps); avg > 6 {
+		t.Fatalf("Newton averaging %.1f iterations/step", avg)
+	}
+	if res.DCIter > 500 {
+		t.Fatalf("DC took %d iterations", res.DCIter)
+	}
+}

@@ -1,0 +1,33 @@
+package iscas_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/iscas"
+)
+
+func ExampleCircuit_LongestPath() {
+	mapped, err := iscas.S27().TechMap()
+	if err != nil {
+		panic(err)
+	}
+	path, err := mapped.LongestPath()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(iscas.PathCells(path))
+	// Output: [INV AND2 OR2 NAND2 NOR2 NOR2]
+}
+
+func ExampleGenerate() {
+	c, err := iscas.Generate("demo", 9, 42)
+	if err != nil {
+		panic(err)
+	}
+	depth, err := c.Depth()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(depth)
+	// Output: 9
+}

@@ -1,0 +1,123 @@
+package iscas
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Benchmark describes one entry of the paper's benchmark set with its
+// published longest-path stage count (Tables 4 and 5 disagree on s1423 —
+// 54 vs 21 stages — so both variants are provided; see EXPERIMENTS.md).
+type Benchmark struct {
+	Name   string
+	Stages int
+	Seed   int64
+}
+
+// Table4Set reproduces the circuits and stage counts of Table 4. Note:
+// the real s27 netlist's longest latch-to-latch path has 6 gates under a
+// uniform unit-delay model; the paper reports 5 (it likely excludes the
+// leading inverter or uses non-uniform gate weights). We keep the honest
+// 6-gate path; see EXPERIMENTS.md.
+var Table4Set = []Benchmark{
+	{"s27", 6, 27},
+	{"s208", 9, 208},
+	{"s444", 12, 444},
+	{"s1423", 54, 1423},
+	{"s9234", 58, 9234},
+}
+
+// Table5Set reproduces the circuits and stage counts of Table 5 (s27: see
+// the Table4Set note).
+var Table5Set = []Benchmark{
+	{"s27", 6, 27},
+	{"s208", 9, 208},
+	{"s832", 9, 832},
+	{"s444", 12, 444},
+	{"s1423", 21, 14230},
+}
+
+// chainCellPool is the inverting/non-inverting gate mix the generator
+// draws from (weighted towards the simple gates real netlists are made
+// of). All are in the mapped-cell namespace already.
+var chainCellPool = []string{
+	"NAND2", "NOR2", "INV", "NAND2", "NOR2", "NAND3", "NOR3", "INV", "AOI21", "OAI21",
+}
+
+// Load returns a benchmark circuit: the real s27 netlist for "s27",
+// otherwise a deterministic structured circuit whose longest
+// latch-to-latch path has exactly b.Stages gates. The result is already
+// tech-mapped.
+func Load(b Benchmark) (*Circuit, error) {
+	if b.Name == "s27" {
+		return S27().TechMap()
+	}
+	return Generate(b.Name, b.Stages, b.Seed)
+}
+
+// Generate synthesizes a deterministic sequential circuit whose critical
+// latch-to-latch path has exactly `stages` gates, with shorter decoy
+// paths and realistic fan-in wiring. The output is in mapped-cell form.
+func Generate(name string, stages int, seed int64) (*Circuit, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("iscas: need at least one stage, got %d", stages)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{Name: name, mapped: true}
+	// Primary inputs provide non-controlling side signals.
+	nPI := 4 + stages/4
+	for i := 0; i < nPI; i++ {
+		c.PIs = append(c.PIs, fmt.Sprintf("pi%d", i))
+	}
+	pick := func() string { return c.PIs[rng.Intn(len(c.PIs))] }
+
+	addChain := func(prefix string, length int, fromQ, toD string) string {
+		prev := fromQ
+		for k := 0; k < length; k++ {
+			cell := chainCellPool[rng.Intn(len(chainCellPool))]
+			out := fmt.Sprintf("%s_n%d", prefix, k)
+			if k == length-1 && toD != "" {
+				out = toD
+			}
+			var ins []string
+			switch cell {
+			case "INV":
+				ins = []string{prev}
+			case "NAND2", "NOR2":
+				ins = []string{prev, pick()}
+			case "NAND3", "NOR3", "AOI21", "OAI21":
+				ins = []string{prev, pick(), pick()}
+			}
+			c.Gates = append(c.Gates, Gate{
+				Name:   fmt.Sprintf("%s_g%d", prefix, k),
+				Type:   cell,
+				Inputs: ins,
+				Output: out,
+			})
+			prev = out
+		}
+		return prev
+	}
+	// Critical path: DFF q0 -> chain -> DFF d0.
+	c.DFFs = append(c.DFFs, DFF{Name: "ff0", D: "d0", Q: "q0"})
+	addChain("main", stages, "q0", "d0")
+	// Decoy paths strictly shorter than the main chain.
+	nDecoys := 2 + stages/6
+	for di := 0; di < nDecoys; di++ {
+		l := 1 + rng.Intn(maxInt(1, stages-1))
+		q := fmt.Sprintf("q%d", di+1)
+		d := fmt.Sprintf("d%d", di+1)
+		c.DFFs = append(c.DFFs, DFF{Name: fmt.Sprintf("ff%d", di+1), D: d, Q: q})
+		addChain(fmt.Sprintf("dec%d", di), l, q, d)
+	}
+	// A primary output observing the main chain end.
+	c.POs = append(c.POs, "d0")
+	return c, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

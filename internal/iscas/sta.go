@@ -1,0 +1,166 @@
+package iscas
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PathGate is one gate on an extracted timing path plus the input pin the
+// propagating signal arrives on.
+type PathGate struct {
+	Gate      Gate
+	SignalPin int
+}
+
+// LongestPath runs a unit-delay static timing analysis over the
+// combinational logic (latch-to-latch: sources are primary inputs and DFF
+// Q pins; sinks are primary outputs and DFF D pins) and returns the
+// critical path in topological order. Ties break deterministically by
+// gate name.
+func (c *Circuit) LongestPath() ([]PathGate, error) {
+	// Net -> driving gate.
+	driver := map[string]int{}
+	for i, g := range c.Gates {
+		if _, dup := driver[g.Output]; dup {
+			return nil, fmt.Errorf("iscas: net %s has two drivers", g.Output)
+		}
+		driver[g.Output] = i
+	}
+	// Source nets (arrival 0).
+	isSource := map[string]bool{}
+	for _, pi := range c.PIs {
+		isSource[pi] = true
+	}
+	for _, d := range c.DFFs {
+		isSource[d.Q] = true
+	}
+	// Kahn topological order over gates.
+	indeg := make([]int, len(c.Gates))
+	fanout := make([][]int, len(c.Gates))
+	for i, g := range c.Gates {
+		for _, in := range g.Inputs {
+			if isSource[in] {
+				continue
+			}
+			di, ok := driver[in]
+			if !ok {
+				return nil, fmt.Errorf("iscas: gate %s input %s is undriven", g.Name, in)
+			}
+			indeg[i]++
+			fanout[di] = append(fanout[di], i)
+		}
+	}
+	queue := []int{}
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Slice(queue, func(a, b int) bool { return c.Gates[queue[a]].Name < c.Gates[queue[b]].Name })
+	var topo []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		topo = append(topo, i)
+		for _, j := range fanout[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(topo) != len(c.Gates) {
+		return nil, fmt.Errorf("iscas: combinational cycle detected (%d of %d gates ordered)", len(topo), len(c.Gates))
+	}
+	// Arrival times at gate outputs; predecessor bookkeeping.
+	arr := make([]int, len(c.Gates))
+	prevGate := make([]int, len(c.Gates)) // critical predecessor gate, -1 = source
+	prevPin := make([]int, len(c.Gates))
+	for _, i := range topo {
+		g := c.Gates[i]
+		assigned := false
+		best := -1
+		bestPin := 0
+		bestArr := 0
+		for pin, in := range g.Inputs {
+			a := 0
+			src := -1
+			if !isSource[in] {
+				src = driver[in]
+				a = arr[src]
+			}
+			better := a > bestArr
+			if assigned && a == bestArr && best >= 0 && src >= 0 && c.Gates[src].Name < c.Gates[best].Name {
+				better = true
+			}
+			if !assigned || better {
+				assigned = true
+				best = src
+				bestPin = pin
+				bestArr = a
+			}
+		}
+		arr[i] = bestArr + 1
+		prevGate[i] = best
+		prevPin[i] = bestPin
+	}
+	// Sink selection: latch-to-latch when the circuit is sequential (the
+	// paper extracts latch-to-latch paths), otherwise primary outputs.
+	isSink := map[string]bool{}
+	if len(c.DFFs) > 0 {
+		for _, d := range c.DFFs {
+			isSink[d.D] = true
+		}
+	} else {
+		for _, po := range c.POs {
+			isSink[po] = true
+		}
+	}
+	end := -1
+	for i, g := range c.Gates {
+		if !isSink[g.Output] {
+			continue
+		}
+		if end == -1 || arr[i] > arr[end] || (arr[i] == arr[end] && g.Name < c.Gates[end].Name) {
+			end = i
+		}
+	}
+	if end == -1 {
+		// Fall back: deepest gate anywhere.
+		for i := range c.Gates {
+			if end == -1 || arr[i] > arr[end] {
+				end = i
+			}
+		}
+	}
+	// Trace back.
+	var rev []PathGate
+	for i := end; i >= 0; {
+		rev = append(rev, PathGate{Gate: c.Gates[i], SignalPin: prevPin[i]})
+		i = prevGate[i]
+	}
+	path := make([]PathGate, len(rev))
+	for i := range rev {
+		path[len(rev)-1-i] = rev[i]
+	}
+	return path, nil
+}
+
+// PathCells converts an extracted path into device-cell names suitable
+// for core.BuildChain. The circuit must be tech-mapped first.
+func PathCells(path []PathGate) []string {
+	out := make([]string, len(path))
+	for i, pg := range path {
+		out[i] = pg.Gate.Type
+	}
+	return out
+}
+
+// Depth returns the unit-delay depth of the longest latch-to-latch path.
+func (c *Circuit) Depth() (int, error) {
+	p, err := c.LongestPath()
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}

@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot.
+var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric
+// positive-definite matrix (only the lower triangle is read). It is the
+// natural factorization for covariance matrices and for the passive
+// (definite) conductance/susceptance blocks of RC networks.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("mat: Cholesky requires a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// Solve solves A x = b via the two triangular solves.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows()
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky Solve rhs length %d != %d", len(b), n))
+	}
+	// L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Lᵀ x = y.
+	x := y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// MulVecL returns L·z — the standard device for drawing correlated normal
+// samples from a covariance factorization: x = mean + L·z with z standard
+// normal.
+func (c *Cholesky) MulVecL(z []float64) []float64 {
+	n := c.l.Rows()
+	if len(z) != n {
+		panic(fmt.Sprintf("mat: MulVecL length %d != %d", len(z), n))
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k <= i; k++ {
+			s += c.l.At(i, k) * z[k]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package mat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSPDDense(rng *rand.Rand, n int) *Dense {
+	b := randomDense(rng, n, n)
+	a := Mul(b.T(), b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 0.5)
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randSPDDense(rng, n)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := c.L()
+		llt := Mul(l, l.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(llt.At(i, j), a.At(i, j), 1e-8*(1+a.MaxAbs())) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 8
+	a := randSPDDense(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := c.Solve(b)
+	x2, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if !almostEq(x1[i], x2[i], 1e-9*(1+absf(x2[i]))) {
+			t.Fatalf("Cholesky vs LU at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("want ErrNotSPD, got %v", err)
+	}
+	if _, err := FactorCholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square must error")
+	}
+}
+
+func TestCholeskyCorrelatedSampling(t *testing.T) {
+	// x = L z has covariance A: check empirically.
+	rng := rand.New(rand.NewSource(4))
+	a := NewDenseData(2, 2, []float64{4, 1.2, 1.2, 1})
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var c00, c01, c11 float64
+	for i := 0; i < n; i++ {
+		z := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		x := c.MulVecL(z)
+		c00 += x[0] * x[0]
+		c01 += x[0] * x[1]
+		c11 += x[1] * x[1]
+	}
+	c00 /= n
+	c01 /= n
+	c11 /= n
+	if !almostEq(c00, 4, 0.15) || !almostEq(c01, 1.2, 0.1) || !almostEq(c11, 1, 0.05) {
+		t.Fatalf("empirical covariance [%g %g; %g %g]", c00, c01, c01, c11)
+	}
+}

@@ -1,0 +1,424 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Eigen holds the eigendecomposition of a real square (generally
+// nonsymmetric) matrix A: A = S diag(Values) S^{-1}. Complex eigenvalues
+// occur in conjugate pairs. Vectors (columns of S) are only computed when
+// requested.
+type Eigen struct {
+	Values  []complex128 // eigenvalues
+	Vectors *CDense      // right eigenvectors as columns (nil if not computed)
+}
+
+// maxHQRIterations bounds the Francis QR sweeps per eigenvalue.
+const maxHQRIterations = 60
+
+// ErrNoConvergence is returned when the QR iteration fails to converge.
+var ErrNoConvergence = errors.New("mat: eigenvalue iteration did not converge")
+
+// Eigenvalues computes the eigenvalues of a real square matrix using
+// balancing, elimination to Hessenberg form and the Francis double-shift
+// QR algorithm. The input is not modified.
+func Eigenvalues(a *Dense) ([]complex128, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Eigenvalues requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	if n == 0 {
+		return nil, nil
+	}
+	// Work in a 1-based (n+1)x(n+1) array so the classic algorithm
+	// (EISPACK/NR formulation) translates without index shifts.
+	w := make([][]float64, n+1)
+	for i := range w {
+		w[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w[i+1][j+1] = a.At(i, j)
+		}
+	}
+	balance(w, n)
+	elmhes(w, n)
+	// Clear the below-Hessenberg garbage left by elmhes (multipliers).
+	for i := 3; i <= n; i++ {
+		for j := 1; j <= i-2; j++ {
+			w[i][j] = 0
+		}
+	}
+	wr := make([]float64, n+1)
+	wi := make([]float64, n+1)
+	if err := hqr(w, n, wr, wi); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = complex(wr[i], wi[i])
+	}
+	sortEigenvalues(out)
+	return out, nil
+}
+
+// EigenDecompose computes eigenvalues and right eigenvectors of a real
+// square matrix. Eigenvectors are obtained by complex inverse iteration on
+// the original matrix and normalized to unit 2-norm.
+func EigenDecompose(a *Dense) (*Eigen, error) {
+	vals, err := Eigenvalues(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	vecs := NewCDense(n, n)
+	anorm := a.MaxAbs()
+	if anorm == 0 {
+		anorm = 1
+	}
+	for k := 0; k < n; k++ {
+		lam := vals[k]
+		// Conjugate partner of a pair already computed: just conjugate.
+		if k > 0 && vals[k] == cmplx.Conj(vals[k-1]) && imag(vals[k]) != 0 {
+			for i := 0; i < n; i++ {
+				vecs.Set(i, k, cmplx.Conj(vecs.At(i, k-1)))
+			}
+			continue
+		}
+		v, err := inverseIteration(a, lam, anorm)
+		if err != nil {
+			return nil, fmt.Errorf("mat: eigenvector for λ=%v: %w", lam, err)
+		}
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v[i])
+		}
+	}
+	return &Eigen{Values: vals, Vectors: vecs}, nil
+}
+
+// inverseIteration solves (A - λI)v = b iteratively for the eigenvector
+// associated with λ. The shift is perturbed slightly off the exact
+// eigenvalue so the factorization stays usable.
+func inverseIteration(a *Dense, lam complex128, anorm float64) ([]complex128, error) {
+	n := a.rows
+	eps := 1e-10 * anorm
+	if eps == 0 {
+		eps = 1e-300
+	}
+	shift := lam + complex(eps, eps/2)
+	m := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(a.At(i, j), 0))
+		}
+		m.Set(i, i, m.At(i, i)-shift)
+	}
+	f := factorCLUWithRepair(m, eps)
+	// Deterministic, non-degenerate start vector.
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(1+0.01*float64(i%7), 0.003*float64(i%5))
+	}
+	normalizeC(v)
+	for it := 0; it < 4; it++ {
+		v = f.Solve(v)
+		nr := normC(v)
+		if nr == 0 || math.IsInf(nr, 0) || math.IsNaN(nr) {
+			return nil, errors.New("inverse iteration produced a degenerate vector")
+		}
+		for i := range v {
+			v[i] /= complex(nr, 0)
+		}
+	}
+	// Fix the phase: make the largest-magnitude component real positive so
+	// results are deterministic across runs.
+	mi, mv := 0, 0.0
+	for i, c := range v {
+		if ab := cmplx.Abs(c); ab > mv {
+			mv = ab
+			mi = i
+		}
+	}
+	if mv > 0 {
+		ph := v[mi] / complex(mv, 0)
+		for i := range v {
+			v[i] /= ph
+		}
+	}
+	return v, nil
+}
+
+// sortEigenvalues orders eigenvalues by descending real part, then by
+// ascending imaginary part, keeping conjugate pairs adjacent
+// (negative-imaginary member first, mirroring hqr output conventions).
+func sortEigenvalues(v []complex128) {
+	// Simple insertion sort; n is small for reduced-order models.
+	less := func(a, b complex128) bool {
+		if real(a) != real(b) {
+			return real(a) > real(b)
+		}
+		return imag(a) < imag(b)
+	}
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && less(v[j], v[j-1]); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// balance scales a (1-based, n x n) matrix so row and column norms are
+// comparable, improving eigenvalue accuracy. Similarity transform only.
+func balance(a [][]float64, n int) {
+	const radix = 2.0
+	sqrdx := radix * radix
+	for {
+		done := true
+		for i := 1; i <= n; i++ {
+			r, c := 0.0, 0.0
+			for j := 1; j <= n; j++ {
+				if j != i {
+					c += math.Abs(a[j][i])
+					r += math.Abs(a[i][j])
+				}
+			}
+			if c != 0 && r != 0 {
+				g := r / radix
+				f := 1.0
+				s := c + r
+				for c < g {
+					f *= radix
+					c *= sqrdx
+				}
+				g = r * radix
+				for c > g {
+					f /= radix
+					c /= sqrdx
+				}
+				if (c+r)/f < 0.95*s {
+					done = false
+					g = 1.0 / f
+					for j := 1; j <= n; j++ {
+						a[i][j] *= g
+					}
+					for j := 1; j <= n; j++ {
+						a[j][i] *= f
+					}
+				}
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// elmhes reduces a (1-based, n x n) matrix to upper Hessenberg form by
+// stabilized elementary similarity transformations.
+func elmhes(a [][]float64, n int) {
+	for m := 2; m < n; m++ {
+		x := 0.0
+		i := m
+		for j := m; j <= n; j++ {
+			if math.Abs(a[j][m-1]) > math.Abs(x) {
+				x = a[j][m-1]
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j <= n; j++ {
+				a[i][j], a[m][j] = a[m][j], a[i][j]
+			}
+			for j := 1; j <= n; j++ {
+				a[j][i], a[j][m] = a[j][m], a[j][i]
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i <= n; i++ {
+				y := a[i][m-1]
+				if y != 0 {
+					y /= x
+					a[i][m-1] = y
+					for j := m; j <= n; j++ {
+						a[i][j] -= y * a[m][j]
+					}
+					for j := 1; j <= n; j++ {
+						a[j][m] += y * a[j][i]
+					}
+				}
+			}
+		}
+	}
+}
+
+func sign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// hqr finds all eigenvalues of a (1-based) upper Hessenberg matrix using
+// the Francis double-shift QR algorithm. The matrix is destroyed.
+func hqr(a [][]float64, n int, wr, wi []float64) error {
+	var p, q, r, s, t, u, v, w, x, y, z float64
+	anorm := 0.0
+	for i := 1; i <= n; i++ {
+		lo := i - 1
+		if lo < 1 {
+			lo = 1
+		}
+		for j := lo; j <= n; j++ {
+			anorm += math.Abs(a[i][j])
+		}
+	}
+	nn := n
+	t = 0.0
+	for nn >= 1 {
+		its := 0
+		var l int
+		for {
+			for l = nn; l >= 2; l-- {
+				s = math.Abs(a[l-1][l-1]) + math.Abs(a[l][l])
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a[l][l-1])+s == s {
+					a[l][l-1] = 0
+					break
+				}
+			}
+			x = a[nn][nn]
+			if l == nn {
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y = a[nn-1][nn-1]
+			w = a[nn][nn-1] * a[nn-1][nn]
+			if l == nn-1 {
+				p = 0.5 * (y - x)
+				q = p*p + w
+				z = math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					z = p + sign(z, p)
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1] = 0
+					wi[nn] = 0
+				} else {
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn] = z
+					wi[nn-1] = -z
+				}
+				nn -= 2
+				break
+			}
+			if its == maxHQRIterations {
+				return ErrNoConvergence
+			}
+			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+				// Exceptional shift.
+				t += x
+				for i := 1; i <= nn; i++ {
+					a[i][i] -= x
+				}
+				s = math.Abs(a[nn][nn-1]) + math.Abs(a[nn-1][nn-2])
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = a[m][m]
+				r = x - z
+				s = y - z
+				p = (r*s-w)/a[m+1][m] + a[m][m+1]
+				q = a[m+1][m+1] - z - r - s
+				r = a[m+2][m+1]
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u = math.Abs(a[m][m-1]) * (math.Abs(q) + math.Abs(r))
+				v = math.Abs(p) * (math.Abs(a[m-1][m-1]) + math.Abs(z) + math.Abs(a[m+1][m+1]))
+				if u+v == v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				a[i][i-2] = 0
+				if i != m+2 {
+					a[i][i-3] = 0
+				}
+			}
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = a[k][k-1]
+					q = a[k+1][k-1]
+					r = 0
+					if k != nn-1 {
+						r = a[k+2][k-1]
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s = sign(math.Sqrt(p*p+q*q+r*r), p)
+				if s != 0 {
+					if k == m {
+						if l != m {
+							a[k][k-1] = -a[k][k-1]
+						}
+					} else {
+						a[k][k-1] = -s * x
+					}
+					p += s
+					x = p / s
+					y = q / s
+					z = r / s
+					q /= p
+					r /= p
+					for j := k; j <= nn; j++ {
+						p = a[k][j] + q*a[k+1][j]
+						if k != nn-1 {
+							p += r * a[k+2][j]
+							a[k+2][j] -= p * z
+						}
+						a[k+1][j] -= p * y
+						a[k][j] -= p * x
+					}
+					mmin := nn
+					if k+3 < nn {
+						mmin = k + 3
+					}
+					for i := l; i <= mmin; i++ {
+						p = x*a[i][k] + y*a[i][k+1]
+						if k != nn-1 {
+							p += z * a[i][k+2]
+							a[i][k+2] -= p * r
+						}
+						a[i][k+1] -= p * q
+						a[i][k] -= p
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (exactly or
+// numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: PA = LU.
+type LU struct {
+	lu   *Dense // combined L (unit lower) and U
+	piv  []int  // row permutation
+	sign float64
+}
+
+// FactorLU computes the LU factorization of a square matrix with partial
+// (row) pivoting. The input is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: LU requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		mx := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > mx {
+				mx = v
+				p = i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.Row(k)
+			rp := lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Row(i)
+			rk := lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b for one right-hand side. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: LU Solve rhs length %d != %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L is unit lower triangular).
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// SolveMat solves A X = B column by column.
+func (f *LU) SolveMat(b *Dense) *Dense {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: LU SolveMat rhs rows %d != %d", b.rows, n))
+	}
+	out := NewDense(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		out.SetCol(j, f.Solve(b.Col(j)))
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	n := f.lu.rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns A^{-1} computed from the factorization.
+func (f *LU) Inverse() *Dense {
+	return f.SolveMat(Identity(f.lu.rows))
+}
+
+// Solve solves A x = b directly (factor + solve). A and b are not modified.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A^{-1} or an error if A is singular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}
+
+// ConditionEst returns a cheap estimate of the 1-norm condition number of A
+// using the factorization: ||A||₁ · ||A^{-1}||₁ with the inverse formed
+// explicitly. Intended for small (reduced-order) matrices.
+func ConditionEst(a *Dense) (float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	inv := f.Inverse()
+	return norm1(a) * norm1(inv), nil
+}
+
+func norm1(a *Dense) float64 {
+	mx := 0.0
+	for j := 0; j < a.cols; j++ {
+		s := 0.0
+		for i := 0; i < a.rows; i++ {
+			s += math.Abs(a.At(i, j))
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}

@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = QR with A m-by-n, m >= n.
+type QR struct {
+	qr   *Dense    // Householder vectors below the diagonal, R on and above
+	rdia []float64 // diagonal of R
+}
+
+// FactorQR computes the Householder QR factorization of a (m >= n).
+// The input is not modified.
+func FactorQR(a *Dense) *QR {
+	if a.rows < a.cols {
+		panic(fmt.Sprintf("mat: QR requires rows >= cols, got %dx%d", a.rows, a.cols))
+	}
+	m, n := a.rows, a.cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the transformation to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Add(i, j, s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}
+}
+
+// R returns the upper-triangular factor (n-by-n).
+func (f *QR) R() *Dense {
+	n := f.qr.cols
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, f.rdia[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin orthonormal factor (m-by-n).
+func (f *QR) Q() *Dense {
+	m, n := f.qr.rows, f.qr.cols
+	q := NewDense(m, n)
+	for k := n - 1; k >= 0; k-- {
+		for i := 0; i < m; i++ {
+			q.Set(i, k, 0)
+		}
+		q.Set(k, k, 1)
+		for j := k; j < n; j++ {
+			if f.qr.At(k, k) == 0 {
+				continue
+			}
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += f.qr.At(i, k) * q.At(i, j)
+			}
+			s = -s / f.qr.At(k, k)
+			for i := k; i < m; i++ {
+				q.Add(i, j, s*f.qr.At(i, k))
+			}
+		}
+	}
+	return q
+}
+
+// Rank returns the numerical rank of R given a drop tolerance relative to
+// the largest diagonal magnitude.
+func (f *QR) Rank(relTol float64) int {
+	mx := 0.0
+	for _, d := range f.rdia {
+		if a := math.Abs(d); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	r := 0
+	for _, d := range f.rdia {
+		if math.Abs(d) > relTol*mx {
+			r++
+		}
+	}
+	return r
+}
+
+// Orthonormalize returns an orthonormal basis for the column space of a,
+// dropping columns that are numerically dependent (relative tolerance tol).
+// It uses modified Gram-Schmidt with reorthogonalization, which is the
+// workhorse for Krylov-subspace construction in PRIMA.
+func Orthonormalize(a *Dense, tol float64) *Dense {
+	m := a.rows
+	var cols [][]float64
+	for j := 0; j < a.cols; j++ {
+		v := a.Col(j)
+		orig := Norm2(v)
+		if orig == 0 {
+			continue
+		}
+		// Two passes of MGS for numerical robustness.
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range cols {
+				AXPY(-Dot(q, v), q, v)
+			}
+		}
+		n := Norm2(v)
+		if n <= tol*orig {
+			continue // linearly dependent on previous columns
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		cols = append(cols, v)
+	}
+	out := NewDense(m, len(cols))
+	for j, c := range cols {
+		out.SetCol(j, c)
+	}
+	return out
+}

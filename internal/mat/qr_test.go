@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(5)
+		a := randomDense(rng, m, n)
+		qr := FactorQR(a)
+		q := qr.Q()
+		r := qr.R()
+		// Q R = A
+		prod := Mul(q, r)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(prod.At(i, j), a.At(i, j), 1e-10) {
+					return false
+				}
+			}
+		}
+		// QᵀQ = I
+		qtq := Mul(q.T(), q)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(qtq.At(i, j), want, 1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRank(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := NewDense(4, 3)
+	u := []float64{1, 2, 3, 4}
+	v := []float64{1, -1, 2}
+	for i := range u {
+		for j := range v {
+			a.Set(i, j, u[i]*v[j])
+		}
+	}
+	qr := FactorQR(a)
+	if got := qr.Rank(1e-10); got != 1 {
+		t.Fatalf("Rank = %d, want 1", got)
+	}
+}
+
+func TestQRPanicsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	FactorQR(NewDense(2, 3))
+}
+
+func TestOrthonormalizeBasic(t *testing.T) {
+	a := NewDenseData(3, 2, []float64{
+		1, 1,
+		0, 1,
+		0, 0,
+	})
+	q := Orthonormalize(a, 1e-12)
+	if q.Cols() != 2 {
+		t.Fatalf("cols = %d, want 2", q.Cols())
+	}
+	qtq := Mul(q.T(), q)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(qtq.At(i, j), want, 1e-12) {
+				t.Fatalf("not orthonormal at (%d,%d): %v", i, j, qtq.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOrthonormalizeDropsDependent(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		1, 2, 1,
+		0, 0, 1,
+		0, 0, 0,
+	})
+	// Column 1 = 2 * column 0, should be dropped.
+	q := Orthonormalize(a, 1e-10)
+	if q.Cols() != 2 {
+		t.Fatalf("cols = %d, want 2 (dependent column dropped)", q.Cols())
+	}
+}
+
+func TestOrthonormalizeSpanProperty(t *testing.T) {
+	// Every original column must lie in the span of the returned basis:
+	// ||a_j - Q Qᵀ a_j|| ≈ 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(6)
+		n := 1 + rng.Intn(m)
+		a := randomDense(rng, m, n)
+		q := Orthonormalize(a, 1e-12)
+		for j := 0; j < n; j++ {
+			col := a.Col(j)
+			proj := MulVec(q, MulTVec(q, col))
+			for i := range col {
+				if !almostEq(col[i], proj[i], 1e-8*(1+a.MaxAbs())) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLUSolve(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, complex(2, 0))
+	a.Set(1, 0, complex(0, -1))
+	a.Set(1, 1, complex(3, 2))
+	xTrue := []complex128{complex(1, -1), complex(0.5, 2)}
+	b := CMulVec(a, xTrue)
+	f, err := FactorCLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b)
+	for i := range x {
+		if d := x[i] - xTrue[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("CLU solve wrong at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCLUInverse(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, complex(2, 0))
+	a.Set(1, 1, complex(0, 2))
+	f, err := FactorCLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := f.Inverse()
+	if inv.At(0, 0) != complex(0.5, 0) {
+		t.Fatalf("inverse wrong: %v", inv.At(0, 0))
+	}
+	if inv.At(1, 1) != complex(0, -0.5) {
+		t.Fatalf("inverse wrong: %v", inv.At(1, 1))
+	}
+}
+
+func TestCLUSingular(t *testing.T) {
+	a := NewCDense(2, 2) // all zeros
+	if _, err := FactorCLU(a); err == nil {
+		t.Fatal("expected error for singular complex matrix")
+	}
+}

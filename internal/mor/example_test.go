@@ -1,0 +1,49 @@
+package mor_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/mor"
+)
+
+func ExampleReduce() {
+	// Reduce a 30-segment RC ladder to 1 port + 4 internal states and
+	// compare the port impedance at 100 MHz.
+	nl := circuit.New()
+	prev := "in"
+	for k := 1; k <= 30; k++ {
+		n := fmt.Sprintf("n%d", k)
+		nl.AddR(fmt.Sprintf("R%d", k), prev, n, circuit.V(10))
+		nl.AddC(fmt.Sprintf("C%d", k), n, "0", circuit.V(1e-12))
+		prev = n
+	}
+	nl.MarkPort("in")
+	sys, _ := circuit.AssembleVariational(nl)
+	sys.SetPortConductance([]float64{1e-3})
+	rom, _ := mor.Reduce(sys.GNominal(), sys.CNominal(), 1, 4)
+
+	s := complex(0, 2*3.141592653589793*1e8)
+	zFull, _ := mor.PortImpedance(sys.GNominal(), sys.CNominal(), 1, s)
+	zRom, _ := rom.ROMImpedance(s)
+	rel := cmplx.Abs(zRom.At(0, 0)-zFull.At(0, 0)) / cmplx.Abs(zFull.At(0, 0))
+	fmt.Printf("order %d, relative error < 1%%: %v\n", rom.Q(), rel < 0.01)
+	// Output: order 5, relative error < 1%: true
+}
+
+func ExampleBuildVariational() {
+	// Pre-characterize a variational library over one parameter and
+	// evaluate it at two corners — no re-reduction per sample.
+	nl := circuit.New()
+	nl.AddR("R1", "in", "n1", circuit.VarV(10, "p", 5.0))
+	nl.AddC("C1", "n1", "0", circuit.VarV(1e-12, "p", 1e-13))
+	nl.AddR("R2", "n1", "n2", circuit.V(10))
+	nl.AddC("C2", "n2", "0", circuit.V(1e-12))
+	nl.MarkPort("in")
+	sys, _ := circuit.AssembleVariational(nl)
+	sys.SetPortConductance([]float64{1e-2})
+	lib, _ := mor.BuildVariational(sys, mor.BuildOptions{Order: 2})
+	fmt.Println(lib.Params, lib.Np, lib.Q)
+	// Output: [p] 1 3
+}

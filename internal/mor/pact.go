@@ -1,0 +1,259 @@
+// Package mor implements projection-based model order reduction for the
+// linear interconnect: a PACT-style split congruence transformation that
+// preserves port voltages exactly and reduces the internal block with a
+// block-Krylov (PRIMA) basis, plus the paper's first-order variational
+// reduced-order models (eqs. 5, 8–11) whose loss of passivity is the
+// phenomenon the linear-centric framework works around.
+package mor
+
+import (
+	"fmt"
+
+	"lcsim/internal/mat"
+	"lcsim/internal/sparse"
+)
+
+// ROM is a reduced-order model in the paper's eq. (5) coordinates: the
+// first Np entries of the reduced state are the port voltages themselves,
+// the remaining Q-Np are reduced internal states.
+//
+//	Gr = | A  0 |      Cr = | B  R  |
+//	     | 0  D |           | Rᵀ E  |
+type ROM struct {
+	Np int
+	Gr *mat.Dense // Q×Q
+	Cr *mat.Dense // Q×Q
+}
+
+// Q returns the total reduced order (ports + internal states).
+func (r *ROM) Q() int { return r.Gr.Rows() }
+
+// projection holds the pieces of the split congruence T = U·diag(I, Xi):
+// columns of the full n×(Np+k) projection matrix, with the port block
+// fixed to the identity.
+type projection struct {
+	np int
+	m  *mat.Dense // ni×np block: M = Gii^{-1}·Gip (the congruence part)
+	xi *mat.Dense // ni×k orthonormal internal basis
+}
+
+// full materializes the n×(np+k) projection matrix T (ports first).
+func (p *projection) full(n int) *mat.Dense {
+	k := p.xi.Cols()
+	t := mat.NewDense(n, p.np+k)
+	for i := 0; i < p.np; i++ {
+		t.Set(i, i, 1)
+	}
+	ni := n - p.np
+	for i := 0; i < ni; i++ {
+		for j := 0; j < p.np; j++ {
+			t.Set(p.np+i, j, -p.m.At(i, j))
+		}
+		for j := 0; j < k; j++ {
+			t.Set(p.np+i, p.np+j, p.xi.At(i, j))
+		}
+	}
+	return t
+}
+
+// Reduce computes a nominal PACT/PRIMA reduced model of internal order k
+// for the pencil (G, C) whose first np indices are ports. G must be
+// nonsingular with a nonsingular internal block.
+func Reduce(g, c *sparse.CSC, np, k int) (*ROM, error) {
+	p, err := buildProjection(g, c, np, k)
+	if err != nil {
+		return nil, err
+	}
+	return assembleROM(g, c, np, p), nil
+}
+
+// buildProjection constructs the split-congruence + Krylov projection.
+func buildProjection(g, c *sparse.CSC, np, k int) (*projection, error) {
+	n := g.N()
+	if np <= 0 || np > n {
+		return nil, fmt.Errorf("mor: np = %d out of range for n = %d", np, n)
+	}
+	ni := n - np
+	if k > ni {
+		k = ni
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mor: no internal nodes to reduce (n=%d, np=%d)", n, np)
+	}
+	ports := make([]int, np)
+	for i := range ports {
+		ports[i] = i
+	}
+	internal := make([]int, ni)
+	for i := range internal {
+		internal[i] = np + i
+	}
+	gii := g.Extract(internal, internal)
+	gip := g.Extract(internal, ports)
+	cii := c.Extract(internal, internal)
+	cip := c.Extract(internal, ports)
+
+	giiLU, err := sparse.FactorLU(gii, 0.1)
+	if err != nil {
+		return nil, fmt.Errorf("mor: internal conductance block is singular: %w", err)
+	}
+	// M = Gii^{-1} Gip.
+	m := mat.NewDense(ni, np)
+	for j := 0; j < np; j++ {
+		col := make([]float64, gii.N())
+		for i := 0; i < ni; i++ {
+			col[i] = gip.At(i, j)
+		}
+		m.SetCol(j, giiLU.Solve(col)[:ni])
+	}
+	// Transformed internal-to-port coupling: C'ip = Cip − Cii·M.
+	cipT := mat.NewDense(ni, np)
+	for j := 0; j < np; j++ {
+		mj := padded(m.Col(j), cii.N())
+		cm := cii.MulVec(mj)
+		for i := 0; i < ni; i++ {
+			cipT.Set(i, j, cip.At(i, j)-cm[i])
+		}
+	}
+	// Block Krylov: W0 = Gii^{-1} C'ip, W_{j+1} = Gii^{-1} Cii W_j.
+	xi := mat.NewDense(ni, 0)
+	var xcols [][]float64
+	w := mat.NewDense(ni, np)
+	for j := 0; j < np; j++ {
+		w.SetCol(j, giiLU.Solve(padded(cipT.Col(j), gii.N()))[:ni])
+	}
+	for len(xcols) < k {
+		added := 0
+		for j := 0; j < w.Cols() && len(xcols) < k; j++ {
+			v := w.Col(j)
+			orig := mat.Norm2(v)
+			if orig == 0 {
+				continue
+			}
+			for pass := 0; pass < 2; pass++ {
+				for _, q := range xcols {
+					mat.AXPY(-mat.Dot(q, v), q, v)
+				}
+			}
+			nrm := mat.Norm2(v)
+			if nrm <= 1e-10*orig {
+				continue // deflated
+			}
+			for i := range v {
+				v[i] /= nrm
+			}
+			xcols = append(xcols, v)
+			added++
+		}
+		if added == 0 {
+			break // Krylov space exhausted
+		}
+		// Next block: W = Gii^{-1} Cii · (last added columns).
+		nw := mat.NewDense(ni, added)
+		for j := 0; j < added; j++ {
+			cw := cii.MulVec(padded(xcols[len(xcols)-added+j], cii.N()))
+			nw.SetCol(j, giiLU.Solve(cw)[:ni])
+		}
+		w = nw
+	}
+	if len(xcols) == 0 {
+		return nil, fmt.Errorf("mor: Krylov space is empty (no internal dynamics)")
+	}
+	xi = mat.NewDense(ni, len(xcols))
+	for j, col := range xcols {
+		xi.SetCol(j, col)
+	}
+	return &projection{np: np, m: m, xi: xi}, nil
+}
+
+// padded zero-extends v to length n (Extract stores rectangular blocks in
+// square CSC storage).
+func padded(v []float64, n int) []float64 {
+	if len(v) == n {
+		return v
+	}
+	out := make([]float64, n)
+	copy(out, v)
+	return out
+}
+
+// assembleROM computes Gr = TᵀGT, Cr = TᵀCT for the projection.
+func assembleROM(g, c *sparse.CSC, np int, p *projection) *ROM {
+	n := g.N()
+	t := p.full(n)
+	gr := congruenceSparse(g, t)
+	cr := congruenceSparse(c, t)
+	return &ROM{Np: np, Gr: gr, Cr: cr}
+}
+
+// congruenceSparse computes TᵀAT with A sparse and T dense.
+func congruenceSparse(a *sparse.CSC, t *mat.Dense) *mat.Dense {
+	n, q := t.Rows(), t.Cols()
+	at := mat.NewDense(n, q)
+	for j := 0; j < q; j++ {
+		at.SetCol(j, a.MulVec(t.Col(j)))
+	}
+	out := mat.NewDense(q, q)
+	for i := 0; i < q; i++ {
+		ti := t.Col(i)
+		for j := 0; j < q; j++ {
+			out.Set(i, j, mat.Dot(ti, at.Col(j)))
+		}
+	}
+	return out
+}
+
+// PortImpedance evaluates the exact multiport impedance Z(s) = P(G+sC)^{-1}Pᵀ
+// of a full system at a single complex frequency (P selects the first np
+// rows). Used to validate reduced models against the original network.
+func PortImpedance(g, c *sparse.CSC, np int, s complex128) (*mat.CDense, error) {
+	n := g.N()
+	a := mat.NewCDense(n, n)
+	g.ForEach(func(i, j int, v float64) { a.Set(i, j, a.At(i, j)+complex(v, 0)) })
+	c.ForEach(func(i, j int, v float64) { a.Set(i, j, a.At(i, j)+s*complex(v, 0)) })
+	f, err := mat.FactorCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	z := mat.NewCDense(np, np)
+	e := make([]complex128, n)
+	for j := 0; j < np; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		x := f.Solve(e)
+		for i := 0; i < np; i++ {
+			z.Set(i, j, x[i])
+		}
+	}
+	return z, nil
+}
+
+// ROMImpedance evaluates the reduced model's port impedance at s.
+func (r *ROM) ROMImpedance(s complex128) (*mat.CDense, error) {
+	q := r.Q()
+	a := mat.NewCDense(q, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			a.Set(i, j, complex(r.Gr.At(i, j), 0)+s*complex(r.Cr.At(i, j), 0))
+		}
+	}
+	f, err := mat.FactorCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	z := mat.NewCDense(r.Np, r.Np)
+	e := make([]complex128, q)
+	for j := 0; j < r.Np; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		x := f.Solve(e)
+		for i := 0; i < r.Np; i++ {
+			z.Set(i, j, x[i])
+		}
+	}
+	return z, nil
+}

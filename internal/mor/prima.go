@@ -1,0 +1,141 @@
+package mor
+
+import (
+	"fmt"
+
+	"lcsim/internal/mat"
+	"lcsim/internal/sparse"
+)
+
+// PRIMAROM is a classical PRIMA reduced model: a pure congruence
+// projection of the full pencil onto the block Krylov subspace
+// span{G⁻¹B, (G⁻¹C)G⁻¹B, …}. Unlike the split-congruence form (ROM), the
+// reduced state has no port-voltage identity block — the port map is the
+// projected incidence Br — but the model is provably passive for passive
+// (G, C), which is why the paper contrasts it with the variational forms
+// that lose this property.
+type PRIMAROM struct {
+	Np int
+	Gr *mat.Dense
+	Cr *mat.Dense
+	Br *mat.Dense // q×np projected port incidence
+}
+
+// Q returns the reduced order.
+func (r *PRIMAROM) Q() int { return r.Gr.Rows() }
+
+// ReducePRIMA computes a classical PRIMA reduction of order up to q for
+// the pencil (G, C) with the first np indices as ports.
+func ReducePRIMA(g, c *sparse.CSC, np, q int) (*PRIMAROM, error) {
+	n := g.N()
+	if np <= 0 || np > n {
+		return nil, fmt.Errorf("mor: np = %d out of range for n = %d", np, n)
+	}
+	if q < np {
+		q = np
+	}
+	lu, err := sparse.FactorLU(g, 0.1)
+	if err != nil {
+		return nil, fmt.Errorf("mor: PRIMA: G singular: %w", err)
+	}
+	// First block: G⁻¹B.
+	var xcols [][]float64
+	block := make([][]float64, np)
+	for j := 0; j < np; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		block[j] = lu.Solve(e)
+	}
+	appendBlock := func(cols [][]float64) int {
+		added := 0
+		for _, v := range cols {
+			orig := mat.Norm2(v)
+			if orig == 0 {
+				continue
+			}
+			for pass := 0; pass < 2; pass++ {
+				for _, qv := range xcols {
+					mat.AXPY(-mat.Dot(qv, v), qv, v)
+				}
+			}
+			nrm := mat.Norm2(v)
+			if nrm <= 1e-10*orig {
+				continue
+			}
+			for i := range v {
+				v[i] /= nrm
+			}
+			xcols = append(xcols, v)
+			added++
+			if len(xcols) >= q {
+				break
+			}
+		}
+		return added
+	}
+	appendBlock(block)
+	for len(xcols) < q {
+		last := xcols[len(xcols)-min(np, len(xcols)):]
+		next := make([][]float64, 0, len(last))
+		for _, v := range last {
+			next = append(next, lu.Solve(c.MulVec(v)))
+		}
+		if appendBlock(next) == 0 {
+			break // Krylov space exhausted
+		}
+	}
+	x := mat.NewDense(n, len(xcols))
+	for j, col := range xcols {
+		x.SetCol(j, col)
+	}
+	rom := &PRIMAROM{
+		Np: np,
+		Gr: congruenceSparse(g, x),
+		Cr: congruenceSparse(c, x),
+		Br: mat.NewDense(len(xcols), np),
+	}
+	for j := 0; j < np; j++ {
+		for i := 0; i < len(xcols); i++ {
+			rom.Br.Set(i, j, x.At(j, i)) // Br = XᵀB with B = [I_np; 0]
+		}
+	}
+	return rom, nil
+}
+
+// ROMImpedance evaluates Z(s) = Brᵀ(Gr + sCr)⁻¹Br.
+func (r *PRIMAROM) ROMImpedance(s complex128) (*mat.CDense, error) {
+	q := r.Q()
+	a := mat.NewCDense(q, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			a.Set(i, j, complex(r.Gr.At(i, j), 0)+s*complex(r.Cr.At(i, j), 0))
+		}
+	}
+	f, err := mat.FactorCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	z := mat.NewCDense(r.Np, r.Np)
+	rhs := make([]complex128, q)
+	for j := 0; j < r.Np; j++ {
+		for i := 0; i < q; i++ {
+			rhs[i] = complex(r.Br.At(i, j), 0)
+		}
+		x := f.Solve(rhs)
+		for i := 0; i < r.Np; i++ {
+			acc := complex(0, 0)
+			for k := 0; k < q; k++ {
+				acc += complex(r.Br.At(k, i), 0) * x[k]
+			}
+			z.Set(i, j, acc)
+		}
+	}
+	return z, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package mor
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/mat"
+	"lcsim/internal/sparse"
+)
+
+// VarROM is the pre-characterized variational reduced-order model library
+// of paper eqs. (8)–(11): nominal reduced matrices plus first-order
+// sensitivities with respect to each global parameter. Evaluating the
+// library at a parameter sample is a few small dense AXPYs — the whole
+// point of the method is that no re-reduction is needed per sample.
+//
+// Because the higher-order congruence terms are truncated (eq. 11), the
+// evaluated models are NOT guaranteed passive or stable; internal/poleres
+// implements the paper's stabilization.
+type VarROM struct {
+	Np, Q  int
+	Params []string
+
+	Gr0, Cr0 *mat.Dense
+	DGr, DCr map[string]*mat.Dense
+
+	// Characterization diagnostics.
+	Delta float64 // finite-difference step used for dX
+}
+
+// BuildOptions controls variational characterization.
+type BuildOptions struct {
+	Order int     // internal Krylov order k (reduced size = Np + k)
+	Delta float64 // parameter step for variational Krylov vectors (default 1e-3)
+}
+
+// BuildVariational pre-characterizes the variational ROM library for the
+// linear system. This is the paper's Table 1 "Construction" step: the
+// port conductances G_SC must already be folded into sys (SetPortConductance)
+// so the *effective* load is reduced.
+func BuildVariational(sys *circuit.VarSystem, opts BuildOptions) (*VarROM, error) {
+	if opts.Order < 1 {
+		return nil, fmt.Errorf("mor: order must be >= 1, got %d", opts.Order)
+	}
+	delta := opts.Delta
+	if delta <= 0 {
+		delta = 1e-3
+	}
+	g0 := sys.GNominal()
+	c0 := sys.CNominal()
+	p0, err := buildProjection(g0, c0, sys.Np, opts.Order)
+	if err != nil {
+		return nil, fmt.Errorf("mor: nominal projection: %w", err)
+	}
+	n := sys.N
+	t0 := p0.full(n)
+	q := t0.Cols()
+	out := &VarROM{
+		Np: sys.Np, Q: q, Params: sys.Params, Delta: delta,
+		Gr0: congruenceSparse(g0, t0),
+		Cr0: congruenceSparse(c0, t0),
+		DGr: map[string]*mat.Dense{},
+		DCr: map[string]*mat.Dense{},
+	}
+	for _, prm := range sys.Params {
+		w := map[string]float64{prm: delta}
+		gp := sys.GFirstOrder(w)
+		cp := sys.CFirstOrder(w)
+		pp, err := buildProjection(gp, cp, sys.Np, opts.Order)
+		if err != nil {
+			return nil, fmt.Errorf("mor: projection at %s+δ: %w", prm, err)
+		}
+		tp := pp.full(n)
+		if tp.Cols() != q {
+			return nil, fmt.Errorf("mor: Krylov dimension changed under %s perturbation (%d vs %d); reduce order or delta", prm, tp.Cols(), q)
+		}
+		alignColumns(t0, tp, sys.Np)
+		// dT = (T(δ) − T0)/δ — the variational Krylov vectors of eq. (8).
+		dt := mat.Diff(tp, t0).Scale(1 / delta)
+		// eq. (11): dGr = dTᵀG0T0 + T0ᵀdG·T0 + T0ᵀG0dT  (h.o.t. dropped).
+		dg := sys.DG[prm]
+		dc := sys.DC[prm]
+		out.DGr[prm] = firstOrderReduced(g0, dg, t0, dt)
+		out.DCr[prm] = firstOrderReduced(c0, dc, t0, dt)
+	}
+	return out, nil
+}
+
+// firstOrderReduced computes dTᵀ·A0·T0 + T0ᵀ·dA·T0 + T0ᵀ·A0·dT.
+func firstOrderReduced(a0, da *sparse.CSC, t0, dt *mat.Dense) *mat.Dense {
+	term1 := crossCongruence(a0, dt, t0) // dTᵀ A0 T0
+	term2 := congruenceSparse(da, t0)    // T0ᵀ dA T0
+	term3 := crossCongruence(a0, t0, dt) // (T0ᵀ A0 dT) = term1ᵀ only when A0 symmetric
+	return term1.AddScaled(1, term2).AddScaled(1, term3)
+}
+
+// crossCongruence computes XᵀAY with A sparse.
+func crossCongruence(a *sparse.CSC, x, y *mat.Dense) *mat.Dense {
+	qx, qy := x.Cols(), y.Cols()
+	out := mat.NewDense(qx, qy)
+	for j := 0; j < qy; j++ {
+		ay := a.MulVec(y.Col(j))
+		for i := 0; i < qx; i++ {
+			out.Set(i, j, mat.Dot(x.Col(i), ay))
+		}
+	}
+	return out
+}
+
+// alignColumns flips the sign of tp's internal-basis columns whose
+// orientation disagrees with t0 (the Krylov orthonormalization determines
+// columns only up to sign; continuity in δ requires alignment).
+func alignColumns(t0, tp *mat.Dense, np int) {
+	n := t0.Rows()
+	for j := np; j < t0.Cols(); j++ {
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += t0.At(i, j) * tp.At(i, j)
+		}
+		if dot < 0 {
+			for i := 0; i < n; i++ {
+				tp.Set(i, j, -tp.At(i, j))
+			}
+		}
+	}
+}
+
+// At evaluates the library at a parameter sample (Table 1 "Evaluation"
+// step 1), returning the first-order reduced model.
+func (v *VarROM) At(w map[string]float64) *ROM {
+	gr := v.Gr0.Clone()
+	cr := v.Cr0.Clone()
+	for _, p := range v.Params {
+		if wv := w[p]; wv != 0 {
+			gr.AddScaled(wv, v.DGr[p])
+			cr.AddScaled(wv, v.DCr[p])
+		}
+	}
+	return &ROM{Np: v.Np, Gr: gr, Cr: cr}
+}
+
+// Nominal returns the nominal reduced model.
+func (v *VarROM) Nominal() *ROM {
+	return &ROM{Np: v.Np, Gr: v.Gr0.Clone(), Cr: v.Cr0.Clone()}
+}

@@ -1,0 +1,154 @@
+package poleres
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"lcsim/internal/mat"
+)
+
+// Convolver evaluates the time-domain port voltages of a pole/residue
+// macromodel driven by piecewise-linear port currents, using exact
+// recursive convolution per pole:
+//
+//	v(t+h) = Hist(t) + Zeff·i(t+h)
+//
+// where Zeff is constant for a fixed step h. This linear splitting is what
+// lets TETA's Successive-Chords iteration solve each timestep with one
+// small pre-factored system.
+type Convolver struct {
+	m *Macromodel
+	h float64
+
+	exp []complex128 // e^{p·h} per pole
+	c0  []complex128 // weight of i(t) in the state update
+	c1  []complex128 // weight of i(t+h)
+
+	states [][]complex128 // per pole, per port
+	iPrev  []float64
+
+	zeff *mat.Dense
+}
+
+// NewConvolver prepares recursive-convolution evaluation with a fixed
+// timestep h. The macromodel must be stable (call Stabilize first).
+func NewConvolver(m *Macromodel, h float64) (*Convolver, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("poleres: timestep must be positive, got %g", h)
+	}
+	if !m.IsStable() {
+		return nil, fmt.Errorf("poleres: macromodel has %d unstable poles; stabilize before simulation", len(m.UnstablePoles()))
+	}
+	c := &Convolver{m: m, h: h, iPrev: make([]float64, m.Np)}
+	for _, p := range m.Poles {
+		e := cmplx.Exp(p * complex(h, 0))
+		// ∫₀ʰ e^{p(h−τ)}·i(τ) dτ with linear i: i0·(a−b) + i1·b,
+		// a = (e−1)/p, b = (e−1)/(p²h) − 1/p.
+		a := (e - 1) / p
+		b := (e-1)/(p*p*complex(h, 0)) - 1/p
+		c.exp = append(c.exp, e)
+		c.c0 = append(c.c0, a-b)
+		c.c1 = append(c.c1, b)
+		c.states = append(c.states, make([]complex128, m.Np))
+	}
+	// Zeff = D0 + Σ_k Res_k·c1_k (real by conjugate symmetry).
+	c.zeff = m.D0.Clone()
+	for k, r := range m.Res {
+		for i := 0; i < m.Np; i++ {
+			for j := 0; j < m.Np; j++ {
+				c.zeff.Add(i, j, real(r.At(i, j)*c.c1[k]))
+			}
+		}
+	}
+	return c, nil
+}
+
+// EffZ returns the Np×Np effective impedance dv(t+h)/di(t+h).
+func (c *Convolver) EffZ() *mat.Dense { return c.zeff.Clone() }
+
+// History returns the history vector Hist(t) for the pending step: the
+// port voltages that would appear at t+h if i(t+h) were zero.
+func (c *Convolver) History() []float64 {
+	hist := make([]float64, c.m.Np)
+	for k, r := range c.m.Res {
+		ek := c.exp[k]
+		c0 := c.c0[k]
+		for i := 0; i < c.m.Np; i++ {
+			acc := ek * c.states[k][i]
+			for j := 0; j < c.m.Np; j++ {
+				acc += r.At(i, j) * c0 * complex(c.iPrev[j], 0)
+			}
+			hist[i] += real(acc)
+		}
+	}
+	return hist
+}
+
+// Advance commits the step with final port currents i1 and returns the
+// port voltages at t+h.
+func (c *Convolver) Advance(i1 []float64) []float64 {
+	if len(i1) != c.m.Np {
+		panic(fmt.Sprintf("poleres: Advance got %d currents for %d ports", len(i1), c.m.Np))
+	}
+	v := make([]float64, c.m.Np)
+	for k, r := range c.m.Res {
+		ek, c0, c1 := c.exp[k], c.c0[k], c.c1[k]
+		for i := 0; i < c.m.Np; i++ {
+			x := ek * c.states[k][i]
+			for j := 0; j < c.m.Np; j++ {
+				x += r.At(i, j) * (c0*complex(c.iPrev[j], 0) + c1*complex(i1[j], 0))
+			}
+			c.states[k][i] = x
+			v[i] += real(x)
+		}
+	}
+	for i := 0; i < c.m.Np; i++ {
+		for j := 0; j < c.m.Np; j++ {
+			v[i] += c.m.D0.At(i, j) * i1[j]
+		}
+	}
+	copy(c.iPrev, i1)
+	return v
+}
+
+// SetInitialCurrent sets i(0) for the first interval (the convolver
+// otherwise assumes the port currents ramp up from zero over the first
+// step).
+func (c *Convolver) SetInitialCurrent(i0 []float64) {
+	if len(i0) != c.m.Np {
+		panic(fmt.Sprintf("poleres: SetInitialCurrent got %d currents for %d ports", len(i0), c.m.Np))
+	}
+	copy(c.iPrev, i0)
+}
+
+// InitDC presets the convolution states to the steady-state response of
+// constant port currents idc (x_k = −R_k·idc/p_k), so the transient
+// starts from the DC operating point rather than a relaxed network.
+func (c *Convolver) InitDC(idc []float64) {
+	if len(idc) != c.m.Np {
+		panic(fmt.Sprintf("poleres: InitDC got %d currents for %d ports", len(idc), c.m.Np))
+	}
+	for k, r := range c.m.Res {
+		p := c.m.Poles[k]
+		for i := 0; i < c.m.Np; i++ {
+			acc := complex(0, 0)
+			for j := 0; j < c.m.Np; j++ {
+				acc += r.At(i, j) * complex(idc[j], 0)
+			}
+			c.states[k][i] = -acc / p
+		}
+	}
+	copy(c.iPrev, idc)
+}
+
+// Reset clears the convolution history.
+func (c *Convolver) Reset() {
+	for k := range c.states {
+		for i := range c.states[k] {
+			c.states[k][i] = 0
+		}
+	}
+	for i := range c.iPrev {
+		c.iPrev[i] = 0
+	}
+}

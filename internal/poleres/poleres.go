@@ -1,0 +1,312 @@
+// Package poleres converts reduced-order models to multiport pole/residue
+// form (paper eqs. 13–20), applies the practical two-step stabilization —
+// drop right-half-plane poles, rescale surviving residues by a common
+// factor β to restore the DC behaviour (eqs. 21–23) — and evaluates the
+// stabilized macromodel in the time domain by recursive convolution, the
+// load representation TETA simulates against.
+package poleres
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"lcsim/internal/mat"
+	"lcsim/internal/mor"
+)
+
+// Macromodel is a multiport impedance in pole/residue form:
+//
+//	Z(s) = D0 + Σ_k Res[k] / (s − Poles[k])
+//
+// Complex poles appear with their conjugates so Z(s̄) = conj(Z(s)) and
+// time-domain responses are real. D0 collects the direct (resistive)
+// modes with zero time constant.
+type Macromodel struct {
+	Np    int
+	D0    *mat.Dense
+	Poles []complex128
+	Res   []*mat.CDense // Res[k] is Np×Np, aligned with Poles[k]
+}
+
+// Extract computes the pole/residue form of a reduced model: it
+// eigendecomposes T = −Gr⁻¹Cr (eq. 16) and assembles residues from the
+// eigenvector rows/columns (eqs. 19–20).
+func Extract(rom *mor.ROM) (*Macromodel, error) {
+	q := rom.Q()
+	np := rom.Np
+	grLU, err := mat.FactorLU(rom.Gr)
+	if err != nil {
+		return nil, fmt.Errorf("poleres: Gr is singular: %w", err)
+	}
+	if cond, err := mat.ConditionEst(rom.Gr); err != nil || cond > 1e14 {
+		return nil, fmt.Errorf("poleres: Gr is numerically singular (cond ≈ %.2g) — the load has no DC path to ground; fold a port conductance in before reduction", cond)
+	}
+	grInv := grLU.Inverse()
+	t := grLU.SolveMat(rom.Cr).Scale(-1) // T = −Gr⁻¹Cr
+	ed, err := mat.EigenDecompose(t)
+	if err != nil {
+		return nil, fmt.Errorf("poleres: eigendecomposition of T failed: %w", err)
+	}
+	s := ed.Vectors
+	sLU, err := mat.FactorCLU(s)
+	if err != nil {
+		return nil, fmt.Errorf("poleres: eigenvector matrix is singular (defective T): %w", err)
+	}
+	// ν = S⁻¹·Gr⁻¹ (eq. 19): columns of Gr⁻¹ solved through S.
+	nu := mat.NewCDense(q, q)
+	col := make([]complex128, q)
+	for j := 0; j < q; j++ {
+		for i := 0; i < q; i++ {
+			col[i] = complex(grInv.At(i, j), 0)
+		}
+		x := sLU.Solve(col)
+		for i := 0; i < q; i++ {
+			nu.Set(i, j, x[i])
+		}
+	}
+	m := &Macromodel{Np: np, D0: mat.NewDense(np, np)}
+	// Scale separating "zero" eigenvalues (pure resistive modes) from
+	// dynamic ones.
+	lamMax := 0.0
+	for _, l := range ed.Values {
+		if a := cmplx.Abs(l); a > lamMax {
+			lamMax = a
+		}
+	}
+	tiny := 1e-12 * lamMax
+	for k := 0; k < q; k++ {
+		lam := ed.Values[k]
+		// Rank-one term μ_k ν_k: μ_ik = S[i,k], ν_kj = nu[k,j].
+		if cmplx.Abs(lam) <= tiny {
+			// 1/(1−sλ) → 1: contributes a constant (resistive) term.
+			for i := 0; i < np; i++ {
+				for j := 0; j < np; j++ {
+					m.D0.Add(i, j, real(s.At(i, k)*nu.At(k, j)))
+				}
+			}
+			continue
+		}
+		pole := 1 / lam
+		res := mat.NewCDense(np, np)
+		for i := 0; i < np; i++ {
+			for j := 0; j < np; j++ {
+				// μν/(1−sλ) = [−μν/λ]/(s − 1/λ).
+				res.Set(i, j, -s.At(i, k)*nu.At(k, j)/lam)
+			}
+		}
+		m.Poles = append(m.Poles, pole)
+		m.Res = append(m.Res, res)
+	}
+	return m, nil
+}
+
+// Z evaluates the macromodel impedance at complex frequency s.
+func (m *Macromodel) Z(s complex128) *mat.CDense {
+	out := mat.NewCDense(m.Np, m.Np)
+	for i := 0; i < m.Np; i++ {
+		for j := 0; j < m.Np; j++ {
+			out.Set(i, j, complex(m.D0.At(i, j), 0))
+		}
+	}
+	for k, p := range m.Poles {
+		f := 1 / (s - p)
+		r := m.Res[k]
+		for i := 0; i < m.Np; i++ {
+			for j := 0; j < m.Np; j++ {
+				out.Set(i, j, out.At(i, j)+r.At(i, j)*f)
+			}
+		}
+	}
+	return out
+}
+
+// DCZ returns Z(0) = D0 − Σ Res/Poles as a real matrix (imaginary parts
+// cancel across conjugate pairs).
+func (m *Macromodel) DCZ() *mat.Dense {
+	z := m.Z(0)
+	out := mat.NewDense(m.Np, m.Np)
+	for i := 0; i < m.Np; i++ {
+		for j := 0; j < m.Np; j++ {
+			out.Set(i, j, real(z.At(i, j)))
+		}
+	}
+	return out
+}
+
+// UnstablePoles returns the right-half-plane poles (Re > 0), the quantity
+// tabulated in the paper's Table 3.
+func (m *Macromodel) UnstablePoles() []complex128 {
+	var out []complex128
+	for _, p := range m.Poles {
+		if real(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsStable reports whether all poles lie in the closed left half plane.
+func (m *Macromodel) IsStable() bool { return len(m.UnstablePoles()) == 0 }
+
+// Dominant returns a reduced copy keeping the `keep` poles with the
+// largest DC weight |r/p| (summed over port entries), folding the dropped
+// poles' DC contribution into D0 so Z(0) is preserved — the classic
+// dominant-pole truncation used to speed up long transients. Conjugate
+// partners are kept together. keep >= len(Poles) returns a plain copy.
+func (m *Macromodel) Dominant(keep int) *Macromodel {
+	out := &Macromodel{Np: m.Np, D0: m.D0.Clone()}
+	if keep >= len(m.Poles) {
+		out.Poles = append(out.Poles, m.Poles...)
+		for _, r := range m.Res {
+			out.Res = append(out.Res, r.Clone())
+		}
+		return out
+	}
+	weight := make([]float64, len(m.Poles))
+	for k, p := range m.Poles {
+		for i := 0; i < m.Np; i++ {
+			for j := 0; j < m.Np; j++ {
+				weight[k] += cmplx.Abs(m.Res[k].At(i, j) / p)
+			}
+		}
+	}
+	// Pair conjugates so they are kept or dropped together.
+	partner := make([]int, len(m.Poles))
+	for k := range partner {
+		partner[k] = -1
+	}
+	for k, p := range m.Poles {
+		if partner[k] != -1 || imag(p) == 0 {
+			continue
+		}
+		for l := k + 1; l < len(m.Poles); l++ {
+			if partner[l] == -1 && m.Poles[l] == cmplx.Conj(p) {
+				partner[k], partner[l] = l, k
+				w := weight[k] + weight[l]
+				weight[k], weight[l] = w, w
+				break
+			}
+		}
+	}
+	order := make([]int, len(m.Poles))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+	selected := map[int]bool{}
+	for _, k := range order {
+		if len(selected) >= keep {
+			break
+		}
+		if selected[k] {
+			continue
+		}
+		selected[k] = true
+		if p := partner[k]; p >= 0 && len(selected) < keep+1 {
+			selected[p] = true
+		}
+	}
+	for k, p := range m.Poles {
+		if selected[k] {
+			out.Poles = append(out.Poles, p)
+			out.Res = append(out.Res, m.Res[k].Clone())
+			continue
+		}
+		for i := 0; i < m.Np; i++ {
+			for j := 0; j < m.Np; j++ {
+				out.D0.Add(i, j, real(-m.Res[k].At(i, j)/p))
+			}
+		}
+	}
+	return out
+}
+
+// StabReport describes what Stabilize did.
+type StabReport struct {
+	Removed     []complex128 // dropped unstable poles
+	BetaMin     float64      // extremal β factors applied (1 when no correction)
+	BetaMax     float64
+	DCErrBefore float64 // max |ΔZ(0)| that dropping alone would have caused
+}
+
+// StabilizeShift removes right-half-plane poles and folds their DC
+// contribution (−r/p) into the direct resistive term D0. Like the β
+// correction it preserves Z(0) exactly, but it leaves the surviving poles'
+// residues untouched, which behaves better when a removed mode carries a
+// large share of the DC impedance (a very fast unstable junk mode acts as
+// a resistor over the simulation band anyway). This is the engineering
+// variant of the paper's eq. (22) heuristic; Stabilize implements the
+// published β-scaling form.
+func (m *Macromodel) StabilizeShift() (*Macromodel, StabReport) {
+	rep := StabReport{BetaMin: 1, BetaMax: 1}
+	out := &Macromodel{Np: m.Np, D0: m.D0.Clone()}
+	for k, p := range m.Poles {
+		if real(p) > 0 {
+			rep.Removed = append(rep.Removed, p)
+			for i := 0; i < m.Np; i++ {
+				for j := 0; j < m.Np; j++ {
+					shift := -m.Res[k].At(i, j) / p
+					out.D0.Add(i, j, real(shift))
+					rep.DCErrBefore = math.Max(rep.DCErrBefore, cmplx.Abs(shift))
+				}
+			}
+		} else {
+			out.Poles = append(out.Poles, p)
+			out.Res = append(out.Res, m.Res[k].Clone())
+		}
+	}
+	return out, rep
+}
+
+// Stabilize applies the paper's two-step correction: remove poles with
+// positive real part, then scale each surviving residue entry by the
+// common factor β_ij of eq. (23) so Z_ij(0) is preserved. Returns a new
+// macromodel; the receiver is unchanged.
+func (m *Macromodel) Stabilize() (*Macromodel, StabReport) {
+	rep := StabReport{BetaMin: 1, BetaMax: 1}
+	out := &Macromodel{Np: m.Np, D0: m.D0.Clone()}
+	var unstableIdx []int
+	for k, p := range m.Poles {
+		if real(p) > 0 {
+			unstableIdx = append(unstableIdx, k)
+			rep.Removed = append(rep.Removed, p)
+		} else {
+			out.Poles = append(out.Poles, p)
+			out.Res = append(out.Res, m.Res[k].Clone())
+		}
+	}
+	if len(unstableIdx) == 0 {
+		return out, rep
+	}
+	// β_ij = (Σ_all r/p) / (Σ_stable r/p), per entry (eq. 23).
+	for i := 0; i < m.Np; i++ {
+		for j := 0; j < m.Np; j++ {
+			all := complex(0, 0)
+			stable := complex(0, 0)
+			for k, p := range m.Poles {
+				t := m.Res[k].At(i, j) / p
+				all += t
+				if real(p) <= 0 {
+					stable += t
+				}
+			}
+			rep.DCErrBefore = math.Max(rep.DCErrBefore, cmplx.Abs(all-stable))
+			if cmplx.Abs(stable) == 0 {
+				continue // nothing left to scale on this entry
+			}
+			beta := real(all / stable)
+			if beta < rep.BetaMin {
+				rep.BetaMin = beta
+			}
+			if beta > rep.BetaMax {
+				rep.BetaMax = beta
+			}
+			for k := range out.Poles {
+				out.Res[k].Set(i, j, out.Res[k].At(i, j)*complex(beta, 0))
+			}
+		}
+	}
+	return out, rep
+}

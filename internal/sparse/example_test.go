@@ -1,0 +1,38 @@
+package sparse_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/sparse"
+)
+
+func ExampleTriplet_Compile() {
+	// MNA-style stamping: duplicates accumulate.
+	tr := sparse.NewTriplet(2)
+	tr.Add(0, 0, 1.0)
+	tr.Add(0, 0, 0.5) // a second stamp on the same entry
+	tr.Add(0, 1, -0.5)
+	tr.Add(1, 0, -0.5)
+	tr.Add(1, 1, 0.5)
+	c := tr.Compile()
+	fmt.Println(c.At(0, 0), c.NNZ())
+	// Output: 1.5 4
+}
+
+func ExampleFactorLU() {
+	tr := sparse.NewTriplet(3)
+	for i := 0; i < 3; i++ {
+		tr.Add(i, i, 2)
+	}
+	tr.Add(0, 1, -1)
+	tr.Add(1, 0, -1)
+	tr.Add(1, 2, -1)
+	tr.Add(2, 1, -1)
+	lu, err := sparse.FactorLU(tr.Compile(), 0.1)
+	if err != nil {
+		panic(err)
+	}
+	x := lu.Solve([]float64{1, 0, 0})
+	fmt.Printf("%.3f %.3f %.3f\n", x[0], x[1], x[2])
+	// Output: 0.750 0.500 0.250
+}

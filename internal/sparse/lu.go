@@ -1,0 +1,226 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when sparse LU encounters a column with no
+// acceptable pivot.
+var ErrSingular = errors.New("sparse: matrix is singular")
+
+// LU is a sparse LU factorization with partial pivoting (left-looking
+// Gilbert–Peierls): P A = L U with L unit lower triangular.
+type LU struct {
+	n    int
+	lp   []int // L column pointers
+	li   []int // L row indices (in pivot-row coordinates)
+	lx   []float64
+	up   []int // U column pointers
+	ui   []int
+	ux   []float64
+	pinv []int // pinv[origRow] = pivot position
+}
+
+// FactorLU computes the sparse LU factorization of a. tol in (0, 1] controls
+// the partial-pivoting threshold: the diagonal entry is kept as pivot when
+// |a_kk| >= tol * max|column|; tol = 1 gives strict partial pivoting. For
+// diagonally dominant circuit matrices tol = 0.1 keeps fill low.
+func FactorLU(a *CSC, tol float64) (*LU, error) {
+	n := a.n
+	if tol <= 0 || tol > 1 {
+		tol = 1
+	}
+	f := &LU{
+		n:    n,
+		lp:   make([]int, n+1),
+		up:   make([]int, n+1),
+		pinv: make([]int, n),
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	x := make([]float64, n)
+	xi := make([]int, 2*n) // reach stack (first n) + pstack (second n)
+	marked := make([]bool, n)
+
+	for k := 0; k < n; k++ {
+		f.lp[k] = len(f.lx)
+		f.up[k] = len(f.ux)
+		// x = L \ A(:,k), sparse triangular solve with reachability.
+		top := f.spsolve(a, k, xi, x, marked)
+		// Choose pivot among not-yet-pivoted rows.
+		ipiv := -1
+		amax := -1.0
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if f.pinv[i] < 0 {
+				if t := math.Abs(x[i]); t > amax {
+					amax = t
+					ipiv = i
+				}
+			} else {
+				f.ui = append(f.ui, f.pinv[i])
+				f.ux = append(f.ux, x[i])
+			}
+		}
+		if ipiv == -1 || amax <= 0 {
+			return nil, ErrSingular
+		}
+		// Prefer the diagonal if it is acceptably large (threshold pivoting).
+		if f.pinv[k] < 0 && math.Abs(x[k]) >= amax*tol {
+			ipiv = k
+		}
+		pivot := x[ipiv]
+		f.ui = append(f.ui, k)
+		f.ux = append(f.ux, pivot)
+		f.pinv[ipiv] = k
+		f.li = append(f.li, ipiv)
+		f.lx = append(f.lx, 1)
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if f.pinv[i] < 0 {
+				f.li = append(f.li, i)
+				f.lx = append(f.lx, x[i]/pivot)
+			}
+			x[i] = 0
+		}
+	}
+	f.lp[n] = len(f.lx)
+	f.up[n] = len(f.ux)
+	// Remap L row indices into pivot coordinates.
+	for p := range f.li {
+		f.li[p] = f.pinv[f.li[p]]
+	}
+	return f, nil
+}
+
+// spsolve computes x = L \ A(:,k) where L is the partially built factor.
+// Returns top such that xi[top:n] lists the nonzero pattern in topological
+// order. marked must be all-false on entry and is restored before return.
+func (f *LU) spsolve(a *CSC, k int, xi []int, x []float64, marked []bool) int {
+	n := f.n
+	top := f.reach(a, k, xi, marked)
+	for p := top; p < n; p++ {
+		x[xi[p]] = 0
+	}
+	for p := a.colPtr[k]; p < a.colPtr[k+1]; p++ {
+		x[a.rowIdx[p]] = a.vals[p]
+	}
+	for px := top; px < n; px++ {
+		j := xi[px]
+		jn := f.pinv[j]
+		if jn < 0 {
+			continue
+		}
+		// L's diagonal is stored first in each column and equals 1.
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[jn] + 1; p < f.lp[jn+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	// Clear marks.
+	for p := top; p < n; p++ {
+		marked[xi[p]] = false
+	}
+	return top
+}
+
+// reach computes the set of rows reachable from the pattern of A(:,k)
+// through the graph of L, in topological order in xi[top:n].
+func (f *LU) reach(a *CSC, k int, xi []int, marked []bool) int {
+	n := f.n
+	top := n
+	for p := a.colPtr[k]; p < a.colPtr[k+1]; p++ {
+		if !marked[a.rowIdx[p]] {
+			top = f.dfs(a.rowIdx[p], top, xi, marked)
+		}
+	}
+	return top
+}
+
+// dfs performs a non-recursive depth-first search from node j through the
+// graph of L (in pivot coordinates), pushing finished nodes onto xi[top:].
+// xi[0:n] is the node stack; xi[n:2n] the per-node edge-position stack.
+func (f *LU) dfs(j, top int, xi []int, marked []bool) int {
+	n := f.n
+	pstack := xi[n:]
+	head := 0
+	xi[0] = j
+	for head >= 0 {
+		j = xi[head]
+		jn := f.pinv[j]
+		if !marked[j] {
+			marked[j] = true
+			if jn < 0 {
+				pstack[head] = 0
+			} else {
+				pstack[head] = f.lp[jn]
+			}
+		}
+		done := true
+		var p2 int
+		if jn < 0 {
+			p2 = 0
+		} else {
+			p2 = f.lp[jn+1]
+		}
+		for p := pstack[head]; p < p2; p++ {
+			// L row indices are already remapped only after factorization
+			// completes; during factorization li holds original row ids.
+			i := f.li[p]
+			if marked[i] {
+				continue
+			}
+			pstack[head] = p + 1
+			head++
+			xi[head] = i
+			done = false
+			break
+		}
+		if done {
+			head--
+			top--
+			xi[top] = j
+		}
+	}
+	return top
+}
+
+// Solve solves A x = b. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	// x = P b
+	for i := 0; i < n; i++ {
+		x[f.pinv[i]] = b[i]
+	}
+	// L x = x (unit diagonal stored first in each column).
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+	// U x = x (diagonal stored last in each column).
+	for j := n - 1; j >= 0; j-- {
+		x[j] /= f.ux[f.up[j+1]-1]
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < f.up[j+1]-1; p++ {
+			x[f.ui[p]] -= f.ux[p] * xj
+		}
+	}
+	return x
+}
+
+// NNZ returns the total stored entries in L and U.
+func (f *LU) NNZ() int { return len(f.lx) + len(f.ux) }

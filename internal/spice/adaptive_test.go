@@ -1,0 +1,129 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+)
+
+func rcStepNetlist() *circuit.Netlist {
+	nl := circuit.New()
+	nl.AddV("V1", "in", "0", circuit.SatRamp{V0: 0, V1: 1, Start: 1e-10, Slew: 1e-11})
+	nl.AddR("R1", "in", "out", circuit.V(1000))
+	nl.AddC("C1", "out", "0", circuit.V(1e-12))
+	return nl
+}
+
+func TestAdaptiveRCAccuracy(t *testing.T) {
+	sim, err := NewSimulator(rcStepNetlist(), Options{
+		DT: 1e-11, TStop: 6e-9, Adaptive: true, LTETol: 2e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run([]string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 1e-9
+	t0 := 1.05e-10 // effective step midpoint of the fast ramp
+	for i, tt := range res.T {
+		if tt < 3e-10 {
+			continue
+		}
+		want := 1 - math.Exp(-(tt-t0)/tau)
+		if math.Abs(res.V["out"][i]-want) > 0.01 {
+			t.Fatalf("adaptive RC at t=%g: %g want %g", tt, res.V["out"][i], want)
+		}
+	}
+	// Final value settled.
+	if got := res.V["out"][len(res.T)-1]; math.Abs(got-1) > 5e-3 {
+		t.Fatalf("final value %g", got)
+	}
+}
+
+func TestAdaptiveTakesFewerSteps(t *testing.T) {
+	run := func(adaptive bool) Stats {
+		sim, err := NewSimulator(rcStepNetlist(), Options{
+			DT: 1e-11, TStop: 20e-9, Adaptive: adaptive, LTETol: 1e-3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run([]string{"out"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	// Long flat tail: the adaptive run must spend far fewer steps.
+	if adaptive.Steps >= fixed.Steps/2 {
+		t.Fatalf("adaptive %d steps vs fixed %d — step control ineffective", adaptive.Steps, fixed.Steps)
+	}
+}
+
+func TestAdaptiveTimePointsIncrease(t *testing.T) {
+	sim, err := NewSimulator(rcStepNetlist(), Options{DT: 1e-11, TStop: 5e-9, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run([]string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.T); i++ {
+		if res.T[i] <= res.T[i-1] {
+			t.Fatalf("time points not increasing at %d", i)
+		}
+	}
+	// Must end exactly at TStop.
+	if math.Abs(res.T[len(res.T)-1]-5e-9) > 1e-15 {
+		t.Fatalf("final time %g", res.T[len(res.T)-1])
+	}
+}
+
+func TestAdaptiveInverterMatchesFixed(t *testing.T) {
+	build := func() *circuit.Netlist {
+		nl := circuit.New()
+		nl.AddV("VDD", "vdd", "0", circuit.DC(1.8))
+		nl.AddV("VIN", "in", "0", circuit.SatRamp{V0: 0, V1: 1.8, Start: 0.2e-9, Slew: 0.1e-9})
+		if err := device.INV.Instantiate(nl, "u1", []string{"in"}, "out", device.BuildOpts{Tech: device.Tech180, Drive: 2}); err != nil {
+			t.Fatal(err)
+		}
+		nl.AddC("CL", "out", "0", circuit.V(20e-15))
+		return nl
+	}
+	simF, err := NewSimulator(build(), Options{DT: 1e-12, TStop: 1.5e-9, Models: device.Tech180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := simF.Run([]string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA, err := NewSimulator(build(), Options{DT: 2e-12, TStop: 1.5e-9, Models: device.Tech180, Adaptive: true, LTETol: 5e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adap, err := simA.Run([]string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := fixed.Waveform("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := adap.Waveform("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := wf.CrossTime(0.9, -1)
+	ca := wa.CrossTime(0.9, -1)
+	if math.Abs(cf-ca) > 5e-12 {
+		t.Fatalf("adaptive crossing %g vs fixed %g", ca, cf)
+	}
+}

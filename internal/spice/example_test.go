@@ -1,0 +1,35 @@
+package spice_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/spice"
+)
+
+func ExampleSimulator_Run() {
+	// An inverter driving a capacitive load through the Newton baseline.
+	nl := circuit.New()
+	nl.AddV("VDD", "vdd", "0", circuit.DC(1.8))
+	nl.AddV("VIN", "in", "0", circuit.SatRamp{V0: 0, V1: 1.8, Start: 0.2e-9, Slew: 0.1e-9})
+	if err := device.INV.Instantiate(nl, "u1", []string{"in"}, "out", device.BuildOpts{
+		Tech: device.Tech180, Drive: 2,
+	}); err != nil {
+		panic(err)
+	}
+	nl.AddC("CL", "out", "0", circuit.V(20e-15))
+	sim, err := spice.NewSimulator(nl, spice.Options{
+		DT: 2e-12, TStop: 1.5e-9, Models: device.Tech180,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run([]string{"out"})
+	if err != nil {
+		panic(err)
+	}
+	wf, _ := res.Waveform("out")
+	fmt.Printf("output falls through 0.9 V: %v\n", wf.CrossTime(0.9, -1) > 0)
+	// Output: output falls through 0.9 V: true
+}

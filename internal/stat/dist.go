@@ -1,0 +1,93 @@
+// Package stat provides the statistical substrate of the framework:
+// deterministic RNG plumbing, normal/uniform variates, Latin Hypercube
+// Sampling (the paper's Example-2 sampling plan), principal component
+// analysis (§4.1.1), a Monte-Carlo driver (§4.1.2), histograms and
+// summary statistics.
+package stat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal inverse CDF, using
+// Acklam's rational approximation (relative error < 1.2e-9) refined by one
+// Halley step against math.Erfc. Panics for p outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stat: NormalQuantile requires 0 < p < 1, got %g", p))
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+	// One Halley refinement using the exact CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Dist is a one-dimensional sampling distribution.
+type Dist interface {
+	// Quantile maps u in (0,1) to a sample value.
+	Quantile(u float64) float64
+}
+
+// Uniform is the uniform distribution on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Quantile maps u to Lo + u·(Hi−Lo).
+func (d Uniform) Quantile(u float64) float64 { return d.Lo + u*(d.Hi-d.Lo) }
+
+// Normal is the normal distribution with the given mean and standard
+// deviation.
+type Normal struct{ Mean, Sigma float64 }
+
+// Quantile maps u through the normal inverse CDF.
+func (d Normal) Quantile(u float64) float64 { return d.Mean + d.Sigma*NormalQuantile(u) }
+
+// TruncNormal is a normal distribution truncated at ±K sigma (useful to
+// keep physical quantities in range at extreme samples).
+type TruncNormal struct {
+	Mean, Sigma float64
+	K           float64 // truncation in sigmas (default 3 when zero)
+}
+
+// Quantile maps u into the truncated normal by rescaling the CDF range.
+func (d TruncNormal) Quantile(u float64) float64 {
+	k := d.K
+	if k <= 0 {
+		k = 3
+	}
+	lo := 0.5 * math.Erfc(k/math.Sqrt2)
+	p := lo + u*(1-2*lo)
+	return d.Mean + d.Sigma*NormalQuantile(p)
+}
+
+// NewRNG returns a deterministic random source for a seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

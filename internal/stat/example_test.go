@@ -1,0 +1,46 @@
+package stat_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/stat"
+)
+
+func ExampleLatinHypercube() {
+	cube := stat.LatinHypercube(stat.NewRNG(1), 4, 2)
+	// Every dimension hits each of the 4 strata exactly once.
+	for dim := 0; dim < 2; dim++ {
+		hits := make([]bool, 4)
+		for _, row := range cube {
+			hits[int(row[dim]*4)] = true
+		}
+		fmt.Println(hits)
+	}
+	// Output:
+	// [true true true true]
+	// [true true true true]
+}
+
+func ExampleNormalQuantile() {
+	fmt.Printf("%.3f %.3f\n", stat.NormalQuantile(0.5), stat.NormalQuantile(0.975))
+	// Output: 0.000 1.960
+}
+
+func ExampleSummarize() {
+	s := stat.Summarize([]float64{1, 2, 3, 4, 5})
+	fmt.Printf("n=%d mean=%.1f min=%.0f max=%.0f\n", s.N, s.Mean, s.Min, s.Max)
+	// Output: n=5 mean=3.0 min=1 max=5
+}
+
+func ExampleFitPCA() {
+	// Two observed parameters driven by a single latent factor.
+	rng := stat.NewRNG(3)
+	data := make([][]float64, 300)
+	for i := range data {
+		z := rng.NormFloat64()
+		data[i] = []float64{2 * z, -z}
+	}
+	p, _ := stat.FitPCA(data)
+	fmt.Println(p.NumFactors(0.99))
+	// Output: 1
+}

@@ -1,0 +1,141 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"lcsim/internal/mat"
+)
+
+// PCA holds a principal component analysis of a parameter population:
+// X ≈ mean + scores·componentsᵀ. The paper (§4.1.1) uses PCA to compress
+// ~60 correlated BSIM parameters into ~10 uncorrelated factors before
+// sampling.
+type PCA struct {
+	Mean       []float64
+	Components *mat.Dense // d×d, columns are principal directions
+	Variances  []float64  // eigenvalues (component variances), descending
+}
+
+// FitPCA computes a PCA from an n×d data matrix (rows are observations).
+func FitPCA(data [][]float64) (*PCA, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, fmt.Errorf("stat: PCA needs at least 2 observations, got %d", n)
+	}
+	d := len(data[0])
+	mean := make([]float64, d)
+	for _, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("stat: ragged data matrix")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := mat.NewDense(d, d)
+	for _, row := range data {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov.Add(i, j, di*(row[j]-mean[j]))
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) / float64(n-1)
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return FitPCACov(mean, cov)
+}
+
+// FitPCACov computes a PCA directly from a covariance matrix.
+func FitPCACov(mean []float64, cov *mat.Dense) (*PCA, error) {
+	se, err := mat.SymEigenDecompose(cov)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp tiny negative eigenvalues from roundoff.
+	for i, v := range se.Values {
+		if v < 0 {
+			se.Values[i] = 0
+		}
+	}
+	m := make([]float64, len(mean))
+	copy(m, mean)
+	return &PCA{Mean: m, Components: se.Vectors, Variances: se.Values}, nil
+}
+
+// NumFactors returns how many leading components explain the given
+// fraction of total variance (e.g. 0.95).
+func (p *PCA) NumFactors(fraction float64) int {
+	total := 0.0
+	for _, v := range p.Variances {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	acc := 0.0
+	for i, v := range p.Variances {
+		acc += v
+		if acc >= fraction*total {
+			return i + 1
+		}
+	}
+	return len(p.Variances)
+}
+
+// Transform maps a parameter vector to (normalized) factor scores:
+// z_k = v_kᵀ(x − mean)/σ_k. Components with zero variance map to 0.
+func (p *PCA) Transform(x []float64) []float64 {
+	d := len(p.Mean)
+	if len(x) != d {
+		panic(fmt.Sprintf("stat: Transform got %d dims, want %d", len(x), d))
+	}
+	centered := make([]float64, d)
+	for i := range centered {
+		centered[i] = x[i] - p.Mean[i]
+	}
+	scores := mat.MulTVec(p.Components, centered)
+	for k := range scores {
+		if p.Variances[k] > 0 {
+			scores[k] /= sqrt(p.Variances[k])
+		} else {
+			scores[k] = 0
+		}
+	}
+	return scores
+}
+
+// Inverse reconstructs a parameter vector from (possibly truncated)
+// normalized factor scores — the paper's "by-product reverse
+// transformation". Missing trailing scores are treated as zero.
+func (p *PCA) Inverse(scores []float64) []float64 {
+	d := len(p.Mean)
+	x := make([]float64, d)
+	copy(x, p.Mean)
+	for k, z := range scores {
+		if k >= d {
+			break
+		}
+		s := z * sqrt(p.Variances[k])
+		for i := 0; i < d; i++ {
+			x[i] += p.Components.At(i, k) * s
+		}
+	}
+	return x
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

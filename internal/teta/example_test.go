@@ -1,0 +1,44 @@
+package teta_test
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/interconnect"
+	"lcsim/internal/teta"
+)
+
+func ExampleBuildStage() {
+	// Characterize once: an inverter driving 50 µm of wire, far end probed.
+	load := circuit.New()
+	far := interconnect.AddLine(load, interconnect.Wire180, "near", "w", 50, 1, true)
+	load.MarkPort("near")
+	load.MarkPort(far)
+	load.AddC("Crcv", far, "0", circuit.V(2e-15))
+	stage, err := teta.BuildStage(load, []teta.DriverSpec{
+		{Name: "drv", Cell: device.INV, Drive: 4, Port: 0},
+	}, teta.Config{Tech: device.Tech180, DT: 2e-12, TStop: 1.5e-9, Order: 4})
+	if err != nil {
+		panic(err)
+	}
+	// Then evaluate many statistical samples cheaply.
+	in := [][]circuit.Waveform{{circuit.SatRamp{V0: 0, V1: 1.8, Start: 0.3e-9, Slew: 0.1e-9}}}
+	nom, err := stage.Run(teta.RunSpec{Inputs: in})
+	if err != nil {
+		panic(err)
+	}
+	wide, err := stage.Run(teta.RunSpec{
+		W:      map[string]float64{interconnect.ParamW: 1}, // +3σ wire width
+		Inputs: in,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w0, _ := nom.PortWaveform(1)
+	w1, _ := wide.PortWaveform(1)
+	d0 := w0.CrossTime(0.9, -1)
+	d1 := w1.CrossTime(0.9, -1)
+	fmt.Printf("wider wire is slower: %v\n", d1 > d0)
+	// Output: wider wire is slower: true
+}

@@ -1,0 +1,432 @@
+package teta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/mat"
+	"lcsim/internal/mor"
+	"lcsim/internal/poleres"
+)
+
+// ErrNoConvergence reports Successive-Chords iteration failure.
+var ErrNoConvergence = errors.New("teta: successive chords did not converge")
+
+// Config controls stage construction and simulation.
+type Config struct {
+	Tech  *device.ModelSet
+	DT    float64
+	TStop float64
+
+	Chord  ChordPolicy
+	Order  int     // ROM internal order (default 4)
+	SCTol  float64 // SC convergence tolerance, V (default 1e-6)
+	MaxSC  int     // SC iteration limit per step (default 500)
+	Delta  float64 // variational characterization step (default 1e-3)
+	NoStab bool    // disable the stability filter (ablation only)
+	// UseBetaStab selects the paper's eq. (22)–(23) β residue scaling for
+	// the stability correction instead of the default DC-shift variant
+	// (poleres.StabilizeShift). Exposed for the ablation benchmark.
+	UseBetaStab bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.Tech == nil {
+		return fmt.Errorf("teta: Config.Tech is required")
+	}
+	if c.DT <= 0 || c.TStop <= 0 {
+		return fmt.Errorf("teta: DT and TStop must be positive")
+	}
+	if c.Order <= 0 {
+		c.Order = 4
+	}
+	if c.SCTol <= 0 {
+		c.SCTol = 1e-6
+	}
+	if c.MaxSC <= 0 {
+		c.MaxSC = 500
+	}
+	return nil
+}
+
+// Stage is one logic stage: nonlinear drivers coupled through a (possibly
+// variational) multiport linear load. The expensive pieces — driver chord
+// systems, the variational ROM library — are built once; each statistical
+// sample then costs only a library evaluation, a pole/residue transform
+// and a cheap SC transient.
+type Stage struct {
+	cfg     Config
+	drivers []*Driver
+	sys     *circuit.VarSystem
+	varrom  *mor.VarROM
+	gout    []float64
+
+	// Setup diagnostics.
+	BuildStats BuildStats
+}
+
+// BuildStats reports one-time characterization work.
+type BuildStats struct {
+	Ports, LoadNodes, LoadElements int
+	ROMOrder                       int
+}
+
+// RunStats reports per-sample simulation work.
+type RunStats struct {
+	Steps         int
+	SCIterations  int
+	UnstablePoles int     // poles removed by the stability filter
+	BetaMin       float64 // DC correction factors applied
+	BetaMax       float64
+}
+
+// Result is one stage transient outcome.
+type Result struct {
+	T     []float64
+	PortV [][]float64 // per port
+	Stats RunStats
+}
+
+// PortWaveform returns the waveform of port p as a PWL.
+func (r *Result) PortWaveform(p int) (*circuit.PWL, error) {
+	if p < 0 || p >= len(r.PortV) {
+		return nil, fmt.Errorf("teta: port %d out of range", p)
+	}
+	return circuit.NewPWL(r.T, r.PortV[p])
+}
+
+// BuildStage characterizes a stage: load is the linear network with its
+// ports marked (in port order); drivers attach to ports by index. Ports
+// without a driver are observation probes (the paper's "probe line").
+func BuildStage(load *circuit.Netlist, drivers []DriverSpec, cfg Config) (*Stage, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	st := &Stage{cfg: cfg}
+	sys, err := circuit.AssembleVariational(load)
+	if err != nil {
+		return nil, fmt.Errorf("teta: load assembly: %w", err)
+	}
+	if sys.Np == 0 {
+		return nil, fmt.Errorf("teta: load has no ports marked")
+	}
+	st.sys = sys
+	st.gout = make([]float64, sys.Np)
+	seen := make([]bool, sys.Np)
+	for _, spec := range drivers {
+		if spec.Port < 0 || spec.Port >= sys.Np {
+			return nil, fmt.Errorf("teta: driver %s port %d out of range (%d ports)", spec.Name, spec.Port, sys.Np)
+		}
+		if seen[spec.Port] {
+			return nil, fmt.Errorf("teta: port %d has two drivers", spec.Port)
+		}
+		seen[spec.Port] = true
+		d, err := newDriver(spec, cfg.Tech, cfg.Chord, cfg.DT)
+		if err != nil {
+			return nil, err
+		}
+		st.drivers = append(st.drivers, d)
+		st.gout[spec.Port] = d.GOut()
+	}
+	if err := sys.SetPortConductance(st.gout); err != nil {
+		return nil, err
+	}
+	st.varrom, err = mor.BuildVariational(sys, mor.BuildOptions{Order: cfg.Order, Delta: cfg.Delta})
+	if err != nil {
+		return nil, fmt.Errorf("teta: variational ROM: %w", err)
+	}
+	stt := load.Stats()
+	st.BuildStats = BuildStats{
+		Ports: sys.Np, LoadNodes: sys.N, LoadElements: stt.LinearElements,
+		ROMOrder: st.varrom.Q,
+	}
+	return st, nil
+}
+
+// VarROM exposes the characterized library (for the experiment harnesses).
+func (st *Stage) VarROM() *mor.VarROM { return st.varrom }
+
+// PortConductances returns the chord output conductances folded into the
+// load.
+func (st *Stage) PortConductances() []float64 {
+	out := make([]float64, len(st.gout))
+	copy(out, st.gout)
+	return out
+}
+
+// RunSpec is one statistical sample plus input stimuli.
+type RunSpec struct {
+	W       map[string]float64   // wire-parameter sample (variational ROM evaluation)
+	DL, DVT float64              // device-parameter deviations for this sample
+	Inputs  [][]circuit.Waveform // Inputs[d][k]: waveform at input k of driver d
+}
+
+// Run simulates the stage for one sample (the paper's Table 1
+// "Evaluation" steps 1–4).
+func (st *Stage) Run(rs RunSpec) (*Result, error) {
+	if len(rs.Inputs) != len(st.drivers) {
+		return nil, fmt.Errorf("teta: got %d input bundles for %d drivers", len(rs.Inputs), len(st.drivers))
+	}
+	for di, d := range st.drivers {
+		if len(rs.Inputs[di]) != d.nIn {
+			return nil, fmt.Errorf("teta: driver %s needs %d inputs, got %d", d.Name, d.nIn, len(rs.Inputs[di]))
+		}
+	}
+	// Evaluate the variational library and stabilize.
+	rom := st.varrom.At(rs.W)
+	return st.runROM(rom, rs)
+}
+
+// RunDirect recharacterizes the ROM exactly at the sample (full
+// re-reduction with exact element values) and simulates — the accuracy
+// reference used by the Example-2 histogram comparison.
+func (st *Stage) RunDirect(rs RunSpec) (*Result, error) {
+	if len(rs.Inputs) != len(st.drivers) {
+		return nil, fmt.Errorf("teta: got %d input bundles for %d drivers", len(rs.Inputs), len(st.drivers))
+	}
+	for di, d := range st.drivers {
+		if len(rs.Inputs[di]) != d.nIn {
+			return nil, fmt.Errorf("teta: driver %s needs %d inputs, got %d", d.Name, d.nIn, len(rs.Inputs[di]))
+		}
+	}
+	g, err := st.sys.ExactG(rs.W)
+	if err != nil {
+		return nil, err
+	}
+	c := st.sys.ExactC(rs.W)
+	rom, err := mor.Reduce(g, c, st.sys.Np, st.cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	return st.runROM(rom, rs)
+}
+
+func (st *Stage) runROM(rom *mor.ROM, rs RunSpec) (*Result, error) {
+	pr, err := poleres.Extract(rom)
+	if err != nil {
+		return nil, err
+	}
+	stats := RunStats{BetaMin: 1, BetaMax: 1}
+	if !st.cfg.NoStab {
+		var rep poleres.StabReport
+		if st.cfg.UseBetaStab {
+			pr, rep = pr.Stabilize()
+		} else {
+			pr, rep = pr.StabilizeShift()
+		}
+		stats.UnstablePoles = len(rep.Removed)
+		stats.BetaMin, stats.BetaMax = rep.BetaMin, rep.BetaMax
+	}
+	cv, err := poleres.NewConvolver(pr, st.cfg.DT)
+	if err != nil {
+		return nil, err
+	}
+	np := rom.Np
+	res := &Result{PortV: make([][]float64, np)}
+
+	// DC initialization: quasi-static SC fixed point at t=0.
+	zdc := pr.DCZ()
+	vp := make([]float64, np)
+	iN := make([]float64, np)
+	vin0 := make([][]float64, len(st.drivers))
+	for di, d := range st.drivers {
+		vin0[di] = make([]float64, d.nIn)
+		for k, w := range rs.Inputs[di] {
+			vin0[di][k] = w.At(0)
+		}
+	}
+	unk := make([][]float64, len(st.drivers))
+	states := make([]*driverState, len(st.drivers))
+	for di, d := range st.drivers {
+		unk[di] = make([]float64, d.nUnk)
+		states[di] = d.newState(rs.DL, rs.DVT)
+	}
+	// The DC load can be capacitively open (Z(0) large), where plain SC
+	// iteration stalls; a small Newton on the port residual
+	// r(vp) = vp − Zdc·I_N(vp) is robust and only runs once per sample.
+	// The load carries the *transient* chord conductance G_out (it includes
+	// the C/h companions, as the paper notes G_out depends on the timestep
+	// resolution). At DC the driver supplies no capacitive current, so the
+	// current into the effective load is the DC Norton source plus the
+	// conductance difference times the port voltage.
+	evalNorton := func(vpTry []float64) []float64 {
+		out := make([]float64, np)
+		for di, d := range st.drivers {
+			u := unk[di]
+			u[d.outIdx] = vpTry[d.Port]
+			// Settle the internal chord system to a fixed point so the
+			// Norton current is a well-defined function of the port
+			// voltage (one pass is not idempotent for stacked drivers).
+			var b []float64
+			for inner := 0; inner < 100; inner++ {
+				b = d.rhs(u, vin0[di], true, states[di])
+				vi := d.internals(b, vpTry[d.Port], true)
+				delta := 0.0
+				for k, v := range vi {
+					delta = math.Max(delta, math.Abs(v-u[k]))
+					u[k] = v
+				}
+				if delta < 0.1*st.cfg.SCTol {
+					break
+				}
+			}
+			b = d.rhs(u, vin0[di], true, states[di])
+			out[d.Port] = d.norton(b, true) + (d.gOut-d.dcGOut)*vpTry[d.Port]
+		}
+		return out
+	}
+	// Damped Newton with multiple starting points: digital driver outputs
+	// sit near a rail, so if the iteration limit-cycles from one start it
+	// almost always converges from another.
+	dcNewton := func(start float64) bool {
+		for p := range vp {
+			vp[p] = start
+		}
+		for di := range st.drivers {
+			for k := range unk[di] {
+				unk[di][k] = start
+			}
+		}
+		for it := 0; it < 100; it++ {
+			iNorton := evalNorton(vp)
+			r := make([]float64, np)
+			resid := 0.0
+			zin := mat.MulVec(zdc, iNorton)
+			for p := 0; p < np; p++ {
+				r[p] = vp[p] - zin[p]
+				resid = math.Max(resid, math.Abs(r[p]))
+			}
+			copy(iN, iNorton)
+			if resid < st.cfg.SCTol {
+				return true
+			}
+			// Jacobian J = I − Zdc·diag(dI_N/dv) by finite difference.
+			const fd = 1e-4
+			dIdv := make([]float64, np)
+			for p := 0; p < np; p++ {
+				vpP := make([]float64, np)
+				copy(vpP, vp)
+				vpP[p] += fd
+				iP := evalNorton(vpP)
+				dIdv[p] = (iP[p] - iNorton[p]) / fd
+			}
+			j := mat.Identity(np)
+			for p := 0; p < np; p++ {
+				for q := 0; q < np; q++ {
+					j.Add(p, q, -zdc.At(p, q)*dIdv[q])
+				}
+			}
+			dv, err := mat.Solve(j, r)
+			if err != nil {
+				return false
+			}
+			// Damp the update: near cutoff the port residual can have a
+			// near-zero slope and a full Newton step overshoots far
+			// outside the supply range.
+			clamp := 0.4 * st.cfg.Tech.VDD
+			for p := 0; p < np; p++ {
+				step := dv[p]
+				if step > clamp {
+					step = clamp
+				} else if step < -clamp {
+					step = -clamp
+				}
+				vp[p] -= step
+			}
+		}
+		return false
+	}
+	dcOK := false
+	for _, start := range []float64{0, st.cfg.Tech.VDD, 0.5 * st.cfg.Tech.VDD, 0.25 * st.cfg.Tech.VDD, 0.75 * st.cfg.Tech.VDD} {
+		if dcNewton(start) {
+			dcOK = true
+			break
+		}
+	}
+	if !dcOK {
+		return nil, fmt.Errorf("%w: DC initialization", ErrNoConvergence)
+	}
+	// Settle internals at the final port voltages.
+	for di, d := range st.drivers {
+		u := unk[di]
+		u[d.outIdx] = vp[d.Port]
+		b := d.rhs(u, vin0[di], true, states[di])
+		vi := d.internals(b, vp[d.Port], true)
+		copy(u[:d.outIdx], vi)
+	}
+	cv.InitDC(iN)
+	for di, d := range st.drivers {
+		d.commit(unk[di], vp[d.Port], vin0[di], states[di])
+	}
+	record := func(t float64, v []float64) {
+		res.T = append(res.T, t)
+		for p := 0; p < np; p++ {
+			res.PortV[p] = append(res.PortV[p], v[p])
+		}
+	}
+	record(0, vp)
+
+	h := st.cfg.DT
+	nSteps := int(st.cfg.TStop/h + 0.5)
+	zeff := cv.EffZ()
+	vinNow := make([][]float64, len(st.drivers))
+	for di := range st.drivers {
+		vinNow[di] = make([]float64, len(vin0[di]))
+	}
+	for step := 1; step <= nSteps; step++ {
+		t := float64(step) * h
+		for di, d := range st.drivers {
+			for k, w := range rs.Inputs[di] {
+				vinNow[di][k] = w.At(t)
+			}
+			// Start iteration from the committed state.
+			copy(unk[di][:d.outIdx], states[di].vInt)
+			unk[di][d.outIdx] = states[di].vOut
+		}
+		hist := cv.History()
+		converged := false
+		for it := 0; it < st.cfg.MaxSC; it++ {
+			stats.SCIterations++
+			for di, d := range st.drivers {
+				b := d.rhs(unk[di], vinNow[di], false, states[di])
+				iN[d.Port] = d.norton(b, false)
+			}
+			delta := 0.0
+			for p := 0; p < np; p++ {
+				vNew := hist[p]
+				for q := 0; q < np; q++ {
+					vNew += zeff.At(p, q) * iN[q]
+				}
+				delta = math.Max(delta, math.Abs(vNew-vp[p]))
+				vp[p] = vNew
+			}
+			for di, d := range st.drivers {
+				b := d.rhs(unk[di], vinNow[di], false, states[di])
+				vi := d.internals(b, vp[d.Port], false)
+				copy(unk[di][:d.outIdx], vi)
+				unk[di][d.outIdx] = vp[d.Port]
+			}
+			if delta < st.cfg.SCTol && it > 0 {
+				converged = true
+				break
+			}
+			if math.IsNaN(delta) || delta > 1e6 {
+				return nil, fmt.Errorf("%w: diverged at t=%.4g", ErrNoConvergence, t)
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("%w: t=%.4g", ErrNoConvergence, t)
+		}
+		cv.Advance(iN)
+		for di, d := range st.drivers {
+			d.commit(unk[di], vp[d.Port], vinNow[di], states[di])
+		}
+		record(t, vp)
+		stats.Steps = step
+	}
+	res.Stats = stats
+	return res, nil
+}
