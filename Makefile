@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+# Full CI gate: vet, build, race-enabled tests, paper benchmarks.
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every paper table/figure benchmark (smoke, not timing).
+bench:
+	$(GO) test -run Bench -bench . -benchtime 1x -count=1 .
+
+fmt:
+	gofmt -l -w .

@@ -6,9 +6,11 @@
 package lcsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"lcsim/internal/circuit"
 	"lcsim/internal/core"
@@ -104,7 +106,7 @@ func BenchmarkExample3Table4(b *testing.B) {
 func BenchmarkExample3Table5(b *testing.B) {
 	set := []iscas.Benchmark{{Name: "s27", Stages: 6, Seed: 27}}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable5(experiments.Ex3Options{Samples: 20, Parallel: true}, set, 10)
+		rows, err := experiments.RunTable5(experiments.Ex3Options{Samples: 20, Workers: -1}, set, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +118,7 @@ func BenchmarkExample3Table5(b *testing.B) {
 // BenchmarkExample3Figure7 regenerates the histogram pair for s27.
 func BenchmarkExample3Figure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure7(experiments.Ex3Options{Samples: 20, Parallel: true},
+		res, err := experiments.RunFigure7(experiments.Ex3Options{Samples: 20, Workers: -1},
 			iscas.Benchmark{Name: "s27", Stages: 6, Seed: 27}, 10)
 		if err != nil {
 			b.Fatal(err)
@@ -391,9 +393,57 @@ func BenchmarkGAvsMCPathCost(b *testing.B) {
 	})
 	b.Run("MC20", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := p.MonteCarlo(core.MCConfig{N: 20, Seed: 3, Sources: sources}); err != nil {
+			if _, err := p.MonteCarloCtx(context.Background(), core.MCConfig{N: 20, Seed: 3, Sources: sources}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkMCWorkers measures the parallel runtime on a 1000-sample
+// Monte-Carlo run over a short chain: serial vs all cores, plus an
+// explicit wall-clock speedup metric. The serial and parallel summaries
+// are bit-identical (same seed ⇒ same plan, ordered streaming sink).
+func BenchmarkMCWorkers(b *testing.B) {
+	p, err := core.BuildChain(core.ChainSpec{
+		Cells: []string{"INV", "INV"}, Drive: 2, ElemsBetween: 4,
+		WireLengthUm: 2, Tech: device.Tech180, DT: 4e-12, TStop: 1.6e-9, Order: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := core.DeviceSources(device.Tech180, 0.33, 0.33)
+	run := func(b *testing.B, workers int) *core.MCResult {
+		res, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
+			N: 1000, Seed: 3, Sources: sources, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, 0)
+		}
+	})
+	b.Run("allCores", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, -1)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			serial := run(b, 0)
+			ts := time.Since(t0)
+			t1 := time.Now()
+			par := run(b, -1)
+			tp := time.Since(t1)
+			if serial.Summary != par.Summary {
+				b.Fatal("parallel summary differs from serial")
+			}
+			b.ReportMetric(ts.Seconds()/tp.Seconds(), "x-speedup")
 		}
 	})
 }

@@ -22,11 +22,11 @@ func main() {
 	spiceSamples := flag.Int("spice-samples", 1, "baseline samples timed in Table 4")
 	small := flag.Bool("small", false, "restrict to s27/s208 (quick run)")
 	seed := flag.Int64("seed", 1, "sampling seed")
-	parallel := flag.Bool("parallel", true, "evaluate MC samples in parallel")
+	workers := flag.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
 	flag.Parse()
 	all := !*table4 && !*table5 && !*figure7
 
-	o := experiments.Ex3Options{Samples: *samples, Seed: *seed, Parallel: *parallel, Progress: os.Stderr}
+	o := experiments.Ex3Options{Samples: *samples, Seed: *seed, Workers: *workers, Progress: os.Stderr}
 	set4, set5 := iscas.Table4Set, iscas.Table5Set
 	if *small {
 		set4 = set4[:2]

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lcsim/internal/circuit"
 	"lcsim/internal/core"
@@ -23,6 +25,7 @@ import (
 	"lcsim/internal/iscas"
 	"lcsim/internal/mor"
 	"lcsim/internal/poleres"
+	"lcsim/internal/runner"
 	"lcsim/internal/spice"
 	"lcsim/internal/stat"
 	"lcsim/internal/teta"
@@ -67,6 +70,35 @@ func loadNetlist(path string) *circuit.Netlist {
 	nl, err := circuit.ParseNetlist(f)
 	fail(err)
 	return nl
+}
+
+// runCtx builds the evaluation context from a -timeout flag value
+// (0 = no deadline).
+func runCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// progressFn returns a stderr progress reporter, or nil when disabled.
+func progressFn(enabled bool, label string) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d samples", label, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// printMetrics reports the evaluation-cost counters of a run.
+func printMetrics(m *runner.Metrics) {
+	s := m.Snapshot()
+	fmt.Printf("cost: %d samples, %d stage evals, %d SC iterations, %d linear solves\n",
+		s.Samples, s.StageEvals, s.SCIterations, s.LinearSolves)
 }
 
 func parseSample(spec string) map[string]float64 {
@@ -229,10 +261,16 @@ func runPath(args []string) {
 	stdVT := fs.Float64("std-vt", 0.33, "threshold variation (fraction of 3σ class)")
 	wires := fs.Bool("wires", false, "include wire-parameter variations")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	workers := fs.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
+	progress := fs.Bool("progress", false, "report MC progress on stderr")
+	samplerName := fs.String("sampler", "lhs", "sampling plan: lhs, halton or pseudo")
 	fail(fs.Parse(args))
 	if *cells == "" {
 		fail(fmt.Errorf("path needs -cells"))
 	}
+	sampler, err := core.ParseSampler(*samplerName)
+	fail(err)
 	var names []string
 	for _, c := range strings.Split(*cells, ",") {
 		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
@@ -257,10 +295,13 @@ func runPath(args []string) {
 	fail(err)
 	fmt.Printf("path: %d stages, nominal delay %.2f ps, final slew %.2f ps\n",
 		len(names), nom.Delay*1e12, nom.FinalSlew*1e12)
+	ctx, cancel := runCtx(*timeout)
+	defer cancel()
+	metrics := &runner.Metrics{}
 	var gaRes *core.GAResult
 	var mcRes *core.MCResult
 	if *ga || *budget != "" || *worst {
-		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources})
+		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics})
 		fail(err)
 		fmt.Printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
 			gaRes.Mean*1e12, gaRes.Std*1e12, gaRes.Simulations)
@@ -269,10 +310,14 @@ func runPath(args []string) {
 		}
 	}
 	if *mcN > 0 {
-		mcRes, err = p.MonteCarlo(core.MCConfig{N: *mcN, Seed: *seed, Sources: sources, Parallel: true})
+		mcRes, err = p.MonteCarloCtx(ctx, core.MCConfig{
+			N: *mcN, Seed: *seed, Sources: sources,
+			Sampler: sampler, Workers: *workers, KeepSamples: true,
+			Metrics: metrics, Progress: progressFn(*progress, "mc"),
+		})
 		fail(err)
-		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples\n",
-			mcRes.Summary.Mean*1e12, mcRes.Summary.Std*1e12, mcRes.Summary.N)
+		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
+			mcRes.Summary.Mean*1e12, mcRes.Summary.Std*1e12, mcRes.Summary.N, sampler)
 		fmt.Print(stat.NewHistogram(mcRes.Delays, 12).Render(40, func(v float64) string {
 			return fmt.Sprintf("%8.1f ps", v*1e12)
 		}))
@@ -296,6 +341,7 @@ func runPath(args []string) {
 		}
 		fmt.Println()
 	}
+	printMetrics(metrics)
 }
 
 func absf(x float64) float64 {
@@ -317,6 +363,9 @@ func runSkew(args []string) {
 	wireB := fs.Float64("wire-b", 100, "per-stage wire length on branch B, um")
 	mcN := fs.Int("mc", 60, "Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	workers := fs.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
+	progress := fs.Bool("progress", false, "report MC progress on stderr")
 	fail(fs.Parse(args))
 	build := func(stages int, wireUm float64) *core.Path {
 		cells := make([]string, stages)
@@ -338,7 +387,13 @@ func runSkew(args []string) {
 		IndependentA: core.DeviceSources(device.Tech180, 0.33, 0.33),
 		IndependentB: core.DeviceSources(device.Tech180, 0.33, 0.33),
 	}
-	res, err := pair.MonteCarloSkew(*mcN, *seed, true)
+	ctx, cancel := runCtx(*timeout)
+	defer cancel()
+	metrics := &runner.Metrics{}
+	res, err := pair.MonteCarloSkewCtx(ctx, core.SkewConfig{
+		N: *mcN, Seed: *seed, Workers: *workers,
+		Metrics: metrics, Progress: progressFn(*progress, "skew"),
+	})
 	fail(err)
 	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)
 	fmt.Printf("branch B: mean %.1f ps σ %.2f ps\n", res.ArrivalB.Mean*1e12, res.ArrivalB.Std*1e12)
@@ -347,4 +402,5 @@ func runSkew(args []string) {
 	fmt.Print(stat.NewHistogram(res.Skews, 10).Render(40, func(v float64) string {
 		return fmt.Sprintf("%7.2f ps", v*1e12)
 	}))
+	printMetrics(metrics)
 }

@@ -9,4 +9,22 @@
 // implementation lives under internal/ (see DESIGN.md for the system
 // inventory) and is exercised by the cmd/ report tools and the runnable
 // examples/ programs.
+//
+// # Context-first API convention
+//
+// Long-running entry points come in pairs: a context-first form that is
+// the real implementation, and a legacy form kept as a deprecated alias
+// that delegates to context.Background():
+//
+//	core.Path.MonteCarloCtx(ctx, cfg)      / core.Path.MonteCarlo(cfg)
+//	core.PathPair.MonteCarloSkewCtx(...)   / core.PathPair.MonteCarloSkew(...)
+//	core.Path.MonteCarloCorrelatedCtx(...) / core.Path.MonteCarloCorrelated(...)
+//	stat.MapSamplesCtx(...)                / stat.MapSamples(...)
+//
+// The Ctx forms honor cancellation and deadlines: a canceled context
+// aborts the run promptly and returns ctx.Err() wrapped with the sample
+// index reached (errors.Is against context.Canceled/DeadlineExceeded
+// works). They run on the internal/runner worker pool: Workers = 0 means
+// serial, negative means GOMAXPROCS, positive is an exact count — and at
+// a fixed seed the results are bit-identical at any worker count.
 package lcsim

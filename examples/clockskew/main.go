@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,9 @@ func main() {
 		IndependentA: core.DeviceSources(tech, 0.33, 0.33),
 		IndependentB: core.DeviceSources(tech, 0.33, 0.33),
 	}
-	res, err := pair.MonteCarloSkew(60, 2026, true)
+	res, err := pair.MonteCarloSkewCtx(context.Background(), core.SkewConfig{
+		N: 60, Seed: 2026, Workers: -1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

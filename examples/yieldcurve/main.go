@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -37,7 +38,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mc, err := path.MonteCarlo(core.MCConfig{N: 100, Seed: 7, Sources: sources, Parallel: true})
+	mc, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
+		N: 100, Seed: 7, Sources: sources, Workers: -1, KeepSamples: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lcsim/internal/mat"
@@ -59,8 +60,10 @@ func (c *CorrelatedSources) RunSpecFromFactors(z []float64) (teta.RunSpec, error
 	return BuildRunSpec(c.Sources, values), nil
 }
 
-// MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.
-func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, parallel bool) (*MCResult, error) {
+// MonteCarloCorrelatedCtx runs path Monte-Carlo sampling in factor space
+// on the parallel runtime (workers: 0 = serial, negative = GOMAXPROCS,
+// positive = exact). Results are bit-identical at any worker count.
+func (p *Path) MonteCarloCorrelatedCtx(ctx context.Context, cs *CorrelatedSources, n int, seed int64, workers int) (*MCResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: MC needs N > 0")
 	}
@@ -72,7 +75,7 @@ func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, pa
 	}
 	samples := stat.SamplePlan(cube, dists)
 	res := &MCResult{Samples: samples}
-	delays, err := stat.MapSamples(samples, parallel, func(i int, z []float64) (float64, error) {
+	delays, err := stat.MapSamplesCtx(ctx, samples, workers, func(i int, z []float64) (float64, error) {
 		rs, err := cs.RunSpecFromFactors(z)
 		if err != nil {
 			return 0, err
@@ -89,4 +92,17 @@ func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, pa
 	res.Delays = delays
 	res.Summary = stat.Summarize(delays)
 	return res, nil
+}
+
+// MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.
+//
+// Deprecated: use MonteCarloCorrelatedCtx, which adds cancellation and an
+// explicit worker count. This signature delegates with
+// context.Background() and parallel ⇒ GOMAXPROCS workers.
+func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, parallel bool) (*MCResult, error) {
+	workers := 0
+	if parallel {
+		workers = -1
+	}
+	return p.MonteCarloCorrelatedCtx(context.Background(), cs, n, seed, workers)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcsim/internal/runner"
 	"lcsim/internal/teta"
 )
 
@@ -16,6 +17,9 @@ type GAConfig struct {
 	// SlewStep is the relative perturbation of the input slew used for
 	// ∂/∂S derivatives (default 0.05).
 	SlewStep float64
+	// Metrics, when non-nil, accumulates evaluation-cost counters (stage
+	// evaluations, SC iterations, linear solves) across the analysis.
+	Metrics *runner.Metrics
 }
 
 // GAResult holds the gradient-analysis outcome: the nominal path delay,
@@ -70,7 +74,7 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 	rising := true
 
 	for _, st := range p.Stages {
-		sd, err := p.stageDerivatives(st, cfg.Sources, slew, rising, step, slewStep, &res.Simulations)
+		sd, err := p.stageDerivatives(st, cfg.Sources, slew, rising, step, slewStep, &res.Simulations, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -100,23 +104,34 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 // stageDerivatives evaluates the stage Γ function and its derivatives by
 // finite differences: nominal, slew perturbation (central), and a central
 // difference per variation source.
-func (p *Path) stageDerivatives(st *Stage, sources []Source, slew float64, rising bool, step, slewStep float64, sims *int) (*stageDerivs, error) {
-	nom, err := p.evalStage(st, teta.RunSpec{}, slew, rising, false)
+func (p *Path) stageDerivatives(st *Stage, sources []Source, slew float64, rising bool, step, slewStep float64, sims *int, m *runner.Metrics) (*stageDerivs, error) {
+	// eval wraps evalStage with the simulation counter and the shared
+	// metrics accumulators.
+	eval := func(rs teta.RunSpec, s float64) (StageDelayResult, error) {
+		r, err := p.evalStage(st, rs, s, rising, false)
+		if err != nil {
+			return r, err
+		}
+		*sims++
+		m.AddStageEvals(1)
+		m.AddSC(r.SCIters)
+		m.AddSolves(r.Solves)
+		return r, nil
+	}
+	nom, err := eval(teta.RunSpec{}, slew)
 	if err != nil {
 		return nil, fmt.Errorf("GA nominal: %w", err)
 	}
-	*sims++
 	// Slew derivatives (central difference).
 	ds := slew * slewStep
-	hi, err := p.evalStage(st, teta.RunSpec{}, slew+ds, rising, false)
+	hi, err := eval(teta.RunSpec{}, slew+ds)
 	if err != nil {
 		return nil, fmt.Errorf("GA slew+: %w", err)
 	}
-	lo, err := p.evalStage(st, teta.RunSpec{}, slew-ds, rising, false)
+	lo, err := eval(teta.RunSpec{}, slew-ds)
 	if err != nil {
 		return nil, fmt.Errorf("GA slew-: %w", err)
 	}
-	*sims += 2
 	out := &stageDerivs{
 		nom:    nom,
 		dPidS:  (hi.Cross50 - lo.Cross50) / (2 * ds),
@@ -129,15 +144,14 @@ func (p *Path) stageDerivatives(st *Stage, sources []Source, slew float64, risin
 		var rsp, rsm teta.RunSpec
 		s.Apply(&rsp, h)
 		s.Apply(&rsm, -h)
-		ph, err := p.evalStage(st, rsp, slew, rising, false)
+		ph, err := eval(rsp, slew)
 		if err != nil {
 			return nil, fmt.Errorf("GA %s+: %w", s.Name, err)
 		}
-		pl, err := p.evalStage(st, rsm, slew, rising, false)
+		pl, err := eval(rsm, slew)
 		if err != nil {
 			return nil, fmt.Errorf("GA %s-: %w", s.Name, err)
 		}
-		*sims += 2
 		out.dPidW[l] = (ph.Cross50 - pl.Cross50) / (2 * h)
 		out.dPsidW[l] = (ph.Slew - pl.Slew) / (2 * h)
 	}

@@ -1,32 +1,122 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"lcsim/internal/runner"
 	"lcsim/internal/stat"
 )
+
+// Sampler selects the unit-cube sampling plan for Monte-Carlo analysis.
+type Sampler int
+
+const (
+	// SamplerDefault resolves to SamplerLHS, the paper's Example-2 plan.
+	SamplerDefault Sampler = iota
+	// SamplerLHS is Latin Hypercube sampling (variance-reduced; the plan
+	// is a joint permutation over all N rows, derived from Seed).
+	SamplerLHS
+	// SamplerHalton is the deterministic low-discrepancy Halton sequence
+	// (a pure function of the sample index; Seed is ignored).
+	SamplerHalton
+	// SamplerPseudo is plain pseudo-random sampling with a per-index
+	// stream derived from Seed, so any worker can generate any row.
+	SamplerPseudo
+)
+
+// String names the sampler as accepted by ParseSampler.
+func (s Sampler) String() string {
+	switch s {
+	case SamplerHalton:
+		return "halton"
+	case SamplerPseudo:
+		return "pseudo"
+	default:
+		return "lhs"
+	}
+}
+
+// ParseSampler maps a name ("lhs", "halton", "pseudo") to a Sampler.
+func ParseSampler(name string) (Sampler, error) {
+	switch name {
+	case "", "lhs":
+		return SamplerLHS, nil
+	case "halton":
+		return SamplerHalton, nil
+	case "pseudo":
+		return SamplerPseudo, nil
+	}
+	return SamplerDefault, fmt.Errorf("core: unknown sampler %q (want lhs, halton or pseudo)", name)
+}
 
 // MCConfig configures Monte-Carlo path-delay analysis (§4.3.1).
 type MCConfig struct {
 	N       int
 	Seed    int64
 	Sources []Source
-	// UseLHS selects Latin Hypercube sampling (the default and the
-	// paper's Example-2 plan); UseHalton selects the deterministic
-	// low-discrepancy Halton sequence instead; with both false, plain
-	// pseudo-random sampling is used.
+	// Sampler selects the sampling plan; the zero value means LHS.
+	Sampler Sampler
+	// Workers selects evaluation parallelism: 0 = serial, -1 (or any
+	// negative value) = GOMAXPROCS, positive = exactly that many workers.
+	// Results are bit-identical at any worker count for a fixed Seed.
+	Workers int
+	// KeepSamples materializes per-sample rows: MCResult.Delays and
+	// MCResult.Samples are only populated when it is set. When false the
+	// run streams — Summary comes from online accumulators (Welford +
+	// P² quantiles) and memory stays O(1) in N.
+	KeepSamples bool
+	Direct      bool // exact per-sample re-reduction instead of the library
+	// Metrics, when non-nil, accumulates evaluation-cost counters
+	// (samples, SC iterations, linear solves, stage evaluations) across
+	// the run; safe to share between concurrent analyses.
+	Metrics *runner.Metrics
+	// Progress, when non-nil, is called periodically with the number of
+	// completed samples (from a single goroutine).
+	Progress func(done, total int)
+
+	// Deprecated: UseLHS/UseHalton are the pre-Sampler selection booleans,
+	// honored only when Sampler is SamplerDefault. Use Sampler.
 	UseLHS    bool
 	UseHalton bool
-	Parallel  bool
-	Direct    bool // exact per-sample re-reduction instead of the library
+	// Deprecated: Parallel is the pre-Workers switch, honored only when
+	// Workers is 0 (Parallel ⇒ GOMAXPROCS). Use Workers.
+	Parallel bool
+}
+
+// sampler resolves the Sampler field against the deprecated booleans.
+// An explicit Sampler wins; otherwise UseHalton, then UseLHS; the default
+// is LHS (the redesign promotes the paper's plan to the default — the old
+// both-false case meant plain pseudo-random sampling).
+func (cfg MCConfig) sampler() Sampler {
+	if cfg.Sampler != SamplerDefault {
+		return cfg.Sampler
+	}
+	if cfg.UseHalton {
+		return SamplerHalton
+	}
+	return SamplerLHS
+}
+
+// workers resolves the Workers field against the deprecated Parallel flag.
+func (cfg MCConfig) workers() int {
+	if cfg.Workers != 0 {
+		return cfg.Workers
+	}
+	if cfg.Parallel {
+		return -1
+	}
+	return 0
 }
 
 // MCResult holds the Monte-Carlo outcome.
 type MCResult struct {
+	// Delays and Samples are populated only when MCConfig.KeepSamples is
+	// set; streaming runs keep neither.
 	Delays  []float64
-	Summary stat.Summary
 	Samples [][]float64
+	Summary stat.Summary
 	// TotalSC counts successive-chord iterations across all runs (a cost
 	// proxy that needs no wall clock).
 	TotalSC int
@@ -35,6 +125,7 @@ type MCResult struct {
 // Correlations returns the Spearman rank correlation between each source's
 // sampled values and the resulting delays — a cheap post-hoc sensitivity
 // screen complementing Gradient Analysis (it needs no extra simulations).
+// Requires a run with KeepSamples set.
 func (r *MCResult) Correlations(sources []Source) map[string]float64 {
 	out := map[string]float64{}
 	if len(r.Delays) < 3 || len(r.Samples) != len(r.Delays) {
@@ -95,12 +186,63 @@ func pearson(a, b []float64) float64 {
 	return cov / (math.Sqrt(va) * math.Sqrt(vb))
 }
 
-// MonteCarlo estimates the path-delay distribution by full stage-by-stage
-// simulation per sample. The variational interconnect library is
-// characterized once (at BuildChain time); each sample costs only a
-// library evaluation plus the SC transient — the framework's headline
-// efficiency claim.
-func (p *Path) MonteCarlo(cfg MCConfig) (*MCResult, error) {
+// mcEval carries one sample's outcome through the runner.
+type mcEval struct {
+	delay  float64
+	sc     int
+	sample []float64
+}
+
+// rowGen returns a deterministic per-index generator of transformed
+// sample rows. LHS precomputes its joint plan (the permutations couple
+// all N rows); Halton and pseudo are pure per-index functions, so no plan
+// is materialized. In every case row i is independent of which worker —
+// and how many workers — evaluate the run.
+func rowGen(cfg MCConfig, sampler Sampler, dists []stat.Dist) func(i int) []float64 {
+	d := len(dists)
+	if d == 0 {
+		return func(int) []float64 { return nil }
+	}
+	var cube [][]float64
+	if sampler == SamplerLHS {
+		cube = stat.LatinHypercube(stat.NewRNG(cfg.Seed), cfg.N, d)
+	}
+	return func(i int) []float64 {
+		row := make([]float64, d)
+		switch sampler {
+		case SamplerLHS:
+			copy(row, cube[i])
+		case SamplerHalton:
+			for j := range row {
+				row[j] = stat.HaltonAt(i, j)
+			}
+		default: // SamplerPseudo
+			rng := stat.NewRNG(runner.IndexSeed(cfg.Seed, i))
+			for j := range row {
+				u := rng.Float64()
+				if u == 0 {
+					u = 0.5 / float64(cfg.N*cfg.N+1)
+				}
+				row[j] = u
+			}
+		}
+		for j := range row {
+			row[j] = dists[j].Quantile(row[j])
+		}
+		return row
+	}
+}
+
+// MonteCarloCtx estimates the path-delay distribution by full
+// stage-by-stage simulation per sample, evaluated on a chunked worker
+// pool. The variational interconnect library is characterized once (at
+// BuildChain time); each sample costs only a library evaluation plus the
+// SC transient — the framework's headline efficiency claim.
+//
+// The run is reproducible: for a fixed Seed the Summary is bit-identical
+// at any worker count. Canceling ctx aborts between samples and returns
+// ctx.Err() wrapped with the sample index reached.
+func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: MC needs N > 0")
 	}
@@ -109,50 +251,62 @@ func (p *Path) MonteCarlo(cfg MCConfig) (*MCResult, error) {
 			return nil, err
 		}
 	}
-	rng := stat.NewRNG(cfg.Seed)
-	d := len(cfg.Sources)
-	var cube [][]float64
-	if d > 0 {
-		switch {
-		case cfg.UseHalton:
-			cube = stat.Halton(cfg.N, d)
-		case cfg.UseLHS:
-			cube = stat.LatinHypercube(rng, cfg.N, d)
-		default:
-			cube = stat.MonteCarloCube(rng, cfg.N, d)
-		}
-	} else {
-		cube = make([][]float64, cfg.N)
-		for i := range cube {
-			cube[i] = nil
-		}
-	}
-	dists := make([]stat.Dist, d)
+	dists := make([]stat.Dist, len(cfg.Sources))
 	for i, s := range cfg.Sources {
 		dists[i] = s.dist()
 	}
-	samples := cube
-	if d > 0 {
-		samples = stat.SamplePlan(cube, dists)
+	row := rowGen(cfg, cfg.sampler(), dists)
+
+	res := &MCResult{}
+	stream := stat.NewStreamSummary()
+	if cfg.KeepSamples {
+		res.Delays = make([]float64, cfg.N)
+		res.Samples = make([][]float64, cfg.N)
 	}
-	res := &MCResult{Samples: samples}
-	scCounts := make([]int, cfg.N)
-	delays, err := stat.MapSamples(samples, cfg.Parallel, func(i int, sv []float64) (float64, error) {
-		rs := BuildRunSpec(cfg.Sources, sv)
-		ev, err := p.Evaluate(rs, cfg.Direct)
-		if err != nil {
-			return 0, err
-		}
-		scCounts[i] = ev.SCIters
-		return ev.Delay, nil
-	})
+	err := runner.Map(ctx, cfg.N,
+		runner.Options{
+			Workers:  cfg.workers(),
+			Metrics:  cfg.Metrics,
+			Progress: cfg.Progress,
+		},
+		func(_ context.Context, i int) (mcEval, error) {
+			sv := row(i)
+			rs := BuildRunSpec(cfg.Sources, sv)
+			ev, err := p.Evaluate(rs, cfg.Direct)
+			if err != nil {
+				return mcEval{}, err
+			}
+			cfg.Metrics.AddSC(ev.SCIters)
+			cfg.Metrics.AddSolves(ev.LinearSolves)
+			cfg.Metrics.AddStageEvals(len(p.Stages))
+			return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv}, nil
+		},
+		func(i int, v mcEval) {
+			stream.Add(v.delay)
+			res.TotalSC += v.sc
+			if cfg.KeepSamples {
+				res.Delays[i] = v.delay
+				res.Samples[i] = v.sample
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	res.Delays = delays
-	res.Summary = stat.Summarize(delays)
-	for _, c := range scCounts {
-		res.TotalSC += c
+	if cfg.KeepSamples {
+		res.Summary = stat.Summarize(res.Delays)
+	} else {
+		res.Summary = stream.Summary()
 	}
 	return res, nil
+}
+
+// MonteCarlo runs Monte-Carlo analysis without cancellation support.
+//
+// Deprecated: use MonteCarloCtx, which adds context cancellation and
+// honors KeepSamples. This legacy entry point always materializes
+// Delays/Samples (its pre-redesign behavior) and delegates with
+// context.Background().
+func (p *Path) MonteCarlo(cfg MCConfig) (*MCResult, error) {
+	cfg.KeepSamples = true
+	return p.MonteCarloCtx(context.Background(), cfg)
 }

@@ -83,6 +83,7 @@ type StageDelayResult struct {
 	Cross50 float64 // output 50% crossing (local time)
 	Slew    float64 // output 0–100% slew estimate
 	SCIters int
+	Solves  int // prefactored linear solves spent in the SC loop
 }
 
 // evalStageWave runs one stage for an arbitrary input waveform and
@@ -119,7 +120,12 @@ func (p *Path) evalStageWave(st *Stage, rs teta.RunSpec, in circuit.Waveform, ri
 	if math.IsNaN(cross) || math.IsNaN(slew) || slew <= 0 {
 		return StageDelayResult{}, nil, fmt.Errorf("stage %s: output did not complete its transition (cross=%g slew=%g); increase TStop", st.Name, cross, slew)
 	}
-	return StageDelayResult{Cross50: cross, Slew: slew, SCIters: res.Stats.SCIterations}, wf, nil
+	return StageDelayResult{
+		Cross50: cross,
+		Slew:    slew,
+		SCIters: res.Stats.SCIterations,
+		Solves:  res.Stats.LinearSolves,
+	}, wf, nil
 }
 
 // evalStage is the saturated-ramp variant used by Gradient Analysis (the
@@ -149,10 +155,11 @@ func shiftPWL(w *circuit.PWL, dt float64) *circuit.PWL {
 // PathEval is a full stage-by-stage path evaluation at one statistical
 // sample (§4.3.1's inner loop).
 type PathEval struct {
-	Delay       float64 // total 50%-to-50% path delay
-	StageDelays []float64
-	FinalSlew   float64
-	SCIters     int
+	Delay        float64 // total 50%-to-50% path delay
+	StageDelays  []float64
+	FinalSlew    float64
+	SCIters      int
+	LinearSolves int
 }
 
 // Evaluate propagates the stimulus through every stage at the given
@@ -182,6 +189,7 @@ func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
 		out.StageDelays = append(out.StageDelays, d)
 		out.Delay += d
 		out.SCIters += r.SCIters
+		out.LinearSolves += r.Solves
 		in = shiftPWL(wf, p.TStart-r.Cross50).Compress(1e-4 * vdd)
 		rising = rising != st.Invert
 		out.FinalSlew = r.Slew

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"lcsim/internal/runner"
 	"lcsim/internal/stat"
 	"lcsim/internal/teta"
 )
@@ -24,6 +26,16 @@ type PathPair struct {
 	IndependentB []Source
 }
 
+// SkewConfig configures Monte-Carlo skew analysis. The Workers,
+// Metrics and Progress fields follow the MCConfig conventions.
+type SkewConfig struct {
+	N        int
+	Seed     int64
+	Workers  int // 0 = serial, negative = GOMAXPROCS, positive = exact
+	Metrics  *runner.Metrics
+	Progress func(done, total int)
+}
+
 // SkewResult holds the Monte-Carlo skew outcome.
 type SkewResult struct {
 	Skews    []float64 // arrival(A) − arrival(B), per sample
@@ -35,13 +47,17 @@ type SkewResult struct {
 	RSS float64
 }
 
-// MonteCarloSkew samples the pair jointly: shared values are reused across
-// branches, independent values drawn per branch.
-func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResult, error) {
+// pairDelay carries both branch arrivals for one sample.
+type pairDelay struct{ a, b float64 }
+
+// MonteCarloSkewCtx samples the pair jointly on the parallel runtime:
+// shared values are reused across branches, independent values drawn per
+// branch. Results are bit-identical at any worker count for a fixed Seed.
+func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*SkewResult, error) {
 	if pp.A == nil || pp.B == nil {
 		return nil, fmt.Errorf("core: PathPair needs both paths")
 	}
-	if n <= 0 {
+	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: skew MC needs n > 0")
 	}
 	for _, group := range [][]Source{pp.Shared, pp.IndependentA, pp.IndependentB} {
@@ -55,8 +71,7 @@ func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResul
 	if dim == 0 {
 		return nil, fmt.Errorf("core: skew MC needs at least one source")
 	}
-	rng := stat.NewRNG(seed)
-	cube := stat.LatinHypercube(rng, n, dim)
+	cube := stat.LatinHypercube(stat.NewRNG(cfg.Seed), cfg.N, dim)
 	dists := make([]stat.Dist, 0, dim)
 	for _, group := range [][]Source{pp.Shared, pp.IndependentA, pp.IndependentB} {
 		for _, s := range group {
@@ -65,13 +80,8 @@ func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResul
 	}
 	samples := stat.SamplePlan(cube, dists)
 
-	type pairDelay struct{ a, b float64 }
-	delays := make([]pairDelay, n)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	evalOne := func(i int, row []float64) error {
+	evalOne := func(i int) (pairDelay, error) {
+		row := samples[i]
 		ns := len(pp.Shared)
 		na := len(pp.IndependentA)
 		var rsA, rsB teta.RunSpec
@@ -87,33 +97,50 @@ func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResul
 		}
 		ea, err := pp.A.Evaluate(rsA, false)
 		if err != nil {
-			return fmt.Errorf("branch A: %w", err)
+			return pairDelay{}, fmt.Errorf("branch A: %w", err)
 		}
 		eb, err := pp.B.Evaluate(rsB, false)
 		if err != nil {
-			return fmt.Errorf("branch B: %w", err)
+			return pairDelay{}, fmt.Errorf("branch B: %w", err)
 		}
-		delays[i] = pairDelay{ea.Delay, eb.Delay}
-		return nil
+		cfg.Metrics.AddSC(ea.SCIters + eb.SCIters)
+		cfg.Metrics.AddSolves(ea.LinearSolves + eb.LinearSolves)
+		cfg.Metrics.AddStageEvals(len(pp.A.Stages) + len(pp.B.Stages))
+		return pairDelay{ea.Delay, eb.Delay}, nil
 	}
-	_, err := stat.MapSamples(samples, parallel, func(i int, row []float64) (float64, error) {
-		return 0, evalOne(i, row)
-	})
+
+	res := &SkewResult{Skews: make([]float64, 0, cfg.N)}
+	as := make([]float64, 0, cfg.N)
+	bs := make([]float64, 0, cfg.N)
+	err := runner.Map(ctx, cfg.N,
+		runner.Options{Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress},
+		func(_ context.Context, i int) (pairDelay, error) { return evalOne(i) },
+		func(_ int, d pairDelay) {
+			as = append(as, d.a)
+			bs = append(bs, d.b)
+			res.Skews = append(res.Skews, d.a-d.b)
+		})
 	if err != nil {
 		return nil, err
-	}
-	res := &SkewResult{}
-	var as, bs []float64
-	for _, d := range delays {
-		as = append(as, d.a)
-		bs = append(bs, d.b)
-		res.Skews = append(res.Skews, d.a-d.b)
 	}
 	res.ArrivalA = stat.Summarize(as)
 	res.ArrivalB = stat.Summarize(bs)
 	res.Skew = stat.Summarize(res.Skews)
 	res.RSS = rss(res.ArrivalA.Std, res.ArrivalB.Std)
 	return res, nil
+}
+
+// MonteCarloSkew samples the pair jointly.
+//
+// Deprecated: use MonteCarloSkewCtx, which adds cancellation, an explicit
+// worker count and metrics. This signature delegates with
+// context.Background() and parallel ⇒ GOMAXPROCS workers.
+func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResult, error) {
+	workers := 0
+	if parallel {
+		workers = -1
+	}
+	return pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: n, Seed: seed, Workers: workers})
 }
 
 func rss(a, b float64) float64 {

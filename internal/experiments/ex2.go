@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"lcsim/internal/circuit"
 	"lcsim/internal/device"
 	"lcsim/internal/interconnect"
+	"lcsim/internal/runner"
 	"lcsim/internal/spice"
 	"lcsim/internal/stat"
 	"lcsim/internal/teta"
@@ -26,7 +28,23 @@ type Ex2Options struct {
 	Drive     float64 // driver strength
 	DT, TStop float64
 	Order     int
-	Parallel  bool
+	// Workers selects evaluation parallelism per the core.MCConfig
+	// convention: 0 = serial, negative = GOMAXPROCS, positive = exact.
+	Workers int
+	// Deprecated: Parallel is honored only when Workers is 0
+	// (Parallel ⇒ GOMAXPROCS). Use Workers.
+	Parallel bool
+}
+
+// workers resolves Workers against the deprecated Parallel flag.
+func (o Ex2Options) workers() int {
+	if o.Workers != 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return -1
+	}
+	return 0
 }
 
 func (o *Ex2Options) setDefaults() {
@@ -234,7 +252,8 @@ type Figure6Result struct {
 
 // RunFigure6 evaluates the 100-sample delay histograms at one wirelength
 // with the variational library and with exact per-sample recharacterized
-// models.
+// models. Samples run on the parallel runtime per o.Workers; results are
+// identical at any worker count.
 func RunFigure6(o Ex2Options, lengthUm float64) (*Figure6Result, error) {
 	o.setDefaults()
 	st, err := ex2Stage(o, lengthUm)
@@ -242,26 +261,37 @@ func RunFigure6(o Ex2Options, lengthUm float64) (*Figure6Result, error) {
 		return nil, err
 	}
 	specs := ex2SampleSpecs(o)
-	var fw, ref []float64
-	for _, rs := range specs {
-		r1, err := st.Run(rs)
-		if err != nil {
-			return nil, err
-		}
-		d1, err := ex2Delay(o, r1)
-		if err != nil {
-			return nil, err
-		}
-		fw = append(fw, d1)
-		r2, err := st.RunDirect(rs)
-		if err != nil {
-			return nil, err
-		}
-		d2, err := ex2Delay(o, r2)
-		if err != nil {
-			return nil, err
-		}
-		ref = append(ref, d2)
+	type pair struct{ fw, ref float64 }
+	fw := make([]float64, 0, len(specs))
+	ref := make([]float64, 0, len(specs))
+	err = runner.Map(context.Background(), len(specs),
+		runner.Options{Workers: o.workers()},
+		func(_ context.Context, i int) (pair, error) {
+			rs := specs[i]
+			r1, err := st.Run(rs)
+			if err != nil {
+				return pair{}, err
+			}
+			d1, err := ex2Delay(o, r1)
+			if err != nil {
+				return pair{}, err
+			}
+			r2, err := st.RunDirect(rs)
+			if err != nil {
+				return pair{}, err
+			}
+			d2, err := ex2Delay(o, r2)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{d1, d2}, nil
+		},
+		func(_ int, p pair) {
+			fw = append(fw, p.fw)
+			ref = append(ref, p.ref)
+		})
+	if err != nil {
+		return nil, err
 	}
 	res := &Figure6Result{
 		LengthUm:        lengthUm,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -24,10 +25,26 @@ type Ex3Options struct {
 	Order    int
 	Samples  int // MC samples (paper: 100)
 	Seed     int64
+	// Workers selects MC evaluation parallelism per the core.MCConfig
+	// convention: 0 = serial, negative = GOMAXPROCS, positive = exact.
+	Workers int
+	// Deprecated: Parallel is honored only when Workers is 0
+	// (Parallel ⇒ GOMAXPROCS). Use Workers.
 	Parallel bool
 	// Progress, when non-nil, receives one line per completed Table-4 row
 	// (the baseline transients on the big circuits take minutes each).
 	Progress io.Writer
+}
+
+// workers resolves Workers against the deprecated Parallel flag.
+func (o Ex3Options) workers() int {
+	if o.Workers != 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return -1
+	}
+	return 0
 }
 
 func (o *Ex3Options) setDefaults() {
@@ -158,10 +175,11 @@ func RunTable4(o Ex3Options, set []iscas.Benchmark, elemCounts []int, fwSamples,
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
-			// Framework timing: per-sample full path evaluation.
-			mcCfg := core.MCConfig{N: fwSamples, Seed: o.Seed + 1, Sources: sources, Parallel: false}
+			// Framework timing: per-sample full path evaluation, serial so
+			// the per-sample ratio is a single-core quantity.
+			mcCfg := core.MCConfig{N: fwSamples, Seed: o.Seed + 1, Sources: sources, Workers: 0}
 			t0 := time.Now()
-			if _, err := p.MonteCarlo(mcCfg); err != nil {
+			if _, err := p.MonteCarloCtx(context.Background(), mcCfg); err != nil {
 				return nil, fmt.Errorf("%s framework MC: %w", b.Name, err)
 			}
 			fwPer := time.Since(t0).Seconds() / float64(fwSamples)
@@ -228,8 +246,8 @@ func RunTable5(o Ex3Options, set []iscas.Benchmark, elems int) ([]Table5Row, err
 			if err != nil {
 				return nil, fmt.Errorf("%s GA: %w", b.Name, err)
 			}
-			mc, err := p.MonteCarlo(core.MCConfig{
-				N: o.Samples, Seed: o.Seed, Sources: sources, Parallel: o.Parallel,
+			mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
+				N: o.Samples, Seed: o.Seed, Sources: sources, Workers: o.workers(),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s MC: %w", b.Name, err)
@@ -265,7 +283,10 @@ func RunFigure7(o Ex3Options, b iscas.Benchmark, elems int) (*Figure7Result, err
 		return nil, err
 	}
 	sources := core.DeviceSources(o.Tech, 0.33, 0.33)
-	mc, err := p.MonteCarlo(core.MCConfig{N: o.Samples, Seed: o.Seed, Sources: sources, Parallel: o.Parallel})
+	mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
+		N: o.Samples, Seed: o.Seed, Sources: sources,
+		Workers: o.workers(), KeepSamples: true,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -194,7 +194,7 @@ func TestTable4SpeedupShape(t *testing.T) {
 }
 
 func TestTable5GAvsMC(t *testing.T) {
-	o := Ex3Options{Samples: 30, Parallel: true}
+	o := Ex3Options{Samples: 30, Workers: -1}
 	rows, err := RunTable5(o, ex3SmallSet(), 10)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +240,7 @@ func numSources(r Table5Row) int {
 }
 
 func TestFigure7Histograms(t *testing.T) {
-	o := Ex3Options{Samples: 24, Parallel: true}
+	o := Ex3Options{Samples: 24, Workers: -1}
 	res, err := RunFigure7(o, iscas.Benchmark{Name: "s27", Stages: 6, Seed: 27}, 10)
 	if err != nil {
 		t.Fatal(err)

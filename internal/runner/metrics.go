@@ -1,0 +1,63 @@
+package runner
+
+import "sync/atomic"
+
+// Metrics is a set of atomic cost counters shared by the evaluation
+// layers: the runner counts completed samples, the core/teta layers add
+// Successive-Chords iterations, linear (triangular) solves and stage
+// evaluations. All methods are safe on a nil receiver, so call sites
+// can pass counters through unconditionally.
+type Metrics struct {
+	samples    atomic.Int64
+	scIters    atomic.Int64
+	solves     atomic.Int64
+	stageEvals atomic.Int64
+}
+
+// Snapshot is a consistent-enough copy of the counters for reporting.
+type Snapshot struct {
+	Samples      int64 // completed sample evaluations
+	SCIterations int64 // Successive-Chords iterations
+	LinearSolves int64 // triangular solves during timestepping
+	StageEvals   int64 // stage transient evaluations
+}
+
+func (m *Metrics) addSamples(n int) {
+	if m != nil {
+		m.samples.Add(int64(n))
+	}
+}
+
+// AddSC adds Successive-Chords iterations.
+func (m *Metrics) AddSC(n int) {
+	if m != nil {
+		m.scIters.Add(int64(n))
+	}
+}
+
+// AddSolves adds linear-solve counts.
+func (m *Metrics) AddSolves(n int) {
+	if m != nil {
+		m.solves.Add(int64(n))
+	}
+}
+
+// AddStageEvals adds stage transient evaluations.
+func (m *Metrics) AddStageEvals(n int) {
+	if m != nil {
+		m.stageEvals.Add(int64(n))
+	}
+}
+
+// Snapshot reads all counters. A nil receiver reads as zero.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Samples:      m.samples.Load(),
+		SCIterations: m.scIters.Load(),
+		LinearSolves: m.solves.Load(),
+		StageEvals:   m.stageEvals.Load(),
+	}
+}

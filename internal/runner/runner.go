@@ -1,0 +1,245 @@
+// Package runner is the parallel evaluation runtime behind the
+// framework's Monte-Carlo loops: a chunked worker pool with
+// context.Context cancellation, deterministic lowest-index-wins error
+// reporting, in-order result delivery (so streaming statistics are
+// bit-identical at any worker count), per-index RNG stream derivation,
+// and a lightweight metrics/progress layer.
+//
+// The paper's headline efficiency claim (§4.3.1) is that each
+// statistical sample costs only a library evaluation plus a Successive-
+// Chords transient; this package is what lets the framework spend those
+// cheap evaluations on every core without giving up reproducibility.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one Map run.
+type Options struct {
+	// Workers selects the evaluation parallelism: 0 runs serially on the
+	// calling goroutine, -1 (or any negative value) uses GOMAXPROCS, and
+	// a positive value runs exactly that many workers.
+	Workers int
+	// ChunkSize is how many consecutive indices a worker claims per
+	// dispatch (default: a size that yields ~8 chunks per worker, capped
+	// at 64). Larger chunks cut contention; smaller chunks balance load.
+	ChunkSize int
+	// Metrics, when non-nil, receives a Samples increment per completed
+	// evaluation (evaluation code adds its own counters).
+	Metrics *Metrics
+	// Progress, when non-nil, is called from the collector goroutine
+	// every ProgressEvery completed samples and once at the end.
+	Progress func(done, total int)
+	// ProgressEvery is the sample interval between Progress calls
+	// (default max(1, n/100)).
+	ProgressEvery int
+}
+
+// ResolveWorkers maps the Workers convention (0 = serial, negative =
+// GOMAXPROCS, positive = exact) to an actual worker count ≥ 1.
+func ResolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+func (o Options) chunkSize(n, workers int) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+func (o Options) progressEvery(n int) int {
+	if o.ProgressEvery > 0 {
+		return o.ProgressEvery
+	}
+	e := n / 100
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// result carries one evaluation outcome to the collector.
+type result[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n), with opts.Workers
+// parallelism, and delivers the values to sink *in strict index order*
+// from a single goroutine — streaming accumulators fed by sink therefore
+// produce bit-identical results at any worker count. sink may be nil.
+//
+// Error semantics are deterministic: the reported error is the one with
+// the lowest sample index. On the first error, no sample at or beyond
+// that index is started (outstanding work is abandoned); samples below
+// it run to completion so a lower-index error can still win. The error
+// is wrapped as "sample %d: ...".
+//
+// Cancellation: when ctx is canceled (or its deadline passes), workers
+// stop between samples and Map returns ctx.Err() wrapped with the
+// sample index reached — errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold as appropriate.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error), sink func(i int, v T)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := ResolveWorkers(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return mapSerial(ctx, n, opts, fn, sink)
+	}
+	chunk := opts.chunkSize(n, workers)
+	every := opts.progressEvery(n)
+
+	var (
+		next   atomic.Int64 // next unclaimed index
+		minErr atomic.Int64 // lowest index that has errored (n = none)
+		wg     sync.WaitGroup
+	)
+	minErr.Store(int64(n))
+	results := make(chan result[T], workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					// Nothing at or beyond the first error matters; work
+					// below it still runs so the lowest index wins.
+					if int64(i) >= minErr.Load() {
+						continue
+					}
+					v, err := fn(ctx, i)
+					if err != nil {
+						storeMin(&minErr, int64(i))
+					}
+					results <- result[T]{i, v, err}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reorder results to strict index order for sink, track
+	// the lowest-index error and progress.
+	pending := make(map[int]result[T])
+	nextOut := 0
+	done := 0
+	firstErrIdx := n
+	var firstErr error
+	for r := range results {
+		done++
+		opts.Metrics.addSamples(1)
+		if r.err != nil {
+			if r.i < firstErrIdx {
+				firstErrIdx = r.i
+				firstErr = r.err
+			}
+		} else {
+			pending[r.i] = r
+			for {
+				p, ok := pending[nextOut]
+				if !ok {
+					break
+				}
+				delete(pending, nextOut)
+				if sink != nil {
+					sink(p.i, p.v)
+				}
+				nextOut++
+			}
+		}
+		if opts.Progress != nil && done%every == 0 {
+			opts.Progress(done, n)
+		}
+	}
+	if opts.Progress != nil {
+		opts.Progress(done, n)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("sample %d: %w", firstErrIdx, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("runner: canceled at sample %d: %w", nextOut, err)
+	}
+	return nil
+}
+
+// mapSerial is the workers == 1 path: no goroutines, same semantics.
+func mapSerial[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error), sink func(i int, v T)) error {
+	every := opts.progressEvery(n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("runner: canceled at sample %d: %w", i, err)
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		opts.Metrics.addSamples(1)
+		if sink != nil {
+			sink(i, v)
+		}
+		if opts.Progress != nil && ((i+1)%every == 0 || i == n-1) {
+			opts.Progress(i+1, n)
+		}
+	}
+	return nil
+}
+
+// storeMin atomically lowers v to x if x is smaller.
+func storeMin(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x >= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// IndexSeed derives a per-sample RNG seed from a master seed via a
+// SplitMix64 mix. Seeding a generator with IndexSeed(master, i) gives
+// every sample its own independent, reproducible stream regardless of
+// which worker (or how many workers) evaluates it.
+func IndexSeed(master int64, i int) int64 {
+	z := uint64(master) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

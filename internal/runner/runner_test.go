@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if ResolveWorkers(0) != 1 {
+		t.Fatal("0 must mean serial (one worker)")
+	}
+	if ResolveWorkers(3) != 3 {
+		t.Fatal("positive counts are taken literally")
+	}
+	if ResolveWorkers(-1) < 1 {
+		t.Fatal("-1 must resolve to GOMAXPROCS")
+	}
+}
+
+func TestMapOrderedSink(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{0, 4, 16} {
+		var got []int
+		err := Map(context.Background(), n, Options{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil },
+			func(i, v int) { got = append(got, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: sink saw %d of %d", workers, len(got), n)
+		}
+		for i, g := range got {
+			if g != i {
+				t.Fatalf("workers=%d: sink out of order at %d: %d", workers, i, g)
+			}
+		}
+	}
+}
+
+func TestMapWorkerCountInvariance(t *testing.T) {
+	// The sink-visible value stream must be identical at any worker
+	// count, including order — this is what makes streaming statistics
+	// reproducible.
+	run := func(workers int) []float64 {
+		out := make([]float64, 0, 200)
+		err := Map(context.Background(), 200, Options{Workers: workers},
+			func(_ context.Context, i int) (float64, error) {
+				return float64(IndexSeed(7, i)%1000) / 3.0, nil
+			},
+			func(_ int, v float64) { out = append(out, v) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{4, 16} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMapErrorLowestIndexWins(t *testing.T) {
+	// Two failing indices: the lower one must always be reported, at any
+	// worker count, because samples below a known error keep running.
+	for _, workers := range []int{0, 8} {
+		for trial := 0; trial < 5; trial++ {
+			err := Map(context.Background(), 300, Options{Workers: workers, ChunkSize: 1},
+				func(_ context.Context, i int) (int, error) {
+					if i == 211 || i == 37 {
+						return 0, fmt.Errorf("boom at %d", i)
+					}
+					return i, nil
+				}, nil)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.HasPrefix(err.Error(), "sample 37:") {
+				t.Fatalf("workers=%d: wrong error: %v", workers, err)
+			}
+		}
+	}
+}
+
+func TestMapErrorStopsEarly(t *testing.T) {
+	const n = 10000
+	var evaluated atomic.Int64
+	boom := errors.New("boom")
+	err := Map(context.Background(), n, Options{Workers: 4},
+		func(_ context.Context, i int) (int, error) {
+			evaluated.Add(1)
+			if i == 50 {
+				return 0, boom
+			}
+			return i, nil
+		}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected wrapped boom, got %v", err)
+	}
+	if ev := evaluated.Load(); ev >= n/2 {
+		t.Fatalf("error did not stop outstanding work: %d of %d samples ran", ev, n)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var doneSamples atomic.Int64
+	err := Map(ctx, 10000, Options{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			if doneSamples.Add(1) == 100 {
+				cancel()
+			}
+			time.Sleep(20 * time.Microsecond)
+			return i, nil
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "sample") {
+		t.Fatalf("cancellation must report the sample index reached: %v", err)
+	}
+	if n := doneSamples.Load(); n >= 10000 {
+		t.Fatal("cancellation did not abort the run")
+	}
+}
+
+func TestMapDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := Map(ctx, 1<<30, Options{Workers: 2},
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestMapSerialCancellationIndex(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Map(ctx, 100, Options{Workers: 0},
+		func(_ context.Context, i int) (int, error) {
+			if i == 9 {
+				cancel()
+			}
+			return i, nil
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "sample 10") {
+		t.Fatalf("serial cancel must report index reached: %v", err)
+	}
+}
+
+func TestMetricsAndProgress(t *testing.T) {
+	var m Metrics
+	var calls atomic.Int64
+	var lastDone atomic.Int64
+	err := Map(context.Background(), 1000, Options{
+		Workers: 4, Metrics: &m, ProgressEvery: 100,
+		Progress: func(done, total int) {
+			calls.Add(1)
+			lastDone.Store(int64(done))
+			if total != 1000 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	}, func(_ context.Context, i int) (int, error) {
+		m.AddSC(2)
+		return i, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Samples != 1000 {
+		t.Fatalf("samples = %d", s.Samples)
+	}
+	if s.SCIterations != 2000 {
+		t.Fatalf("SC iterations = %d", s.SCIterations)
+	}
+	if calls.Load() == 0 || lastDone.Load() != 1000 {
+		t.Fatalf("progress: %d calls, last done %d", calls.Load(), lastDone.Load())
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.AddSC(1)
+	m.AddSolves(1)
+	m.AddStageEvals(1)
+	m.addSamples(1)
+	if m.Snapshot() != (Snapshot{}) {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestIndexSeedStreamsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := IndexSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+	if IndexSeed(1, 0) == IndexSeed(2, 0) {
+		t.Fatal("different masters must give different streams")
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	if err := Map(context.Background(), 0, Options{}, func(_ context.Context, i int) (int, error) { return i, nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Map(context.Background(), -5, Options{}, func(_ context.Context, i int) (int, error) { return i, nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMapSpeedup demonstrates the worker-pool wall-clock win on a
+// CPU-bound per-sample cost (compare serial vs parallel ns/op).
+func BenchmarkMapSpeedup(b *testing.B) {
+	work := func(_ context.Context, i int) (float64, error) {
+		acc := float64(i)
+		for k := 0; k < 20000; k++ {
+			acc += float64(k%7) * 1e-9
+		}
+		return acc, nil
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"parallel", -1}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := Map(context.Background(), 1000, Options{Workers: v.workers}, work, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

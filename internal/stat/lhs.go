@@ -70,15 +70,26 @@ func Halton(n, d int) [][]float64 {
 	if n <= 0 || d <= 0 || d > len(haltonPrimes) {
 		panic(fmt.Sprintf("stat: Halton supports 1..%d dimensions, got n=%d d=%d", len(haltonPrimes), n, d))
 	}
-	const skip = 20
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, d)
 		for j := 0; j < d; j++ {
-			out[i][j] = radicalInverse(i+1+skip, haltonPrimes[j])
+			out[i][j] = HaltonAt(i, j)
 		}
 	}
 	return out
+}
+
+// HaltonAt returns coordinate dim of row i of the Halton sequence — a
+// pure function of (i, dim), which lets the parallel Monte-Carlo runtime
+// generate rows on any worker without materializing the whole plan.
+// Supports dim in [0, 16).
+func HaltonAt(i, dim int) float64 {
+	if i < 0 || dim < 0 || dim >= len(haltonPrimes) {
+		panic(fmt.Sprintf("stat: HaltonAt supports dims 0..%d, got i=%d dim=%d", len(haltonPrimes)-1, i, dim))
+	}
+	const skip = 20
+	return radicalInverse(i+1+skip, haltonPrimes[dim])
 }
 
 // radicalInverse reflects the base-b digits of k about the radix point.

@@ -1,12 +1,13 @@
 package stat
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
+
+	"lcsim/internal/runner"
 )
 
 // Summary holds basic sample statistics.
@@ -204,47 +205,32 @@ func BootstrapCI(xs []float64, statFn func([]float64) float64, b int, level floa
 	return Quantile(vals, alpha), Quantile(vals, 1-alpha)
 }
 
-// MapSamples evaluates fn over every sample row, optionally in parallel,
-// preserving input order (results are deterministic regardless of
-// parallelism). A nil error from every call is required; the first error
-// aborts.
-func MapSamples(samples [][]float64, parallel bool, fn func(i int, s []float64) (float64, error)) ([]float64, error) {
+// MapSamplesCtx evaluates fn over every sample row on a chunked worker
+// pool (workers: 0 = serial, -1 = GOMAXPROCS, n > 0 = exactly n),
+// preserving input order — results are bit-identical at any worker
+// count. The first error by sample index cancels outstanding work and is
+// returned wrapped with its index; a canceled ctx aborts the run and
+// returns ctx.Err() wrapped with the sample index reached.
+func MapSamplesCtx(ctx context.Context, samples [][]float64, workers int, fn func(i int, s []float64) (float64, error)) ([]float64, error) {
 	out := make([]float64, len(samples))
-	if !parallel {
-		for i, s := range samples {
-			v, err := fn(i, s)
-			if err != nil {
-				return nil, fmt.Errorf("sample %d: %w", i, err)
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		ferr error
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, s := range samples {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, s []float64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			v, err := fn(i, s)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && ferr == nil {
-				ferr = fmt.Errorf("sample %d: %w", i, err)
-				return
-			}
-			out[i] = v
-		}(i, s)
-	}
-	wg.Wait()
-	if ferr != nil {
-		return nil, ferr
+	err := runner.Map(ctx, len(samples), runner.Options{Workers: workers},
+		func(_ context.Context, i int) (float64, error) { return fn(i, samples[i]) },
+		func(i int, v float64) { out[i] = v })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MapSamples evaluates fn over every sample row, optionally in parallel.
+//
+// Deprecated: use MapSamplesCtx, which adds cancellation and an explicit
+// worker count. This signature delegates with context.Background() and
+// parallel ⇒ GOMAXPROCS workers.
+func MapSamples(samples [][]float64, parallel bool, fn func(i int, s []float64) (float64, error)) ([]float64, error) {
+	workers := 0
+	if parallel {
+		workers = -1
+	}
+	return MapSamplesCtx(context.Background(), samples, workers, fn)
 }

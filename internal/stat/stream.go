@@ -1,0 +1,212 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance online (Welford's algorithm),
+// plus min/max, in O(1) memory — the streaming counterpart of Summarize
+// for Monte-Carlo runs too large to materialize.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac 1985): five markers track the quantile without
+// storing the sample. Memory is O(1); accuracy is within ~1% of the
+// exact order statistic for well-behaved distributions.
+type P2Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired positions
+	dn   [5]float64 // desired-position increments
+	init [5]float64 // first five observations
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	e := &P2Quantile{p: p}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.init[e.n] = x
+		e.n++
+		if e.n == 5 {
+			obs := e.init
+			sort.Float64s(obs[:])
+			e.q = obs
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			for i := range e.want {
+				e.want[i] = 1 + 4*e.dn[i]
+			}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell and update the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dn[i]
+	}
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := math.Copysign(1, d)
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback update when the parabola exits the bracket.
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the observation count.
+func (e *P2Quantile) N() int { return e.n }
+
+// Value returns the current quantile estimate. For fewer than five
+// observations it interpolates the stored sample exactly.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		obs := make([]float64, e.n)
+		copy(obs, e.init[:e.n])
+		sort.Float64s(obs)
+		return Quantile(obs, e.p)
+	}
+	return e.q[2]
+}
+
+// StreamSummary is the streaming statistics sink used by the Monte-Carlo
+// runtime when samples are not materialized: Welford mean/variance plus
+// P² estimators for the median and the 5th/95th percentiles. Feed it in
+// a deterministic order (the runner's ordered sink) and the resulting
+// Summary is bit-identical at any worker count.
+type StreamSummary struct {
+	w           Welford
+	med, lo, hi *P2Quantile
+}
+
+// NewStreamSummary creates an empty streaming summary sink.
+func NewStreamSummary() *StreamSummary {
+	return &StreamSummary{
+		med: NewP2Quantile(0.5),
+		lo:  NewP2Quantile(0.05),
+		hi:  NewP2Quantile(0.95),
+	}
+}
+
+// Add folds one observation into every accumulator.
+func (s *StreamSummary) Add(x float64) {
+	s.w.Add(x)
+	s.med.Add(x)
+	s.lo.Add(x)
+	s.hi.Add(x)
+}
+
+// N returns the observation count.
+func (s *StreamSummary) N() int { return s.w.N() }
+
+// Summary renders the streaming state as a Summary. Mean/Std/Min/Max are
+// exact (up to floating-point accumulation); Median/P05/P95 are P²
+// estimates.
+func (s *StreamSummary) Summary() Summary {
+	if s.w.N() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      s.w.N(),
+		Mean:   s.w.Mean(),
+		Std:    s.w.Std(),
+		Min:    s.w.Min(),
+		Max:    s.w.Max(),
+		Median: s.med.Value(),
+		P05:    s.lo.Value(),
+		P95:    s.hi.Value(),
+	}
+}

@@ -1,0 +1,195 @@
+package stat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := NewRNG(3)
+	xs := make([]float64, 5000)
+	var w Welford
+	for i := range xs {
+		xs[i] = 100e-12 + 5e-12*rng.NormFloat64()
+		w.Add(xs[i])
+	}
+	ref := Summarize(xs)
+	if w.N() != ref.N {
+		t.Fatalf("N = %d", w.N())
+	}
+	if relErr(w.Mean(), ref.Mean) > 1e-12 {
+		t.Fatalf("mean %g vs %g", w.Mean(), ref.Mean)
+	}
+	if relErr(w.Std(), ref.Std) > 1e-12 {
+		t.Fatalf("std %g vs %g", w.Std(), ref.Std)
+	}
+	if w.Min() != ref.Min || w.Max() != ref.Max {
+		t.Fatalf("min/max %g/%g vs %g/%g", w.Min(), w.Max(), ref.Min, ref.Max)
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := NewRNG(11)
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		est := NewP2Quantile(q)
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = 10 + 2*rng.NormFloat64()
+			est.Add(xs[i])
+		}
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		exact := Quantile(sorted, q)
+		if relErr(est.Value(), exact) > 0.01 {
+			t.Fatalf("q=%g: P² %g vs exact %g", q, est.Value(), exact)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if !math.IsNaN(est.Value()) {
+		t.Fatal("empty estimator must be NaN")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		est.Add(x)
+	}
+	if est.Value() != 2 {
+		t.Fatalf("median of {1,2,3} = %g", est.Value())
+	}
+}
+
+// TestStreamSummaryMatchesMaterialized is the streaming acceptance check:
+// 100000 LHS samples through a nontrivial response, no per-sample storage,
+// mean/σ within 1e-9 relative and quantiles within 1% of the
+// materialized path.
+func TestStreamSummaryMatchesMaterialized(t *testing.T) {
+	const n = 100000
+	cube := LatinHypercube(NewRNG(5), n, 3)
+	dists := []Dist{
+		Normal{Mean: 100e-12, Sigma: 4e-12},
+		Normal{Mean: 0, Sigma: 2e-12},
+		Uniform{Lo: -1e-12, Hi: 1e-12},
+	}
+	response := func(row []float64) float64 {
+		return dists[0].Quantile(row[0]) + dists[1].Quantile(row[1]) + dists[2].Quantile(row[2])
+	}
+	stream := NewStreamSummary()
+	xs := make([]float64, n)
+	for i, row := range cube {
+		v := response(row)
+		xs[i] = v
+		stream.Add(v)
+	}
+	ref := Summarize(xs)
+	got := stream.Summary()
+	if got.N != n {
+		t.Fatalf("N = %d", got.N)
+	}
+	if relErr(got.Mean, ref.Mean) > 1e-9 {
+		t.Fatalf("mean: stream %g vs exact %g", got.Mean, ref.Mean)
+	}
+	if relErr(got.Std, ref.Std) > 1e-9 {
+		t.Fatalf("std: stream %g vs exact %g", got.Std, ref.Std)
+	}
+	for _, c := range []struct {
+		name       string
+		got, exact float64
+	}{{"median", got.Median, ref.Median}, {"p05", got.P05, ref.P05}, {"p95", got.P95, ref.P95}} {
+		if relErr(c.got, c.exact) > 0.01 {
+			t.Fatalf("%s: stream %g vs exact %g", c.name, c.got, c.exact)
+		}
+	}
+	if got.Min != ref.Min || got.Max != ref.Max {
+		t.Fatal("min/max must be exact in streaming mode")
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMapSamplesFirstErrorByIndexStopsEarly(t *testing.T) {
+	// The pre-runner implementation recorded whichever error finished
+	// first and let all remaining samples run to completion; the runtime
+	// must report the lowest-index error and abandon outstanding work.
+	const n = 4000
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = []float64{float64(i)}
+	}
+	boom := errors.New("boom")
+	var evaluated atomic.Int64
+	for trial := 0; trial < 3; trial++ {
+		evaluated.Store(0)
+		_, err := MapSamples(samples, true, func(i int, s []float64) (float64, error) {
+			evaluated.Add(1)
+			if i == 17 || i == 800 {
+				return 0, boom
+			}
+			return s[0], nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("expected boom, got %v", err)
+		}
+		if !strings.HasPrefix(err.Error(), "sample 17:") {
+			t.Fatalf("first error by index must win deterministically: %v", err)
+		}
+		if ev := evaluated.Load(); ev >= n {
+			t.Fatalf("error did not stop outstanding samples: %d of %d ran", ev, n)
+		}
+	}
+}
+
+func TestMapSamplesCtxCancellation(t *testing.T) {
+	samples := make([][]float64, 2000)
+	for i := range samples {
+		samples[i] = []float64{1}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	_, err := MapSamplesCtx(ctx, samples, 4, func(i int, s []float64) (float64, error) {
+		if done.Add(1) == 50 {
+			cancel()
+		}
+		return s[0], nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestMapSamplesCtxWorkerInvariance(t *testing.T) {
+	samples := LatinHypercube(NewRNG(9), 128, 2)
+	fn := func(i int, s []float64) (float64, error) { return s[0] - s[1] + float64(i), nil }
+	ref, err := MapSamplesCtx(context.Background(), samples, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 16} {
+		got, err := MapSamplesCtx(context.Background(), samples, w, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs at %d", w, i)
+			}
+		}
+	}
+}

@@ -76,8 +76,13 @@ type BuildStats struct {
 
 // RunStats reports per-sample simulation work.
 type RunStats struct {
-	Steps         int
-	SCIterations  int
+	Steps        int
+	SCIterations int
+	// LinearSolves counts the prefactored triangular solves spent in the
+	// timestepping SC loop (Norton extraction + internal recovery per
+	// driver per iteration) — the cost proxy the parallel runtime's
+	// metrics layer aggregates across samples.
+	LinearSolves  int
 	UnstablePoles int     // poles removed by the stability filter
 	BetaMin       float64 // DC correction factors applied
 	BetaMax       float64
@@ -372,6 +377,16 @@ func (st *Stage) runROM(rom *mor.ROM, rs RunSpec) (*Result, error) {
 	h := st.cfg.DT
 	nSteps := int(st.cfg.TStop/h + 0.5)
 	zeff := cv.EffZ()
+	// Each SC iteration resolves the prefactored interconnect macromodel
+	// once (the Zeff apply below) plus two prefactored triangular solves
+	// per driver with internal unknowns (Norton extraction + internal
+	// recovery); drivers reduced to a single output unknown add nothing.
+	solvesPerIter := 1
+	for _, d := range st.drivers {
+		if d.nUnk > 1 {
+			solvesPerIter += 2
+		}
+	}
 	vinNow := make([][]float64, len(st.drivers))
 	for di := range st.drivers {
 		vinNow[di] = make([]float64, len(vin0[di]))
@@ -390,6 +405,7 @@ func (st *Stage) runROM(rom *mor.ROM, rs RunSpec) (*Result, error) {
 		converged := false
 		for it := 0; it < st.cfg.MaxSC; it++ {
 			stats.SCIterations++
+			stats.LinearSolves += solvesPerIter
 			for di, d := range st.drivers {
 				b := d.rhs(unk[di], vinNow[di], false, states[di])
 				iN[d.Port] = d.norton(b, false)
