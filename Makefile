@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race bench bench-json fmt
 
 # Full CI gate: vet, build, race-enabled tests, paper benchmarks.
 check: vet build race bench
@@ -20,6 +20,11 @@ race:
 # One iteration of every paper table/figure benchmark (smoke, not timing).
 bench:
 	$(GO) test -run Bench -bench . -benchtime 1x -count=1 .
+
+# Machine-readable Monte-Carlo perf snapshot (ns/sample, allocs/sample,
+# samples/sec at 1 and N workers) for tracking the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/lcsim bench -samples 100 -out BENCH_mc.json
 
 fmt:
 	gofmt -l -w .

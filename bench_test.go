@@ -513,3 +513,87 @@ func BenchmarkSpiceAdaptiveVsFixed(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkExtractVsVar contrasts the two ways to produce a per-sample
+// pole/residue macromodel on the same variational library: evaluating
+// the library and running the exact eigendecomposition-based extraction
+// (the pre-characterize-once cost), versus the first-order macromodel's
+// affine update into reusable scratch. The gap is the paper's per-sample
+// characterization saving; the var path must also be allocation-free.
+func BenchmarkExtractVsVar(b *testing.B) {
+	bus := interconnect.BuildBus(interconnect.Wire180, 3, 100, 1, true)
+	for _, n := range bus.In {
+		bus.Netlist.MarkPort(n)
+	}
+	sys, err := circuit.AssembleVariational(bus.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.SetPortConductance([]float64{1e-2, 1e-2, 1e-2}); err != nil {
+		b.Fatal(err)
+	}
+	vrom, err := mor.BuildVariational(sys, mor.BuildOptions{Order: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := map[string]float64{interconnect.ParamW: 0.4, interconnect.ParamT: -0.3}
+	b.Run("exactExtract", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rom := vrom.At(w)
+			pr, err := poleres.Extract(rom)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr.StabilizeShiftInPlace()
+		}
+	})
+	b.Run("varMacro", func(b *testing.B) {
+		vm, err := poleres.ExtractVar(vrom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		me := vm.NewEval()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := vm.EvalInto(me, w)
+			pr.StabilizeShiftInPlace()
+		}
+	})
+}
+
+// BenchmarkMCAllocs tracks the full Monte-Carlo per-sample cost — time
+// AND allocations (run with -benchmem) — on the Example-2 coupled stage,
+// fast path vs exact per-sample extraction, single worker so the numbers
+// are per-sample, not per-core.
+func BenchmarkMCAllocs(b *testing.B) {
+	o := experiments.Ex2Options{Samples: 16}
+	fastSt, err := experiments.BuildExample2Stage(o, 40, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exactSt, err := experiments.BuildExample2Stage(o, 40, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := experiments.Example2Samples(o)
+	b.Run("varMacro", func(b *testing.B) {
+		sc := fastSt.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fastSt.RunWith(sc, specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exactExtract", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exactSt.Run(specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lcsim/internal/experiments"
+	"lcsim/internal/runner"
+	"lcsim/internal/teta"
+)
+
+// benchRow is one measured configuration in BENCH_mc.json.
+type benchRow struct {
+	Workers         int     `json:"workers"`
+	NsPerSample     float64 `json:"ns_per_sample"`
+	AllocsPerSample float64 `json:"allocs_per_sample"`
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+}
+
+// benchReport is the BENCH_mc.json schema: the per-sample Monte-Carlo
+// evaluation cost of the Example-2 coupled stage on the characterize-once
+// variational path (1 worker and N workers) and on the per-sample
+// exact-extraction path (1 worker), plus the derived speedups.
+type benchReport struct {
+	Benchmark string  `json:"benchmark"`
+	Date      string  `json:"date"`
+	GoMaxProc int     `json:"gomaxprocs"`
+	Samples   int     `json:"samples"`
+	WireUm    float64 `json:"wire_um"`
+
+	Var1W   benchRow `json:"var_1w"`
+	VarNW   benchRow `json:"var_nw"`
+	Exact1W benchRow `json:"exact_1w"`
+
+	// SpeedupCharOnce is exact_1w / var_1w: the single-worker gain from
+	// evaluating the characterize-once macromodel instead of re-extracting
+	// poles/residues per sample.
+	SpeedupCharOnce float64 `json:"speedup_characterize_once_1w"`
+	// SpeedupParallel is var_1w / var_nw: the additional gain from the
+	// worker pool at the N-worker setting.
+	SpeedupParallel float64 `json:"speedup_parallel"`
+}
+
+// runBench measures per-sample Monte-Carlo evaluation cost on the
+// paper's Example-2 coupled-line stage and writes BENCH_mc.json:
+//
+//	lcsim bench -samples 100 -workers -1 -out BENCH_mc.json
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	samples := fs.Int("samples", 100, "Monte-Carlo samples per measurement")
+	workers := fs.Int("workers", -1, "worker count for the N-worker row (-1 = all cores)")
+	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
+	out := fs.String("out", "BENCH_mc.json", "output JSON path")
+	fail(fs.Parse(args))
+
+	o := experiments.Ex2Options{Samples: *samples}
+	fastSt, err := experiments.BuildExample2Stage(o, *wire, false)
+	fail(err)
+	exactSt, err := experiments.BuildExample2Stage(o, *wire, true)
+	fail(err)
+	specs := experiments.Example2Samples(o)
+
+	rep := benchReport{
+		Benchmark: "example2_mc_per_sample",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Samples:   *samples,
+		WireUm:    *wire,
+	}
+	rep.Var1W = benchStage(fastSt, specs, 1)
+	rep.VarNW = benchStage(fastSt, specs, *workers)
+	rep.Exact1W = benchStage(exactSt, specs, 1)
+	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
+	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	fail(err)
+	buf = append(buf, '\n')
+	fail(os.WriteFile(*out, buf, 0o644))
+	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
+		rep.Var1W.NsPerSample, rep.Var1W.AllocsPerSample, rep.Var1W.SamplesPerSec)
+	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (%d workers)\n",
+		rep.VarNW.NsPerSample, rep.VarNW.AllocsPerSample, rep.VarNW.SamplesPerSec, runner.ResolveWorkers(*workers))
+	fmt.Printf("exact path : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
+		rep.Exact1W.NsPerSample, rep.Exact1W.AllocsPerSample, rep.Exact1W.SamplesPerSec)
+	fmt.Printf("speedup    : %.2fx characterize-once (1 worker), %.2fx parallel\n",
+		rep.SpeedupCharOnce, rep.SpeedupParallel)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchStage times one MC-style sweep over the sample specs with the
+// given worker count, reporting per-sample wall time and allocations.
+func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int) benchRow {
+	run := func() time.Duration {
+		t0 := time.Now()
+		err := runner.MapWorker(context.Background(), len(specs),
+			runner.Options{Workers: workers},
+			st.NewScratch,
+			func(_ context.Context, i int, sc *teta.Scratch) (struct{}, error) {
+				_, err := st.RunWith(sc, specs[i])
+				return struct{}{}, err
+			},
+			nil)
+		fail(err)
+		return time.Since(t0)
+	}
+	// Warm-up pass: DC warm start, convolver memo, scratch pools.
+	run()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	el := run()
+	runtime.ReadMemStats(&m1)
+	n := float64(len(specs))
+	return benchRow{
+		Workers:         runner.ResolveWorkers(workers),
+		NsPerSample:     float64(el.Nanoseconds()) / n,
+		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
+		SamplesPerSec:   n / el.Seconds(),
+	}
+}

@@ -3,11 +3,17 @@
 //	lcsim sim    -netlist f.sp -tstop 5n -dt 5p -probe out[,node2,...]
 //	lcsim reduce -netlist f.sp -order 4 [-at p=0.1,...]
 //	lcsim sta    -bench f.bench
+//	lcsim bench  -samples 100 -out BENCH_mc.json
 //
 // `sim` runs the Newton transient simulator on a SPICE-like netlist;
 // `reduce` builds the (variational) reduced-order model of the netlist's
 // linear part and prints its poles before and after stabilization;
-// `sta` parses an ISCAS-89 .bench file and reports the critical path.
+// `sta` parses an ISCAS-89 .bench file and reports the critical path;
+// `bench` measures the per-sample Monte-Carlo evaluation cost and emits
+// machine-readable JSON.
+//
+// Global flags (before the subcommand): -cpuprofile and -memprofile
+// write pprof profiles covering the subcommand's work.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,33 +40,89 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	fs := flag.NewFlagSet("lcsim", flag.ExitOnError)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the subcommand to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile to `file` before exiting")
+	fs.Usage = usage
+	fs.Parse(os.Args[1:]) // stops at the subcommand (first non-flag)
+	args := fs.Args()
+	if len(args) < 1 {
 		usage()
 	}
-	switch os.Args[1] {
+	stopProfiles = startProfiles(*cpuprofile, *memprofile)
+	switch args[0] {
 	case "sim":
-		runSim(os.Args[2:])
+		runSim(args[1:])
 	case "reduce":
-		runReduce(os.Args[2:])
+		runReduce(args[1:])
 	case "sta":
-		runSTA(os.Args[2:])
+		runSTA(args[1:])
 	case "path":
-		runPath(os.Args[2:])
+		runPath(args[1:])
 	case "skew":
-		runSkew(os.Args[2:])
+		runSkew(args[1:])
+	case "bench":
+		runBench(args[1:])
 	default:
 		usage()
 	}
+	stopProfiles()
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lcsim <sim|reduce|sta|path|skew> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lcsim [-cpuprofile f] [-memprofile f] <sim|reduce|sta|path|skew|bench> [flags]")
 	os.Exit(2)
+}
+
+// stopProfiles finalizes any active profiles; fail() calls it so error
+// exits still flush what was collected.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot,
+// returning an idempotent stop function.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lcsim:", err)
+			os.Exit(1)
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lcsim:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lcsim:", err)
+			}
+			f.Close()
+		}
+	}
 }
 
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcsim:", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"lcsim/internal/device"
@@ -335,7 +337,10 @@ func TestMCCorrelations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	corr := mc.Correlations(sources)
+	corr, err := mc.Correlations(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// VT up slows -> positive correlation; DL up speeds -> negative.
 	if corr["VT"] <= 0.2 {
 		t.Fatalf("VT correlation %g, want strongly positive", corr["VT"])
@@ -343,10 +348,25 @@ func TestMCCorrelations(t *testing.T) {
 	if corr["DL"] >= -0.2 {
 		t.Fatalf("DL correlation %g, want strongly negative", corr["DL"])
 	}
-	// Degenerate inputs return empty.
-	empty := (&MCResult{}).Correlations(sources)
-	if len(empty) != 0 {
-		t.Fatal("degenerate result must be empty")
+}
+
+func TestMCCorrelationsStreamingErrors(t *testing.T) {
+	// A streaming run (KeepSamples unset) discards the per-sample rows the
+	// screen needs; the failure must be explicit and actionable, not an
+	// empty map.
+	p := quickChain(t, []string{"INV"}, 10, false)
+	sources := DeviceSources(device.Tech180, 0.33, 0.33)
+	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 4, Seed: 2, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Correlations(sources); err == nil {
+		t.Fatal("streaming result must refuse the correlation screen")
+	} else if !strings.Contains(err.Error(), "KeepSamples") {
+		t.Fatalf("error should point at MCConfig.KeepSamples, got: %v", err)
+	}
+	if _, err := (&MCResult{}).Correlations(sources); err == nil {
+		t.Fatal("empty result must error")
 	}
 }
 

@@ -125,12 +125,21 @@ type MCResult struct {
 // Correlations returns the Spearman rank correlation between each source's
 // sampled values and the resulting delays — a cheap post-hoc sensitivity
 // screen complementing Gradient Analysis (it needs no extra simulations).
-// Requires a run with KeepSamples set.
-func (r *MCResult) Correlations(sources []Source) map[string]float64 {
-	out := map[string]float64{}
-	if len(r.Delays) < 3 || len(r.Samples) != len(r.Delays) {
-		return out
+//
+// It needs the per-sample rows, which streaming runs discard: a run must
+// set MCConfig.KeepSamples (and have at least 3 samples) or an error is
+// returned.
+func (r *MCResult) Correlations(sources []Source) (map[string]float64, error) {
+	if len(r.Delays) == 0 || len(r.Samples) == 0 {
+		return nil, fmt.Errorf("core: Correlations needs per-sample rows, but this result has none — run with MCConfig.KeepSamples set (streaming runs keep only the online summary)")
 	}
+	if len(r.Samples) != len(r.Delays) {
+		return nil, fmt.Errorf("core: Correlations: %d sample rows but %d delays", len(r.Samples), len(r.Delays))
+	}
+	if len(r.Delays) < 3 {
+		return nil, fmt.Errorf("core: Correlations needs at least 3 samples, got %d", len(r.Delays))
+	}
+	out := map[string]float64{}
 	dRank := ranks(r.Delays)
 	for j, s := range sources {
 		col := make([]float64, len(r.Samples))
@@ -141,7 +150,7 @@ func (r *MCResult) Correlations(sources []Source) map[string]float64 {
 		}
 		out[s.Name] = pearson(ranks(col), dRank)
 	}
-	return out
+	return out, nil
 }
 
 // ranks returns average ranks (1-based) of the values.
@@ -263,16 +272,17 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 		res.Delays = make([]float64, cfg.N)
 		res.Samples = make([][]float64, cfg.N)
 	}
-	err := runner.Map(ctx, cfg.N,
+	err := runner.MapWorker(ctx, cfg.N,
 		runner.Options{
 			Workers:  cfg.workers(),
 			Metrics:  cfg.Metrics,
 			Progress: cfg.Progress,
 		},
-		func(_ context.Context, i int) (mcEval, error) {
+		p.NewScratch,
+		func(_ context.Context, i int, sc *PathScratch) (mcEval, error) {
 			sv := row(i)
 			rs := BuildRunSpec(cfg.Sources, sv)
-			ev, err := p.Evaluate(rs, cfg.Direct)
+			ev, err := p.EvaluateWith(sc, rs, cfg.Direct)
 			if err != nil {
 				return mcEval{}, err
 			}

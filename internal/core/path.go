@@ -88,8 +88,9 @@ type StageDelayResult struct {
 
 // evalStageWave runs one stage for an arbitrary input waveform and
 // returns the measured output ramp abstraction plus the full output
-// waveform. rising reports the *input* edge direction.
-func (p *Path) evalStageWave(st *Stage, rs teta.RunSpec, in circuit.Waveform, rising bool, direct bool) (StageDelayResult, *circuit.PWL, error) {
+// waveform. rising reports the *input* edge direction. sc may be nil
+// (the stage then uses its internal scratch pool on the fast path).
+func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in circuit.Waveform, rising bool, direct bool) (StageDelayResult, *circuit.PWL, error) {
 	vdd := p.Tech.VDD
 	ins := make([]circuit.Waveform, 1+len(st.side))
 	ins[0] = in
@@ -102,7 +103,7 @@ func (p *Path) evalStageWave(st *Stage, rs teta.RunSpec, in circuit.Waveform, ri
 	if direct {
 		res, err = st.TStage.RunDirect(rs)
 	} else {
-		res, err = st.TStage.Run(rs)
+		res, err = st.TStage.RunWith(sc, rs)
 	}
 	if err != nil {
 		return StageDelayResult{}, nil, fmt.Errorf("stage %s: %w", st.Name, err)
@@ -139,7 +140,7 @@ func (p *Path) evalStage(st *Stage, rs teta.RunSpec, slewIn float64, rising bool
 	} else {
 		ramp = circuit.SatRamp{V0: vdd, V1: 0, Start: p.TStart - slewIn/2, Slew: slewIn}
 	}
-	r, _, err := p.evalStageWave(st, rs, ramp, rising, direct)
+	r, _, err := p.evalStageWave(st, nil, rs, ramp, rising, direct)
 	return r, err
 }
 
@@ -162,11 +163,38 @@ type PathEval struct {
 	LinearSolves int
 }
 
+// PathScratch is per-evaluator reusable state for a Path: one
+// teta.Scratch per stage, carrying the convolver coefficient memo, the
+// macromodel evaluation workspace and the solver buffers across
+// samples. A PathScratch must not be shared between concurrent
+// evaluations; give each Monte-Carlo worker its own via NewScratch.
+type PathScratch struct {
+	stages []*teta.Scratch
+}
+
+// NewScratch allocates evaluation scratch sized for every stage of the
+// path.
+func (p *Path) NewScratch() *PathScratch {
+	ps := &PathScratch{stages: make([]*teta.Scratch, len(p.Stages))}
+	for i, st := range p.Stages {
+		ps.stages[i] = st.TStage.NewScratch()
+	}
+	return ps
+}
+
 // Evaluate propagates the stimulus through every stage at the given
 // sample. When direct is true the interconnect models are exactly
 // re-reduced per sample instead of using the variational library (the
 // accuracy reference).
 func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
+	return p.EvaluateWith(nil, rs, direct)
+}
+
+// EvaluateWith is Evaluate with caller-owned scratch: repeated calls
+// with the same PathScratch reuse each stage's convolver memo and
+// solver workspaces instead of hitting the stages' shared pools. sc may
+// be nil (plain Evaluate behavior).
+func (p *Path) EvaluateWith(sc *PathScratch, rs teta.RunSpec, direct bool) (*PathEval, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("core: empty path")
 	}
@@ -180,8 +208,12 @@ func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
 		V0: 0, V1: vdd, Start: p.TStart - p.InputSlew/2, Slew: p.InputSlew,
 	}
 	out := &PathEval{}
-	for _, st := range p.Stages {
-		r, wf, err := p.evalStageWave(st, rs, in, rising, direct)
+	for i, st := range p.Stages {
+		var stageSc *teta.Scratch
+		if sc != nil {
+			stageSc = sc.stages[i]
+		}
+		r, wf, err := p.evalStageWave(st, stageSc, rs, in, rising, direct)
 		if err != nil {
 			return nil, err
 		}
@@ -286,6 +318,18 @@ func BuildChain(spec ChainSpec) (*Path, error) {
 			Invert:  info.invert,
 			side:    side,
 		})
+	}
+	// Warm-start the first stage's per-sample DC Newton from the nominal
+	// operating point: every sample shares the primary stimulus, so the
+	// prime's key (the exact t=0 input levels) hits on every evaluation.
+	// Downstream stages receive simulated waveforms whose initial level is
+	// not bit-exact across samples, so they keep the standard Newton start.
+	st0 := p.Stages[0]
+	ins := make([]circuit.Waveform, 1+len(st0.side))
+	ins[0] = circuit.SatRamp{V0: 0, V1: p.Tech.VDD, Start: p.TStart - p.InputSlew/2, Slew: p.InputSlew}
+	copy(ins[1:], st0.side)
+	if err := st0.TStage.PrimeDC([][]circuit.Waveform{ins}); err != nil {
+		return nil, fmt.Errorf("core: priming stage 0 DC: %w", err)
 	}
 	return p, nil
 }

@@ -118,13 +118,125 @@ func (m *Model) Eval(vgs, vds, vbs float64, g Geometry) OpPoint {
 	return op
 }
 
+// EvalID computes only the Level-1 drain current — the quantity the
+// Successive-Chords right-hand side actually consumes. Skipping the
+// three derivative outputs (and their operating-point struct) roughly
+// halves the per-device cost of the transient inner loop; the value is
+// bit-identical to Eval(...).ID.
+func (m *Model) EvalID(vgs, vds, vbs float64, g Geometry) float64 {
+	if vds < 0 {
+		return -m.EvalID(vgs-vds, -vds, vbs-vds, g)
+	}
+	vth := m.VT0 + g.DVT
+	// vbs == 0 (body tied to source, the common case) makes the body-effect
+	// term exactly zero; skip its two square roots.
+	if m.Gamma > 0 && vbs != 0 {
+		arg := m.Phi - vbs
+		if arg < 1e-3 {
+			arg = 1e-3
+		}
+		vth += m.Gamma * (math.Sqrt(arg) - math.Sqrt(m.Phi))
+	}
+	vov := vgs - vth
+	id := gmin * vds
+	if vov > 0 {
+		beta := m.KP * g.W / m.Leff(g)
+		clm := 1 + m.Lambda*vds
+		if vds < vov {
+			id += beta * (vov*vds - 0.5*vds*vds) * clm
+		} else {
+			id += 0.5 * beta * vov * vov * clm
+		}
+	}
+	return id
+}
+
+// EvalGeomID is EvalID with the polarity reflection of EvalGeom.
+func EvalGeomID(m *Model, g Geometry, vd, vg, vs, vb float64) float64 {
+	if m.Type == circuit.PMOS {
+		return -m.EvalID(vs-vg, vs-vd, vs-vb, g)
+	}
+	return m.EvalID(vg-vs, vd-vs, vb-vs, g)
+}
+
+// EvalCache pre-resolves the per-(model, geometry) constants of the
+// Level-1 current evaluation — the threshold with the sample's DVT folded
+// in and the transconductance factor β = KP·W/Leff — so the per-timestep
+// device sweep pays neither the Leff clamp and divide nor a model/geometry
+// copy per call. Build one per device instance when a sample's deviations
+// are fixed (Driver.resetState does); ID is then bit-identical to
+// EvalGeomID on the source model and geometry.
+type EvalCache struct {
+	vth0   float64 // VT0 + DVT
+	beta   float64 // KP·W/Leff(g)
+	lambda float64
+	gamma  float64
+	phi    float64
+	sqPhi  float64 // √Phi
+	pmos   bool
+}
+
+// NewEvalCache folds a geometry's deviations into the model constants.
+func (m *Model) NewEvalCache(g Geometry) EvalCache {
+	return EvalCache{
+		vth0:   m.VT0 + g.DVT,
+		beta:   m.KP * g.W / m.Leff(g),
+		lambda: m.Lambda,
+		gamma:  m.Gamma,
+		phi:    m.Phi,
+		sqPhi:  math.Sqrt(m.Phi),
+		pmos:   m.Type == circuit.PMOS,
+	}
+}
+
+// ID evaluates the drain current at absolute node voltages, handling the
+// PMOS reflection internally.
+func (c *EvalCache) ID(vd, vg, vs, vb float64) float64 {
+	if c.pmos {
+		return -c.id(vs-vg, vs-vd, vs-vb)
+	}
+	return c.id(vg-vs, vd-vs, vb-vs)
+}
+
+// id is EvalID over the cached constants (NMOS conventions).
+func (c *EvalCache) id(vgs, vds, vbs float64) float64 {
+	if vds < 0 {
+		return -c.id(vgs-vds, -vds, vbs-vds)
+	}
+	vth := c.vth0
+	if c.gamma > 0 && vbs != 0 {
+		arg := c.phi - vbs
+		if arg < 1e-3 {
+			arg = 1e-3
+		}
+		vth += c.gamma * (math.Sqrt(arg) - c.sqPhi)
+	}
+	vov := vgs - vth
+	id := gmin * vds
+	if vov > 0 {
+		clm := 1 + c.lambda*vds
+		if vds < vov {
+			id += c.beta * (vov*vds - 0.5*vds*vds) * clm
+		} else {
+			id += 0.5 * c.beta * vov * vov * clm
+		}
+	}
+	return id
+}
+
 // EvalDevice evaluates a netlist MOSFET instance at absolute node voltages
 // vd, vg, vs, vb and returns the current flowing into the drain terminal
 // plus derivatives with respect to (vg, vd, vs, vb) expressed as the
 // standard (gm, gds, gmb) triple in device-local (source-referenced)
 // coordinates. For PMOS the reflection is handled internally.
 func EvalDevice(m *Model, dev circuit.MOSFET, vd, vg, vs, vb float64) OpPoint {
-	g := Geometry{W: dev.W, L: dev.L, DL: dev.DL, DVT: dev.DVT}
+	return EvalGeom(m, Geometry{W: dev.W, L: dev.L, DL: dev.DL, DVT: dev.DVT}, vd, vg, vs, vb)
+}
+
+// EvalGeom is EvalDevice with the geometry pre-resolved. Per-sample loops
+// that have already folded their DL/DVT deviations into a Geometry avoid
+// copying the full MOSFET instance (name, nodes) on every evaluation.
+func EvalGeom(m *Model, g Geometry, vd, vg, vs, vb float64) OpPoint {
 	if m.Type == circuit.PMOS {
 		op := m.Eval(vs-vg, vs-vd, vs-vb, g)
 		// PMOS: current into drain = -Id(reflected).

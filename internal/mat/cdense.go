@@ -52,6 +52,41 @@ func (m *CDense) Clone() *CDense {
 	return out
 }
 
+// Row returns row i as a slice view (not a copy). Hot loops use this to
+// bypass the per-element bounds check of At.
+func (m *CDense) Row(i int) []complex128 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// CopyFrom overwrites m with the contents of a (same shape required).
+func (m *CDense) CopyFrom(a *CDense) {
+	if m.rows != a.rows || m.cols != a.cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape %dx%d != %dx%d", m.rows, m.cols, a.rows, a.cols))
+	}
+	copy(m.data, a.data)
+}
+
+// AddScaled adds s*a to m in place (same shape required) and returns m.
+func (m *CDense) AddScaled(s complex128, a *CDense) *CDense {
+	if m.rows != a.rows || m.cols != a.cols {
+		panic(fmt.Sprintf("mat: AddScaled shape %dx%d != %dx%d", m.rows, m.cols, a.rows, a.cols))
+	}
+	for i := range m.data {
+		m.data[i] += s * a.data[i]
+	}
+	return m
+}
+
+// Zero sets all elements to zero.
+func (m *CDense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Col returns a copy of column j.
 func (m *CDense) Col(j int) []complex128 {
 	out := make([]complex128, m.rows)

@@ -99,6 +99,23 @@ func EigenDecompose(a *Dense) (*Eigen, error) {
 	return &Eigen{Values: vals, Vectors: vecs}, nil
 }
 
+// LeftVectors returns the left eigenvectors of the decomposed matrix as
+// the ROWS of the returned matrix: row k is yₖᵀ with yₖᵀ·A = λₖ·yₖᵀ,
+// scaled so yₖᵀ·xₖ = 1 (they are the rows of S⁻¹). This is the
+// normalization eigenvalue perturbation theory wants: for A → A + dA,
+// dλₖ = yₖᵀ·dA·xₖ. Fails when the eigenvector matrix is singular
+// (defective A).
+func (e *Eigen) LeftVectors() (*CDense, error) {
+	if e.Vectors == nil {
+		return nil, errors.New("mat: LeftVectors requires right eigenvectors (use EigenDecompose)")
+	}
+	f, err := FactorCLU(e.Vectors)
+	if err != nil {
+		return nil, fmt.Errorf("mat: eigenvector matrix is singular (defective matrix): %w", err)
+	}
+	return f.Inverse(), nil
+}
+
 // inverseIteration solves (A - λI)v = b iteratively for the eigenvector
 // associated with λ. The shift is perturbed slightly off the exact
 // eigenvalue so the factorization stays usable.

@@ -23,9 +23,30 @@ func FactorLU(a *Dense) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("mat: LU requires a square matrix, got %dx%d", a.rows, a.cols)
 	}
-	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f := NewLU(a.rows)
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewLU allocates an LU factorization workspace for n×n matrices. Use
+// Refactor to fill it; until then the factorization is not valid.
+func NewLU(n int) *LU {
+	return &LU{lu: NewDense(n, n), piv: make([]int, n)}
+}
+
+// Refactor factors a into the existing workspace without allocating,
+// which lets per-sample hot loops refactor small matrices for free. a is
+// not modified and must match the workspace dimension.
+func (f *LU) Refactor(a *Dense) error {
+	n := f.lu.rows
+	if a.rows != n || a.cols != n {
+		return fmt.Errorf("mat: LU Refactor wants %dx%d, got %dx%d", n, n, a.rows, a.cols)
+	}
+	lu := f.lu
+	lu.CopyFrom(a)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -41,7 +62,7 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk := lu.Row(k)
@@ -66,16 +87,24 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // Solve solves A x = b for one right-hand side. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.lu.rows), b)
+}
+
+// SolveInto solves A x = b into dst and returns dst. dst must have length
+// n and must not alias b. b is not modified. No allocation happens, which
+// makes this the solve entry point for per-timestep hot loops.
+func (f *LU) SolveInto(dst, b []float64) []float64 {
 	n := f.lu.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: LU Solve rhs length %d != %d", len(b), n))
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("mat: LU SolveInto lengths dst=%d b=%d != %d", len(dst), len(b), n))
 	}
-	x := make([]float64, n)
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -147,16 +176,42 @@ func Inverse(a *Dense) (*Dense, error) {
 }
 
 // ConditionEst returns a cheap estimate of the 1-norm condition number of A
-// using the factorization: ||A||₁ · ||A^{-1}||₁ with the inverse formed
-// explicitly. Intended for small (reduced-order) matrices.
+// using the factorization: ||A||₁ · ||A^{-1}||₁. Intended for small
+// (reduced-order) matrices.
 func ConditionEst(a *Dense) (float64, error) {
 	f, err := FactorLU(a)
 	if err != nil {
 		return math.Inf(1), err
 	}
-	inv := f.Inverse()
-	return norm1(a) * norm1(inv), nil
+	return norm1(a) * f.Norm1Inverse(), nil
 }
+
+// Norm1Inverse returns ||A⁻¹||₁ computed column by column from the
+// existing factorization, without materializing the inverse. Reusing the
+// factorization here is what lets callers fold a condition estimate into
+// work they were doing anyway (e.g. poleres.Extract).
+func (f *LU) Norm1Inverse() float64 {
+	n := f.lu.rows
+	e := make([]float64, n)
+	x := make([]float64, n)
+	mx := 0.0
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		f.SolveInto(x, e)
+		e[j] = 0
+		s := 0.0
+		for _, v := range x {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Norm1 returns the 1-norm (maximum absolute column sum) of a.
+func Norm1(a *Dense) float64 { return norm1(a) }
 
 func norm1(a *Dense) float64 {
 	mx := 0.0

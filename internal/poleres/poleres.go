@@ -40,10 +40,28 @@ func Extract(rom *mor.ROM) (*Macromodel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("poleres: Gr is singular: %w", err)
 	}
-	if cond, err := mat.ConditionEst(rom.Gr); err != nil || cond > 1e14 {
+	// The columns of Gr⁻¹ are assembled by triangular solves against unit
+	// vectors; the same pass yields ||Gr⁻¹||₁ for the condition check, so
+	// no second factorization and no explicit q×q inverse are formed.
+	grInvCols := mat.NewDense(q, q) // column j in row j (transposed storage)
+	e := make([]float64, q)
+	norm1Inv := 0.0
+	for j := 0; j < q; j++ {
+		e[j] = 1
+		col := grInvCols.Row(j)
+		grLU.SolveInto(col, e)
+		e[j] = 0
+		s := 0.0
+		for _, v := range col {
+			s += math.Abs(v)
+		}
+		if s > norm1Inv {
+			norm1Inv = s
+		}
+	}
+	if cond := mat.Norm1(rom.Gr) * norm1Inv; cond > 1e14 {
 		return nil, fmt.Errorf("poleres: Gr is numerically singular (cond ≈ %.2g) — the load has no DC path to ground; fold a port conductance in before reduction", cond)
 	}
-	grInv := grLU.Inverse()
 	t := grLU.SolveMat(rom.Cr).Scale(-1) // T = −Gr⁻¹Cr
 	ed, err := mat.EigenDecompose(t)
 	if err != nil {
@@ -58,8 +76,9 @@ func Extract(rom *mor.ROM) (*Macromodel, error) {
 	nu := mat.NewCDense(q, q)
 	col := make([]complex128, q)
 	for j := 0; j < q; j++ {
+		gc := grInvCols.Row(j)
 		for i := 0; i < q; i++ {
-			col[i] = complex(grInv.At(i, j), 0)
+			col[i] = complex(gc[i], 0)
 		}
 		x := sLU.Solve(col)
 		for i := 0; i < q; i++ {
@@ -229,6 +248,99 @@ type StabReport struct {
 	BetaMin     float64      // extremal β factors applied (1 when no correction)
 	BetaMax     float64
 	DCErrBefore float64 // max |ΔZ(0)| that dropping alone would have caused
+}
+
+// StabilizeShiftInPlace is StabilizeShift mutating the receiver: unstable
+// poles are removed by compacting Poles/Res in place and their DC
+// contribution is folded into D0. Used by the per-sample fast path so a
+// reusable evaluation scratch generates no garbage.
+func (m *Macromodel) StabilizeShiftInPlace() StabReport {
+	rep := StabReport{BetaMin: 1, BetaMax: 1}
+	keep := 0
+	for k, p := range m.Poles {
+		if real(p) > 0 {
+			rep.Removed = append(rep.Removed, p)
+			r := m.Res[k]
+			for i := 0; i < m.Np; i++ {
+				row := r.Row(i)
+				d0 := m.D0.Row(i)
+				for j := 0; j < m.Np; j++ {
+					shift := -row[j] / p
+					d0[j] += real(shift)
+					if a := cmplx.Abs(shift); a > rep.DCErrBefore {
+						rep.DCErrBefore = a
+					}
+				}
+			}
+			continue
+		}
+		m.Poles[keep] = p
+		m.Res[keep] = m.Res[k]
+		keep++
+	}
+	m.Poles = m.Poles[:keep]
+	m.Res = m.Res[:keep]
+	return rep
+}
+
+// StabilizeInPlace is Stabilize (the paper's β residue rescaling of
+// eq. 22–23) mutating the receiver.
+func (m *Macromodel) StabilizeInPlace() StabReport {
+	rep := StabReport{BetaMin: 1, BetaMax: 1}
+	unstable := false
+	for _, p := range m.Poles {
+		if real(p) > 0 {
+			unstable = true
+			break
+		}
+	}
+	if !unstable {
+		return rep
+	}
+	// β_ij computed from the full pole set before filtering (eq. 23),
+	// then applied to the surviving residues.
+	for i := 0; i < m.Np; i++ {
+		for j := 0; j < m.Np; j++ {
+			all := complex(0, 0)
+			stable := complex(0, 0)
+			for k, p := range m.Poles {
+				t := m.Res[k].At(i, j) / p
+				all += t
+				if real(p) <= 0 {
+					stable += t
+				}
+			}
+			rep.DCErrBefore = math.Max(rep.DCErrBefore, cmplx.Abs(all-stable))
+			if cmplx.Abs(stable) == 0 {
+				continue
+			}
+			beta := real(all / stable)
+			if beta < rep.BetaMin {
+				rep.BetaMin = beta
+			}
+			if beta > rep.BetaMax {
+				rep.BetaMax = beta
+			}
+			for k, p := range m.Poles {
+				if real(p) <= 0 {
+					m.Res[k].Set(i, j, m.Res[k].At(i, j)*complex(beta, 0))
+				}
+			}
+		}
+	}
+	keep := 0
+	for k, p := range m.Poles {
+		if real(p) > 0 {
+			rep.Removed = append(rep.Removed, p)
+			continue
+		}
+		m.Poles[keep] = p
+		m.Res[keep] = m.Res[k]
+		keep++
+	}
+	m.Poles = m.Poles[:keep]
+	m.Res = m.Res[:keep]
+	return rep
 }
 
 // StabilizeShift removes right-half-plane poles and folds their DC

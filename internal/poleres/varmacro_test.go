@@ -1,0 +1,209 @@
+package poleres
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/mat"
+	"lcsim/internal/mor"
+)
+
+// varLadder builds a variational RC ladder with two global parameters:
+// rw scales the series resistances (±20% at w=±1), cw the shunt caps.
+func varLadder(t *testing.T, nSeg, order int) *mor.VarROM {
+	t.Helper()
+	nl := circuit.New()
+	prev := "in"
+	for k := 1; k <= nSeg; k++ {
+		n := "n" + string(rune('a'+k%26)) + string(rune('0'+k/26))
+		nl.AddR("R"+n, prev, n, circuit.VarV(10.0, "rw", 2.0))
+		nl.AddC("C"+n, n, "0", circuit.VarV(1e-12, "cw", 2e-13))
+		prev = n
+	}
+	nl.MarkPort("in")
+	sys, err := circuit.AssembleVariational(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPortConductance([]float64{1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	vrom, err := mor.BuildVariational(sys, mor.BuildOptions{Order: order})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vrom
+}
+
+// zErr returns the worst relative difference between the two macromodels'
+// port impedances over a frequency sweep spanning the ladder's dynamics.
+func zErr(a, b *Macromodel) float64 {
+	worst := 0.0
+	for _, f := range []float64{0, 1e7, 1e8, 1e9, 1e10} {
+		s := complex(0, 2*math.Pi*f)
+		za, zb := a.Z(s), b.Z(s)
+		for i := 0; i < a.Np; i++ {
+			for j := 0; j < a.Np; j++ {
+				d := cmplx.Abs(za.At(i, j)-zb.At(i, j)) / (cmplx.Abs(zb.At(i, j)) + 1e-12)
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+func TestExtractVarNominalMatchesExtract(t *testing.T) {
+	vrom := varLadder(t, 12, 4)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Extract(vrom.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Nominal.Poles) != len(exact.Poles) {
+		t.Fatalf("nominal pole count %d != exact %d", len(vm.Nominal.Poles), len(exact.Poles))
+	}
+	if e := zErr(vm.At(nil), exact); e > 1e-8 {
+		t.Fatalf("variational nominal impedance differs from exact extraction by %.3g", e)
+	}
+}
+
+func TestExtractVarFirstOrderConvergence(t *testing.T) {
+	vrom := varLadder(t, 12, 4)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(d float64) float64 {
+		w := map[string]float64{"rw": d, "cw": -d}
+		exact, err := Extract(vrom.At(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return zErr(vm.At(w), exact)
+	}
+	// Both models share the identical first-order ROM evaluation, so the
+	// macromodel linearization error is the only difference and must
+	// vanish quadratically in the sample magnitude.
+	eBig, eSmall := errAt(0.2), errAt(0.1)
+	if eBig > 0.02 {
+		t.Fatalf("variational macromodel error %.3g at w=0.2 exceeds 2%%", eBig)
+	}
+	if eBig > 1e-10 && eSmall > 0.5*eBig {
+		t.Fatalf("error does not contract: err(0.1)=%.3g vs err(0.2)=%.3g (want O(δ²))", eSmall, eBig)
+	}
+}
+
+func TestEvalIntoMatchesAtAndAllocFree(t *testing.T) {
+	vrom := varLadder(t, 10, 4)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := map[string]float64{"rw": 0.3, "cw": -0.2}
+	want := vm.At(w)
+	me := vm.NewEval()
+	got := vm.EvalInto(me, w)
+	if e := zErr(got, want); e > 1e-12 {
+		t.Fatalf("EvalInto differs from At by %.3g", e)
+	}
+	// Evaluating a different sample into the same buffer must fully
+	// overwrite the previous state.
+	vm.EvalInto(me, map[string]float64{"rw": -1})
+	got = vm.EvalInto(me, w)
+	if e := zErr(got, want); e > 1e-12 {
+		t.Fatalf("EvalInto not idempotent across samples: %.3g", e)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		vm.EvalInto(me, w)
+	}); allocs != 0 {
+		t.Fatalf("EvalInto allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// synthVarROM builds a 2-state ROM whose T = −Gr⁻¹Cr is a rotation-like
+// matrix with an exactly conjugate eigenvalue pair, plus a sensitivity
+// that perturbs both the rotation angle and radius.
+func synthVarROM() *mor.VarROM {
+	gr := mat.Identity(2)
+	// T = [[a, b], [−b, a]] has eigenvalues a ± bi; poles 1/λ are stable
+	// for a < 0. Cr = −T (since Gr = I).
+	a, b := -1e-10, 5e-10
+	cr := mat.NewDense(2, 2)
+	cr.Set(0, 0, -a)
+	cr.Set(0, 1, -b)
+	cr.Set(1, 0, b)
+	cr.Set(1, 1, -a)
+	dgr := mat.NewDense(2, 2) // zero
+	dcr := mat.NewDense(2, 2)
+	dcr.Set(0, 0, 0.3e-10)
+	dcr.Set(0, 1, -0.8e-10)
+	dcr.Set(1, 0, 0.8e-10)
+	dcr.Set(1, 1, 0.3e-10)
+	return &mor.VarROM{
+		Np: 1, Q: 2, Params: []string{"p"},
+		Gr0: gr, Cr0: cr,
+		DGr: map[string]*mat.Dense{"p": dgr},
+		DCr: map[string]*mat.Dense{"p": dcr},
+	}
+}
+
+func TestExtractVarKeepsConjugatePairsExact(t *testing.T) {
+	vrom := synthVarROM()
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Nominal.Poles) != 2 {
+		t.Fatalf("want 2 poles, got %d", len(vm.Nominal.Poles))
+	}
+	for _, wv := range []float64{0, 0.5, -1, 0.123456} {
+		mac := vm.At(map[string]float64{"p": wv})
+		p0, p1 := mac.Poles[0], mac.Poles[1]
+		if imag(p0) == 0 {
+			t.Fatalf("expected a complex pair at w=%g, got %v", wv, mac.Poles)
+		}
+		if p1 != cmplx.Conj(p0) {
+			t.Fatalf("pair not exactly conjugate at w=%g: %v vs conj %v", wv, p1, cmplx.Conj(p0))
+		}
+		// The first-order perturbed pair must stay consistent with an
+		// exact extraction of the perturbed ROM to first order.
+		if wv == 0 {
+			continue
+		}
+		exact, err := Extract(vrom.At(map[string]float64{"p": wv}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := zErr(mac, exact); e > 0.10 {
+			t.Fatalf("synthetic pair impedance error %.3g at w=%g", e, wv)
+		}
+	}
+}
+
+func TestExtractVarRejectsDegenerateSpectrum(t *testing.T) {
+	// Two exactly equal diagonal time constants: λ₀ = λ₁. ExtractVar must
+	// refuse (repeated eigenvalues are fine only when exactly equal — the
+	// dangerous case is a tiny nonzero gap).
+	gr := mat.Identity(2)
+	cr := mat.NewDense(2, 2)
+	cr.Set(0, 0, 1e-10)
+	cr.Set(0, 1, 1e-22) // break exact equality by a sub-gap amount
+	cr.Set(1, 1, 1e-10)
+	dm := mat.NewDense(2, 2)
+	vrom := &mor.VarROM{
+		Np: 1, Q: 2, Params: []string{"p"},
+		Gr0: gr, Cr0: cr,
+		DGr: map[string]*mat.Dense{"p": dm},
+		DCr: map[string]*mat.Dense{"p": dm.Clone()},
+	}
+	if _, err := ExtractVar(vrom); err == nil {
+		t.Fatal("near-degenerate spectrum must be rejected")
+	}
+}

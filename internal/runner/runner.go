@@ -100,6 +100,22 @@ type result[T any] struct {
 // sample index reached — errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) hold as appropriate.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error), sink func(i int, v T)) error {
+	return MapWorker(ctx, n, opts,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, i int, _ struct{}) (T, error) { return fn(ctx, i) },
+		sink)
+}
+
+// MapWorker is Map with per-worker state: newState runs once on each
+// worker goroutine (once total on the serial path) and its value is
+// passed to every fn call that worker makes. Evaluation loops use it to
+// reuse expensive scratch buffers — convolver coefficient memos, solver
+// workspaces — without any locking, because a state value is only ever
+// touched by its owning worker. Determinism is unchanged: results still
+// arrive at sink in strict index order, and a sample's value must not
+// depend on its worker's state history (states are caches, not
+// accumulators).
+func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (T, error), sink func(i int, v T)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -108,7 +124,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		workers = n
 	}
 	if workers == 1 {
-		return mapSerial(ctx, n, opts, fn, sink)
+		return mapSerial(ctx, n, opts, newState, fn, sink)
 	}
 	chunk := opts.chunkSize(n, workers)
 	every := opts.progressEvery(n)
@@ -124,6 +140,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
 			for {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
@@ -142,7 +159,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 					if int64(i) >= minErr.Load() {
 						continue
 					}
-					v, err := fn(ctx, i)
+					v, err := fn(ctx, i, state)
 					if err != nil {
 						storeMin(&minErr, int64(i))
 					}
@@ -201,14 +218,16 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	return nil
 }
 
-// mapSerial is the workers == 1 path: no goroutines, same semantics.
-func mapSerial[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error), sink func(i int, v T)) error {
+// mapSerial is the workers == 1 path: no goroutines, same semantics,
+// one state value for the whole run.
+func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (T, error), sink func(i int, v T)) error {
 	every := opts.progressEvery(n)
+	state := newState()
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("runner: canceled at sample %d: %w", i, err)
 		}
-		v, err := fn(ctx, i)
+		v, err := fn(ctx, i, state)
 		if err != nil {
 			return fmt.Errorf("sample %d: %w", i, err)
 		}

@@ -253,3 +253,69 @@ func BenchmarkMapSpeedup(b *testing.B) {
 		})
 	}
 }
+
+func TestMapWorkerStateIsolation(t *testing.T) {
+	// Each worker goroutine gets exactly one state value, created on that
+	// goroutine, and no state is ever touched by two workers: a non-atomic
+	// counter in the state must account for every sample with no lost
+	// updates, and the number of states created must not exceed the worker
+	// count.
+	type counter struct{ n int }
+	const n, workers = 400, 7
+	var created atomic.Int64
+	var states [workers * 2]*counter // slots claimed per created state
+	newState := func() *counter {
+		c := &counter{}
+		states[created.Add(1)-1] = c
+		return c
+	}
+	err := MapWorker(context.Background(), n, Options{Workers: workers},
+		newState,
+		func(_ context.Context, i int, c *counter) (int, error) {
+			c.n++ // safe only if the state is worker-private
+			return i, nil
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := int(created.Load())
+	if got > workers {
+		t.Fatalf("created %d states for %d workers", got, workers)
+	}
+	total := 0
+	for _, c := range states[:got] {
+		total += c.n
+	}
+	if total != n {
+		t.Fatalf("states account for %d of %d samples (state shared across workers?)", total, n)
+	}
+}
+
+func TestMapWorkerSerialSingleState(t *testing.T) {
+	// The workers<=1 path must create exactly one state and thread it
+	// through every call in order.
+	creates := 0
+	var seen []int
+	err := MapWorker(context.Background(), 5, Options{},
+		func() *[]int { creates++; return &seen },
+		func(_ context.Context, i int, s *[]int) (struct{}, error) {
+			*s = append(*s, i)
+			return struct{}{}, nil
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creates != 1 {
+		t.Fatalf("serial path created %d states, want 1", creates)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial state saw indices %v", seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("serial state saw %d calls, want 5", len(seen))
+	}
+}

@@ -133,18 +133,55 @@ type driverState struct {
 	vOut    float64
 	vIn     []float64 // committed input voltages
 	dl, dvt float64   // sample deviations (chords stay nominal)
+
+	// geoms holds each device's geometry with the sample's DL/DVT already
+	// folded in, and evals the corresponding Level-1 evaluation caches the
+	// inner rhs loop consumes. full is commit's terminal-voltage scratch.
+	geoms []device.Geometry
+	evals []device.EvalCache
+	full  []float64
 }
 
 // newState allocates run state for one statistical sample (paper §5.3's
 // DL and VT deviations). Chord systems are NOT re-derived — the
 // framework's key efficiency property.
 func (d *Driver) newState(dl, dvt float64) *driverState {
-	return &driverState{
+	st := &driverState{
 		dPrev: make([]float64, len(d.caps)),
 		vInt:  make([]float64, d.outIdx),
 		vIn:   make([]float64, d.nIn),
-		dl:    dl,
-		dvt:   dvt,
+		geoms: make([]device.Geometry, len(d.devs)),
+		evals: make([]device.EvalCache, len(d.devs)),
+		full:  make([]float64, d.nUnk),
+	}
+	d.resetState(st, dl, dvt)
+	return st
+}
+
+// resetState rewinds a state for a new sample without reallocating:
+// committed voltages and capacitor histories are cleared and the device
+// geometries are re-resolved with the sample's deviations.
+func (d *Driver) resetState(st *driverState, dl, dvt float64) {
+	for i := range st.dPrev {
+		st.dPrev[i] = 0
+	}
+	for i := range st.vInt {
+		st.vInt[i] = 0
+	}
+	for i := range st.vIn {
+		st.vIn[i] = 0
+	}
+	st.vOut = 0
+	st.dl, st.dvt = dl, dvt
+	for i := range d.devs {
+		dev := &d.devs[i]
+		st.geoms[i] = device.Geometry{
+			W:   dev.dev.W,
+			L:   dev.dev.L,
+			DL:  dev.dev.DL + dl,
+			DVT: dev.dev.DVT + dvt,
+		}
+		st.evals[i] = dev.model.NewEvalCache(st.geoms[i])
 	}
 }
 
@@ -349,19 +386,27 @@ func (d *Driver) termV(t terminal, unk []float64, vin []float64) float64 {
 // the chord Norton right-hand side. Returns b (length nUnk).
 func (d *Driver) rhs(unk []float64, vinNew []float64, dc bool, st *driverState) []float64 {
 	b := make([]float64, d.nUnk)
-	for _, dev := range d.devs {
-		inst := dev.dev
-		inst.DL += st.dl
-		inst.DVT += st.dvt
+	d.rhsInto(b, unk, vinNew, dc, st)
+	return b
+}
+
+// rhsInto is rhs writing into a caller-owned buffer — the allocation-free
+// form the per-timestep SC loop uses. b is zeroed first.
+func (d *Driver) rhsInto(b []float64, unk []float64, vinNew []float64, dc bool, st *driverState) {
+	for i := range b {
+		b[i] = 0
+	}
+	for devi := range d.devs {
+		dev := &d.devs[devi]
 		vd := d.termV(dev.d, unk, vinNew)
 		vg := d.termV(dev.g, unk, vinNew)
 		vs := d.termV(dev.s, unk, vinNew)
 		vb := d.termV(dev.b, unk, vinNew)
-		op := device.EvalDevice(dev.model, inst, vd, vg, vs, vb)
+		id := st.evals[devi].ID(vd, vg, vs, vb)
 		// Chord model: ID ≈ g_c(vd−vs) + (ID* − g_c·vds*); the constant
 		// part moves to the RHS. Fixed-terminal chord contributions also
 		// land on the RHS.
-		iNort := dev.chord*(vd-vs) - op.ID
+		iNort := dev.chord*(vd-vs) - id
 		if dev.d.kind == termUnknown {
 			b[dev.d.idx] += iNort
 			if dev.s.kind != termUnknown {
@@ -376,10 +421,11 @@ func (d *Driver) rhs(unk []float64, vinNew []float64, dc bool, st *driverState) 
 		}
 	}
 	if dc {
-		return b
+		return
 	}
 	// Capacitor BE companions: i = (C/h)[(va−vb) − dPrev].
-	for ci, c := range d.caps {
+	for ci := range d.caps {
+		c := &d.caps[ci]
 		geq := c.c / d.h
 		hist := geq * st.dPrev[ci]
 		if c.a.kind == termUnknown {
@@ -395,7 +441,6 @@ func (d *Driver) rhs(unk []float64, vinNew []float64, dc bool, st *driverState) 
 			}
 		}
 	}
-	return b
 }
 
 // norton computes the Norton source current I_N = b_o − Aoi·Aii⁻¹·b_i for
@@ -413,6 +458,43 @@ func (d *Driver) norton(b []float64, dc bool) float64 {
 	}
 	x = d.aii.Solve(bi)
 	return bo - mat.Dot(d.aoi, x)
+}
+
+// nortonS is norton with a caller-owned solve scratch xs (length outIdx),
+// so the per-iteration Norton extraction allocates nothing.
+func (d *Driver) nortonS(b, xs []float64, dc bool) float64 {
+	bo := b[d.outIdx]
+	if d.nUnk == 1 {
+		return bo
+	}
+	bi := b[:d.outIdx]
+	if dc {
+		d.dcAii.SolveInto(xs, bi)
+		return bo - mat.Dot(d.dcAoi, xs)
+	}
+	d.aii.SolveInto(xs, bi)
+	return bo - mat.Dot(d.aoi, xs)
+}
+
+// internalsInto is internals writing the recovered internal voltages into
+// dst (length outIdx; may be the unknown vector's internal prefix), using
+// bs (length outIdx) as the right-hand-side scratch.
+func (d *Driver) internalsInto(dst, bs, b []float64, vout float64, dc bool) {
+	if d.nUnk == 1 {
+		return
+	}
+	copy(bs, b[:d.outIdx])
+	if dc {
+		for i := range bs {
+			bs[i] -= d.dcAio[i] * vout
+		}
+		d.dcAii.SolveInto(dst, bs)
+		return
+	}
+	for i := range bs {
+		bs[i] -= d.aio[i] * vout
+	}
+	d.aii.SolveInto(dst, bs)
 }
 
 // internals recovers the internal node voltages given the output voltage.
@@ -440,7 +522,7 @@ func (d *Driver) commit(unk []float64, vout float64, vin []float64, st *driverSt
 	st.vInt = append(st.vInt[:0], unk[:d.outIdx]...)
 	st.vOut = vout
 	st.vIn = append(st.vIn[:0], vin...)
-	full := make([]float64, d.nUnk)
+	full := st.full
 	copy(full, unk)
 	full[d.outIdx] = vout
 	for ci, c := range d.caps {

@@ -1,0 +1,62 @@
+package teta
+
+import (
+	"testing"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/interconnect"
+)
+
+// TestFastPathPerStepAllocationFree enforces the fast path's allocation
+// contract: the per-timestep SC loop allocates nothing. Each sample pays
+// a constant allocation overhead (the Result buffers, the effective-Z
+// clone, the DC Newton), so two stages that differ ONLY in step count
+// must report the SAME allocations per sample — any difference is a
+// per-step allocation leak, scaled up 2× here to make it unmissable.
+func TestFastPathPerStepAllocationFree(t *testing.T) {
+	const dt = 4e-12
+	build := func(steps int) *Stage {
+		cfg := Config{Tech: device.Tech180, DT: dt, TStop: float64(steps) * dt, Order: 4}
+		st := variationalLineStage(t, cfg)
+		if !st.BuildStats.VarMacro {
+			t.Fatalf("variational macromodel unavailable: %s", st.BuildStats.VarMacroNote)
+		}
+		return st
+	}
+	stShort := build(200)
+	stLong := build(400)
+	rs := RunSpec{
+		W:      map[string]float64{interconnect.ParamW: 0.4},
+		Inputs: [][]circuit.Waveform{{circuit.SatRamp{V0: 0, V1: 1.8, Start: 0.3e-9, Slew: 0.1e-9}}},
+	}
+	scShort := stShort.NewScratch()
+	scLong := stLong.NewScratch()
+	// Warm both scratches once: the first evaluation pays the convolver's
+	// recurrence-coefficient characterization, memoized for repeat poles.
+	for _, pair := range []struct {
+		st *Stage
+		sc *Scratch
+	}{{stShort, scShort}, {stLong, scLong}} {
+		if _, err := pair.st.RunWith(pair.sc, rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runErr error
+	measure := func(st *Stage, sc *Scratch) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := st.RunWith(sc, rs); err != nil {
+				runErr = err
+			}
+		})
+	}
+	aShort := measure(stShort, scShort)
+	aLong := measure(stLong, scLong)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if aShort != aLong {
+		t.Fatalf("per-step allocations leak: %v allocs at 200 steps vs %v at 400 steps (+%v per extra 200 steps)",
+			aShort, aLong, aLong-aShort)
+	}
+}
