@@ -3,6 +3,7 @@ GO ?= go
 .PHONY: check vet build test race bench bench-json fmt
 
 # Full CI gate: vet, build, race-enabled tests, paper benchmarks.
+# Run before every merge (see README "Failure policy" / pre-merge gate).
 check: vet build race bench
 
 vet:
@@ -22,7 +23,8 @@ bench:
 	$(GO) test -run Bench -bench . -benchtime 1x -count=1 .
 
 # Machine-readable Monte-Carlo perf snapshot (ns/sample, allocs/sample,
-# samples/sec at 1 and N workers) for tracking the perf trajectory.
+# samples/sec at 1 and N workers, plus skipped/degraded/per-class failure
+# counters) for tracking the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/lcsim bench -samples 100 -out BENCH_mc.json
 

@@ -557,7 +557,10 @@ func BenchmarkExtractVsVar(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pr := vm.EvalInto(me, w)
+			pr, err := vm.EvalInto(me, w)
+			if err != nil {
+				b.Fatal(err)
+			}
 			pr.StabilizeShiftInPlace()
 		}
 	})

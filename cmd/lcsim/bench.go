@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"lcsim/internal/core"
 	"lcsim/internal/experiments"
 	"lcsim/internal/runner"
 	"lcsim/internal/teta"
@@ -20,6 +21,13 @@ type benchRow struct {
 	NsPerSample     float64 `json:"ns_per_sample"`
 	AllocsPerSample float64 `json:"allocs_per_sample"`
 	SamplesPerSec   float64 `json:"samples_per_sec"`
+	// Skipped/Degraded/Failures record the fault-handling counters of the
+	// measured sweep (all zero on a healthy configuration; a non-zero entry
+	// flags that the timing above excludes or degrades part of the
+	// population).
+	Skipped  int64            `json:"skipped,omitempty"`
+	Degraded int64            `json:"degraded,omitempty"`
+	Failures map[string]int64 `json:"failures,omitempty"`
 }
 
 // benchReport is the BENCH_mc.json schema: the per-sample Monte-Carlo
@@ -96,15 +104,31 @@ func runBench(args []string) {
 // benchStage times one MC-style sweep over the sample specs with the
 // given worker count, reporting per-sample wall time and allocations.
 func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int) benchRow {
+	// The sweep skips failing samples (instead of aborting the whole
+	// benchmark) and records them in the row's fault counters, so a partly
+	// sick configuration still produces a measurement — visibly flagged.
+	// Metrics are reset per pass so the reported counters cover exactly the
+	// measured sweep, not the warm-up.
+	var metrics *runner.Metrics
 	run := func() time.Duration {
+		metrics = &runner.Metrics{}
 		t0 := time.Now()
 		err := runner.MapWorker(context.Background(), len(specs),
-			runner.Options{Workers: workers},
-			st.NewScratch,
-			func(_ context.Context, i int, sc *teta.Scratch) (struct{}, error) {
-				_, err := st.RunWith(sc, specs[i])
-				return struct{}{}, err
+			runner.Options{
+				Workers: workers, Metrics: metrics,
+				OnSkip: func(_ int, err error) {
+					metrics.AddFailure(string(core.ClassifyFailure(err)))
+				},
 			},
+			st.NewScratch,
+			runner.WithRecovery(
+				func(_ context.Context, i int, sc *teta.Scratch) (struct{}, error) {
+					_, err := st.RunWith(sc, specs[i])
+					return struct{}{}, err
+				},
+				func(_ context.Context, i int, _ *teta.Scratch, cause error) (struct{}, error) {
+					return struct{}{}, runner.SkipSample(core.NewSampleError(i, cause))
+				}),
 			nil)
 		fail(err)
 		return time.Since(t0)
@@ -117,10 +141,14 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int) benchRow {
 	el := run()
 	runtime.ReadMemStats(&m1)
 	n := float64(len(specs))
+	snap := metrics.Snapshot()
 	return benchRow{
 		Workers:         runner.ResolveWorkers(workers),
 		NsPerSample:     float64(el.Nanoseconds()) / n,
 		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
 		SamplesPerSec:   n / el.Seconds(),
+		Skipped:         snap.Skipped,
+		Degraded:        snap.Degraded,
+		Failures:        snap.Failures,
 	}
 }

@@ -163,6 +163,17 @@ func printMetrics(m *runner.Metrics) {
 	s := m.Snapshot()
 	fmt.Printf("cost: %d samples, %d stage evals, %d SC iterations, %d linear solves\n",
 		s.Samples, s.StageEvals, s.SCIterations, s.LinearSolves)
+	if s.Skipped > 0 || s.Degraded > 0 {
+		fmt.Printf("      %d skipped, %d degraded-recovered\n", s.Skipped, s.Degraded)
+	}
+}
+
+// printFailures renders the per-sample failure table of a run (no output
+// for a clean run).
+func printFailures(r *core.FailureReport) {
+	if r.Any() {
+		fmt.Print(r.Render())
+	}
 }
 
 func parseSample(spec string) map[string]float64 {
@@ -329,11 +340,14 @@ func runPath(args []string) {
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
 	progress := fs.Bool("progress", false, "report MC progress on stderr")
 	samplerName := fs.String("sampler", "lhs", "sampling plan: lhs, halton or pseudo")
+	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
 	fail(fs.Parse(args))
 	if *cells == "" {
 		fail(fmt.Errorf("path needs -cells"))
 	}
 	sampler, err := core.ParseSampler(*samplerName)
+	fail(err)
+	onFailure, err := core.ParseFailurePolicy(*onFailureName)
 	fail(err)
 	var names []string
 	for _, c := range strings.Split(*cells, ",") {
@@ -378,6 +392,7 @@ func runPath(args []string) {
 			N: *mcN, Seed: *seed, Sources: sources,
 			Sampler: sampler, Workers: *workers, KeepSamples: true,
 			Metrics: metrics, Progress: progressFn(*progress, "mc"),
+			OnFailure: onFailure,
 		})
 		fail(err)
 		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
@@ -385,6 +400,7 @@ func runPath(args []string) {
 		fmt.Print(stat.NewHistogram(mcRes.Delays, 12).Render(40, func(v float64) string {
 			return fmt.Sprintf("%8.1f ps", v*1e12)
 		}))
+		printFailures(&mcRes.Failures)
 	}
 	if *worst {
 		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources})
@@ -430,7 +446,10 @@ func runSkew(args []string) {
 	workers := fs.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
 	progress := fs.Bool("progress", false, "report MC progress on stderr")
+	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
 	fail(fs.Parse(args))
+	onFailure, err := core.ParseFailurePolicy(*onFailureName)
+	fail(err)
 	build := func(stages int, wireUm float64) *core.Path {
 		cells := make([]string, stages)
 		for i := range cells {
@@ -457,6 +476,7 @@ func runSkew(args []string) {
 	res, err := pair.MonteCarloSkewCtx(ctx, core.SkewConfig{
 		N: *mcN, Seed: *seed, Workers: *workers,
 		Metrics: metrics, Progress: progressFn(*progress, "skew"),
+		OnFailure: onFailure,
 	})
 	fail(err)
 	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)
@@ -466,5 +486,6 @@ func runSkew(args []string) {
 	fmt.Print(stat.NewHistogram(res.Skews, 10).Render(40, func(v float64) string {
 		return fmt.Sprintf("%7.2f ps", v*1e12)
 	}))
+	printFailures(&res.Failures)
 	printMetrics(metrics)
 }

@@ -27,4 +27,30 @@
 // works). They run on the internal/runner worker pool: Workers = 0 means
 // serial, negative means GOMAXPROCS, positive is an exact count — and at
 // a fixed seed the results are bit-identical at any worker count.
+//
+// # Per-sample failure taxonomy
+//
+// Statistical runs evaluate thousands of parameter samples; a handful can
+// legitimately fail (an extreme corner diverges, a macromodel's DC
+// correction hits a singular Gr(w)). Every per-sample failure is typed so
+// callers can react by cause with errors.Is / errors.As:
+//
+//	teta.ErrNoConvergence       SC ran out of its iteration budget
+//	teta.ErrSCDiverged          the SC transient diverged (wraps ErrNoConvergence)
+//	teta.ErrDCNewtonFailed      no t=0 operating point (wraps ErrNoConvergence)
+//	poleres.ErrSingularGr       Gr(w) singular — DC correction impossible
+//	poleres.ErrAllPolesUnstable stabilization removed every pole
+//	core.ErrWaveformNaN         output never completed its transition
+//
+// core.ClassifyFailure maps any of these (arbitrarily wrapped) to a
+// core.FailureClass, and core.SampleError carries the sample index plus
+// class through a run's error chain.
+//
+// MCConfig.OnFailure / SkewConfig.OnFailure select the run-level policy:
+// FailFast (default) aborts with the lowest failing index's error; Skip
+// excludes failing samples from the aggregate statistics and reports them
+// in the result's FailureReport; Degrade retries each failure once
+// through exact per-sample pole/residue extraction before skipping.
+// Under every policy the skip-set, the FailureReport and the statistics
+// are bit-identical at any worker count.
 package lcsim

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lcsim/internal/device"
+	"lcsim/internal/poleres"
+	"lcsim/internal/runner"
+	"lcsim/internal/teta"
+)
+
+// faultEvery returns an injectFault hook failing every sample whose index
+// is in bad, with cause.
+func faultEvery(bad map[int]bool, cause error) func(i int) error {
+	return func(i int) error {
+		if bad[i] {
+			return cause
+		}
+		return nil
+	}
+}
+
+func TestFailurePolicyFailFastAbortsDeterministically(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 6, true)
+	sources := DeviceSources(p.Tech, 0.33, 0.33)
+	cause := fmt.Errorf("stage s0: %w at t=1e-10", teta.ErrSCDiverged)
+	for _, workers := range []int{0, 4} {
+		_, err := p.MonteCarloCtx(context.Background(), MCConfig{
+			N: 12, Seed: 7, Sources: sources, Workers: workers,
+			injectFault: faultEvery(map[int]bool{3: true, 8: true}, cause),
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want an error under FailFast", workers)
+		}
+		// Lowest-index-wins: the run error must carry sample 3, not 8.
+		var se *SampleError
+		if !errors.As(err, &se) {
+			t.Fatalf("workers=%d: error %v does not carry a SampleError", workers, err)
+		}
+		if se.Index != 3 {
+			t.Fatalf("workers=%d: failed at sample %d, want lowest index 3", workers, se.Index)
+		}
+		if se.Class != ClassSCDiverged {
+			t.Fatalf("workers=%d: class %q, want %q", workers, se.Class, ClassSCDiverged)
+		}
+		if !errors.Is(err, teta.ErrSCDiverged) || !errors.Is(err, teta.ErrNoConvergence) {
+			t.Fatalf("workers=%d: cause chain broken in %v", workers, err)
+		}
+	}
+}
+
+func TestFailurePolicySkipIsWorkerCountInvariant(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 6, true)
+	sources := DeviceSources(p.Tech, 0.33, 0.33)
+	bad := map[int]bool{0: true, 5: true, 9: true}
+	cause := fmt.Errorf("synthetic: %w", poleres.ErrSingularGr)
+	run := func(workers int) *MCResult {
+		m := &runner.Metrics{}
+		res, err := p.MonteCarloCtx(context.Background(), MCConfig{
+			N: 14, Seed: 7, Sources: sources, Workers: workers,
+			KeepSamples: true, OnFailure: Skip, Metrics: m,
+			injectFault: faultEvery(bad, cause),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap := m.Snapshot()
+		if snap.Skipped != 3 {
+			t.Fatalf("workers=%d: metrics skipped = %d, want 3", workers, snap.Skipped)
+		}
+		if snap.Failures[string(ClassSingularGr)] != 3 {
+			t.Fatalf("workers=%d: failure counters %v, want 3 %s", workers, snap.Failures, ClassSingularGr)
+		}
+		return res
+	}
+	serial := run(0)
+	if got := serial.Failures.SkippedIndices; !reflect.DeepEqual(got, []int{0, 5, 9}) {
+		t.Fatalf("skip-set %v, want [0 5 9]", got)
+	}
+	if serial.Failures.Skipped != 3 || serial.Summary.N != 11 || len(serial.Delays) != 11 {
+		t.Fatalf("skipped=%d N=%d delays=%d, want 3/11/11",
+			serial.Failures.Skipped, serial.Summary.N, len(serial.Delays))
+	}
+	cs := serial.Failures.Classes
+	if len(cs) != 1 || cs[0].Class != ClassSingularGr || cs[0].Count != 3 || cs[0].FirstIndex != 0 {
+		t.Fatalf("class stats %+v, want one singular-gr entry, count 3, first index 0", cs)
+	}
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Failures, parallel.Failures) {
+		t.Fatalf("failure reports differ across worker counts:\nserial:   %+v\nparallel: %+v",
+			serial.Failures, parallel.Failures)
+	}
+	if serial.Summary != parallel.Summary {
+		t.Fatalf("summaries differ across worker counts:\nserial:   %+v\nparallel: %+v",
+			serial.Summary, parallel.Summary)
+	}
+	if !reflect.DeepEqual(serial.Delays, parallel.Delays) {
+		t.Fatal("compacted delay vectors differ across worker counts")
+	}
+}
+
+func TestFailurePolicyDegradeRecoversThroughExactExtraction(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 6, true)
+	sources := DeviceSources(p.Tech, 0.33, 0.33)
+	// Reference: the same seed with no faults at all.
+	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N: 10, Seed: 7, Sources: sources, KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &runner.Metrics{}
+	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N: 10, Seed: 7, Sources: sources, Workers: 4,
+		KeepSamples: true, OnFailure: Degrade, Metrics: m,
+		injectFault: faultEvery(map[int]bool{2: true, 6: true},
+			fmt.Errorf("synthetic: %w", poleres.ErrSingularGr)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures.Skipped != 0 {
+		t.Fatalf("degrade skipped %d samples (%+v), want recovery of all", res.Failures.Skipped, res.Failures)
+	}
+	if res.Failures.Degraded != 2 {
+		t.Fatalf("degraded = %d, want 2", res.Failures.Degraded)
+	}
+	if snap := m.Snapshot(); snap.Degraded != 2 {
+		t.Fatalf("metrics degraded = %d, want 2", snap.Degraded)
+	}
+	if len(res.Delays) != 10 {
+		t.Fatalf("got %d delays, want all 10 samples in the aggregate", len(res.Delays))
+	}
+	// The exact-extraction rung evaluates the same variational library at
+	// the same sample; only the macromodel's first-order truncation
+	// separates the recovered delays from the fast-path reference.
+	for _, i := range []int{2, 6} {
+		rel := (res.Delays[i] - ref.Delays[i]) / ref.Delays[i]
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Fatalf("recovered delay %d differs from fast path by %.3g relative", i, rel)
+		}
+	}
+}
+
+func TestFailurePolicyDegradeSkipsWhenRetryAlsoFails(t *testing.T) {
+	// A simulation window too short for the output transition fails BOTH
+	// rungs of the ladder (fast path and exact extraction measure the same
+	// unfinished waveform), so Degrade must fall through to a skip with a
+	// combined error classified on the retry failure.
+	p, err := BuildChain(ChainSpec{
+		Cells: []string{"INV"}, Drive: 2, ElemsBetween: 4, WireLengthUm: 60,
+		Variational: true, Tech: device.Tech180,
+		DT: 4e-12, TStop: 0.33e-9, Order: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := DeviceSources(p.Tech, 0.33, 0.33)
+	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N: 4, Seed: 3, Sources: sources, OnFailure: Degrade, KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures.Skipped != 4 || res.Failures.Degraded != 0 {
+		t.Fatalf("report %+v, want all 4 skipped, none recovered", res.Failures)
+	}
+	if res.Summary.N != 0 || len(res.Delays) != 0 {
+		t.Fatalf("aggregate must be empty: N=%d delays=%d", res.Summary.N, len(res.Delays))
+	}
+	if len(res.Failures.Classes) != 1 || res.Failures.Classes[0].Class != ClassWaveformNaN {
+		t.Fatalf("classes %+v, want a single waveform-nan entry", res.Failures.Classes)
+	}
+}
+
+func TestClassifyFailure(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FailureClass
+	}{
+		{fmt.Errorf("stage x: %w", teta.ErrSCDiverged), ClassSCDiverged},
+		{fmt.Errorf("stage x: %w", teta.ErrDCNewtonFailed), ClassDCNewtonFailed},
+		{fmt.Errorf("stage x: %w: t=1e-9", teta.ErrNoConvergence), ClassSCStalled},
+		{fmt.Errorf("eval: %w", poleres.ErrSingularGr), ClassSingularGr},
+		{fmt.Errorf("eval: %w", poleres.ErrAllPolesUnstable), ClassAllPolesUnstable},
+		{fmt.Errorf("stage x: %w (cross=NaN)", ErrWaveformNaN), ClassWaveformNaN},
+		{errors.New("something else"), ClassOther},
+	}
+	for _, c := range cases {
+		if got := ClassifyFailure(c.err); got != c.want {
+			t.Errorf("ClassifyFailure(%v) = %q, want %q", c.err, got, c.want)
+		}
+		// Classification must survive the SampleError wrap.
+		if got := ClassifyFailure(NewSampleError(4, c.err)); got != c.want {
+			t.Errorf("ClassifyFailure(SampleError{%v}) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	if got := ClassifyFailure(nil); got != "" {
+		t.Errorf("ClassifyFailure(nil) = %q, want empty", got)
+	}
+}
+
+func TestParseFailurePolicy(t *testing.T) {
+	for name, want := range map[string]FailurePolicy{
+		"": FailFast, "fail-fast": FailFast, "failfast": FailFast,
+		"skip": Skip, "degrade": Degrade,
+	} {
+		got, err := ParseFailurePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFailurePolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if rt, err := ParseFailurePolicy(got.String()); err != nil || rt != got {
+			t.Errorf("round trip %v -> %q -> %v, %v", got, got.String(), rt, err)
+		}
+	}
+	if _, err := ParseFailurePolicy("explode"); err == nil {
+		t.Error("unknown policy must be rejected")
+	}
+}
+
+func TestFailureReportRecordAndRender(t *testing.T) {
+	r := FailureReport{Policy: Skip}
+	r.record(2, runner.SkipSample(NewSampleError(2, fmt.Errorf("x: %w", teta.ErrSCDiverged))))
+	r.record(5, runner.SkipSample(NewSampleError(5, fmt.Errorf("x: %w", poleres.ErrSingularGr))))
+	r.record(7, runner.SkipSample(NewSampleError(7, fmt.Errorf("y: %w", teta.ErrSCDiverged))))
+	if !r.Any() || r.Skipped != 3 {
+		t.Fatalf("report %+v", r)
+	}
+	if !reflect.DeepEqual(r.SkippedIndices, []int{2, 5, 7}) {
+		t.Fatalf("skip indices %v", r.SkippedIndices)
+	}
+	if len(r.Classes) != 2 {
+		t.Fatalf("classes %+v", r.Classes)
+	}
+	// Sorted by class name: sc-diverged < singular-gr.
+	if r.Classes[0].Class != ClassSCDiverged || r.Classes[0].Count != 2 || r.Classes[0].FirstIndex != 2 {
+		t.Fatalf("class[0] %+v", r.Classes[0])
+	}
+	if r.Classes[1].Class != ClassSingularGr || r.Classes[1].Count != 1 || r.Classes[1].FirstIndex != 5 {
+		t.Fatalf("class[1] %+v", r.Classes[1])
+	}
+	out := r.Render()
+	if out == "" {
+		t.Fatal("Render must produce a table for a failing run")
+	}
+	clean := FailureReport{}
+	if clean.Any() || clean.Render() != "" {
+		t.Fatal("clean report must render empty")
+	}
+}

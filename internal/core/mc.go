@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -69,12 +70,19 @@ type MCConfig struct {
 	KeepSamples bool
 	Direct      bool // exact per-sample re-reduction instead of the library
 	// Metrics, when non-nil, accumulates evaluation-cost counters
-	// (samples, SC iterations, linear solves, stage evaluations) across
-	// the run; safe to share between concurrent analyses.
+	// (samples, SC iterations, linear solves, stage evaluations, per-class
+	// failures) across the run; safe to share between concurrent analyses.
 	Metrics *runner.Metrics
 	// Progress, when non-nil, is called periodically with the number of
 	// completed samples (from a single goroutine).
 	Progress func(done, total int)
+	// OnFailure selects how the run responds to per-sample evaluation
+	// failures: FailFast (zero value) aborts with the lowest failing
+	// index's error; Skip excludes failing samples from the aggregate and
+	// reports them in MCResult.Failures; Degrade retries each failure once
+	// through exact per-sample extraction before skipping. Skip-sets and
+	// results are bit-identical at any worker count.
+	OnFailure FailurePolicy
 
 	// Deprecated: UseLHS/UseHalton are the pre-Sampler selection booleans,
 	// honored only when Sampler is SamplerDefault. Use Sampler.
@@ -83,6 +91,12 @@ type MCConfig struct {
 	// Deprecated: Parallel is the pre-Workers switch, honored only when
 	// Workers is 0 (Parallel ⇒ GOMAXPROCS). Use Workers.
 	Parallel bool
+
+	// injectFault, when non-nil, can fail sample i's primary evaluation
+	// with the returned error (nil → evaluate normally). It intercepts
+	// only the primary path, so a Degrade retry still exercises the real
+	// exact-extraction rung. Test hook; unexported on purpose.
+	injectFault func(i int) error
 }
 
 // sampler resolves the Sampler field against the deprecated booleans.
@@ -120,6 +134,10 @@ type MCResult struct {
 	// TotalSC counts successive-chord iterations across all runs (a cost
 	// proxy that needs no wall clock).
 	TotalSC int
+	// Failures reports per-sample failures handled by the Skip/Degrade
+	// policies (empty — Failures.Any() == false — for a clean run).
+	// Skipped samples are excluded from Summary, Delays and Samples.
+	Failures FailureReport
 }
 
 // Correlations returns the Spearman rank correlation between each source's
@@ -197,9 +215,10 @@ func pearson(a, b []float64) float64 {
 
 // mcEval carries one sample's outcome through the runner.
 type mcEval struct {
-	delay  float64
-	sc     int
-	sample []float64
+	delay    float64
+	sc       int
+	sample   []float64
+	degraded bool // recovered through the exact-extraction retry
 }
 
 // rowGen returns a deterministic per-index generator of transformed
@@ -266,34 +285,86 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 	}
 	row := rowGen(cfg, cfg.sampler(), dists)
 
-	res := &MCResult{}
+	res := &MCResult{Failures: FailureReport{Policy: cfg.OnFailure}}
 	stream := stat.NewStreamSummary()
 	if cfg.KeepSamples {
 		res.Delays = make([]float64, cfg.N)
 		res.Samples = make([][]float64, cfg.N)
 	}
+
+	// Primary per-sample evaluation: the fast (or Direct) path.
+	evalPrimary := func(_ context.Context, i int, sc *PathScratch) (mcEval, error) {
+		sv := row(i)
+		rs := BuildRunSpec(cfg.Sources, sv)
+		if cfg.injectFault != nil {
+			if err := cfg.injectFault(i); err != nil {
+				return mcEval{}, err
+			}
+		}
+		ev, err := p.EvaluateWith(sc, rs, cfg.Direct)
+		if err != nil {
+			return mcEval{}, err
+		}
+		cfg.Metrics.AddSC(ev.SCIters)
+		cfg.Metrics.AddSolves(ev.LinearSolves)
+		cfg.Metrics.AddStageEvals(len(p.Stages))
+		return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv}, nil
+	}
+
+	// Per-index recovery hook implementing the failure policy. Recovery is
+	// a pure function of (index, cause) — never of worker identity or
+	// scheduling — so the skip-set and every recovered value are
+	// bit-identical at any worker count.
+	var recoverFn func(_ context.Context, i int, sc *PathScratch, cause error) (mcEval, error)
+	switch cfg.OnFailure {
+	case Skip:
+		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
+		}
+	case Degrade:
+		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+			sv := row(i)
+			rs := BuildRunSpec(cfg.Sources, sv)
+			ev, err := p.EvaluateExact(rs)
+			if err != nil {
+				return mcEval{}, runner.SkipSample(NewSampleError(i,
+					fmt.Errorf("exact retry also failed: %w (fast path: %v)", err, cause)))
+			}
+			cfg.Metrics.AddDegraded(1)
+			cfg.Metrics.AddSC(ev.SCIters)
+			cfg.Metrics.AddSolves(ev.LinearSolves)
+			cfg.Metrics.AddStageEvals(len(p.Stages))
+			return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv, degraded: true}, nil
+		}
+	default: // FailFast: wrap with the taxonomy so callers get a typed error.
+		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+			return mcEval{}, NewSampleError(i, cause)
+		}
+	}
+
 	err := runner.MapWorker(ctx, cfg.N,
 		runner.Options{
 			Workers:  cfg.workers(),
 			Metrics:  cfg.Metrics,
 			Progress: cfg.Progress,
+			OnSkip: func(i int, err error) {
+				res.Failures.record(i, err)
+				class := ClassOther
+				var se *SampleError
+				if errors.As(err, &se) {
+					class = se.Class
+				}
+				cfg.Metrics.AddFailure(string(class))
+			},
 		},
 		p.NewScratch,
-		func(_ context.Context, i int, sc *PathScratch) (mcEval, error) {
-			sv := row(i)
-			rs := BuildRunSpec(cfg.Sources, sv)
-			ev, err := p.EvaluateWith(sc, rs, cfg.Direct)
-			if err != nil {
-				return mcEval{}, err
-			}
-			cfg.Metrics.AddSC(ev.SCIters)
-			cfg.Metrics.AddSolves(ev.LinearSolves)
-			cfg.Metrics.AddStageEvals(len(p.Stages))
-			return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv}, nil
-		},
+		runner.WithRecovery(evalPrimary, recoverFn),
 		func(i int, v mcEval) {
 			stream.Add(v.delay)
 			res.TotalSC += v.sc
+			if v.degraded {
+				res.Failures.Degraded++
+			}
 			if cfg.KeepSamples {
 				res.Delays[i] = v.delay
 				res.Samples[i] = v.sample
@@ -303,11 +374,30 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 		return nil, err
 	}
 	if cfg.KeepSamples {
+		if len(res.Failures.SkippedIndices) > 0 {
+			res.Delays = compactSkipped(res.Delays, res.Failures.SkippedIndices)
+			res.Samples = compactSkipped(res.Samples, res.Failures.SkippedIndices)
+		}
 		res.Summary = stat.Summarize(res.Delays)
 	} else {
 		res.Summary = stream.Summary()
 	}
 	return res, nil
+}
+
+// compactSkipped removes the rows at the (ascending) skipped indices,
+// preserving the order of the survivors.
+func compactSkipped[T any](rows []T, skipped []int) []T {
+	out := rows[:0]
+	k := 0
+	for i := range rows {
+		if k < len(skipped) && skipped[k] == i {
+			k++
+			continue
+		}
+		out = append(out, rows[i])
+	}
+	return out
 }
 
 // MonteCarlo runs Monte-Carlo analysis without cancellation support.

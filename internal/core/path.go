@@ -86,11 +86,26 @@ type StageDelayResult struct {
 	Solves  int // prefactored linear solves spent in the SC loop
 }
 
+// evalMode selects how a stage evaluates one sample.
+type evalMode int
+
+const (
+	// evalFast: the characterize-once variational macromodel (the default
+	// per-sample path).
+	evalFast evalMode = iota
+	// evalDirect: exact per-sample re-reduction of the interconnect (the
+	// accuracy reference; Config-level Direct flag).
+	evalDirect
+	// evalExact: exact per-sample pole/residue extraction from the
+	// variational library — the degradation-ladder retry target.
+	evalExact
+)
+
 // evalStageWave runs one stage for an arbitrary input waveform and
 // returns the measured output ramp abstraction plus the full output
 // waveform. rising reports the *input* edge direction. sc may be nil
 // (the stage then uses its internal scratch pool on the fast path).
-func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in circuit.Waveform, rising bool, direct bool) (StageDelayResult, *circuit.PWL, error) {
+func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in circuit.Waveform, rising bool, mode evalMode) (StageDelayResult, *circuit.PWL, error) {
 	vdd := p.Tech.VDD
 	ins := make([]circuit.Waveform, 1+len(st.side))
 	ins[0] = in
@@ -100,9 +115,12 @@ func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in ci
 		res *teta.Result
 		err error
 	)
-	if direct {
+	switch mode {
+	case evalDirect:
 		res, err = st.TStage.RunDirect(rs)
-	} else {
+	case evalExact:
+		res, err = st.TStage.RunExact(rs)
+	default:
 		res, err = st.TStage.RunWith(sc, rs)
 	}
 	if err != nil {
@@ -119,7 +137,7 @@ func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in ci
 	}
 	cross, slew := wf.MeasureSatRamp(0, vdd, dir)
 	if math.IsNaN(cross) || math.IsNaN(slew) || slew <= 0 {
-		return StageDelayResult{}, nil, fmt.Errorf("stage %s: output did not complete its transition (cross=%g slew=%g); increase TStop", st.Name, cross, slew)
+		return StageDelayResult{}, nil, fmt.Errorf("stage %s: %w (cross=%g slew=%g); increase TStop", st.Name, ErrWaveformNaN, cross, slew)
 	}
 	return StageDelayResult{
 		Cross50: cross,
@@ -140,7 +158,11 @@ func (p *Path) evalStage(st *Stage, rs teta.RunSpec, slewIn float64, rising bool
 	} else {
 		ramp = circuit.SatRamp{V0: vdd, V1: 0, Start: p.TStart - slewIn/2, Slew: slewIn}
 	}
-	r, _, err := p.evalStageWave(st, nil, rs, ramp, rising, direct)
+	mode := evalFast
+	if direct {
+		mode = evalDirect
+	}
+	r, _, err := p.evalStageWave(st, nil, rs, ramp, rising, mode)
 	return r, err
 }
 
@@ -190,11 +212,32 @@ func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
 	return p.EvaluateWith(nil, rs, direct)
 }
 
+// EvaluateExact propagates the stimulus through every stage using exact
+// per-sample pole/residue extraction from the variational library (the
+// Config.ExactExtract-style path): the reduced system is evaluated at
+// the sample's parameter values and a fresh extraction replaces the
+// first-order macromodel update. It is the Degrade policy's retry rung —
+// slower than the fast path, but immune to macromodel-truncation and
+// DC-correction failures.
+func (p *Path) EvaluateExact(rs teta.RunSpec) (*PathEval, error) {
+	return p.evaluateMode(nil, rs, evalExact)
+}
+
 // EvaluateWith is Evaluate with caller-owned scratch: repeated calls
 // with the same PathScratch reuse each stage's convolver memo and
 // solver workspaces instead of hitting the stages' shared pools. sc may
 // be nil (plain Evaluate behavior).
 func (p *Path) EvaluateWith(sc *PathScratch, rs teta.RunSpec, direct bool) (*PathEval, error) {
+	mode := evalFast
+	if direct {
+		mode = evalDirect
+	}
+	return p.evaluateMode(sc, rs, mode)
+}
+
+// evaluateMode is the shared stage-by-stage propagation loop behind
+// Evaluate/EvaluateWith/EvaluateExact.
+func (p *Path) evaluateMode(sc *PathScratch, rs teta.RunSpec, mode evalMode) (*PathEval, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("core: empty path")
 	}
@@ -213,7 +256,7 @@ func (p *Path) EvaluateWith(sc *PathScratch, rs teta.RunSpec, direct bool) (*Pat
 		if sc != nil {
 			stageSc = sc.stages[i]
 		}
-		r, wf, err := p.evalStageWave(st, stageSc, rs, in, rising, direct)
+		r, wf, err := p.evalStageWave(st, stageSc, rs, in, rising, mode)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -27,13 +28,18 @@ type PathPair struct {
 }
 
 // SkewConfig configures Monte-Carlo skew analysis. The Workers,
-// Metrics and Progress fields follow the MCConfig conventions.
+// Metrics, Progress and OnFailure fields follow the MCConfig
+// conventions.
 type SkewConfig struct {
 	N        int
 	Seed     int64
 	Workers  int // 0 = serial, negative = GOMAXPROCS, positive = exact
 	Metrics  *runner.Metrics
 	Progress func(done, total int)
+	// OnFailure selects the per-sample failure policy (FailFast, Skip,
+	// Degrade); a skipped sample drops BOTH branch arrivals, keeping the
+	// skew pairing aligned.
+	OnFailure FailurePolicy
 }
 
 // SkewResult holds the Monte-Carlo skew outcome.
@@ -45,10 +51,16 @@ type SkewResult struct {
 	// RSS is the root-sum-square of the branch σs, the spread an analysis
 	// that ignores shared-source correlation would predict.
 	RSS float64
+	// Failures reports per-sample failures handled by the Skip/Degrade
+	// policies; skipped samples appear in neither branch's statistics.
+	Failures FailureReport
 }
 
 // pairDelay carries both branch arrivals for one sample.
-type pairDelay struct{ a, b float64 }
+type pairDelay struct {
+	a, b     float64
+	degraded bool
+}
 
 // MonteCarloSkewCtx samples the pair jointly on the parallel runtime:
 // shared values are reused across branches, independent values drawn per
@@ -80,7 +92,10 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	}
 	samples := stat.SamplePlan(cube, dists)
 
-	evalOne := func(i int) (pairDelay, error) {
+	// evalOne evaluates both branches at sample i; exact selects the
+	// degradation rung (exact per-sample extraction) instead of the fast
+	// path.
+	evalOne := func(i int, exact bool) (pairDelay, error) {
 		row := samples[i]
 		ns := len(pp.Shared)
 		na := len(pp.IndependentA)
@@ -95,30 +110,72 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		for k, s := range pp.IndependentB {
 			s.Apply(&rsB, row[ns+na+k])
 		}
-		ea, err := pp.A.Evaluate(rsA, false)
+		eval := func(p *Path, rs teta.RunSpec) (*PathEval, error) {
+			if exact {
+				return p.EvaluateExact(rs)
+			}
+			return p.Evaluate(rs, false)
+		}
+		ea, err := eval(pp.A, rsA)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch A: %w", err)
 		}
-		eb, err := pp.B.Evaluate(rsB, false)
+		eb, err := eval(pp.B, rsB)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch B: %w", err)
 		}
 		cfg.Metrics.AddSC(ea.SCIters + eb.SCIters)
 		cfg.Metrics.AddSolves(ea.LinearSolves + eb.LinearSolves)
 		cfg.Metrics.AddStageEvals(len(pp.A.Stages) + len(pp.B.Stages))
-		return pairDelay{ea.Delay, eb.Delay}, nil
+		return pairDelay{a: ea.Delay, b: eb.Delay, degraded: exact}, nil
 	}
 
-	res := &SkewResult{Skews: make([]float64, 0, cfg.N)}
+	// Per-index failure policy, mirroring MonteCarloCtx: recovery depends
+	// only on (index, cause), so skip-sets and results are bit-identical
+	// at any worker count.
+	evalFn := func(_ context.Context, i int) (pairDelay, error) {
+		d, err := evalOne(i, false)
+		if err == nil || cfg.OnFailure == FailFast {
+			if err != nil {
+				err = NewSampleError(i, err)
+			}
+			return d, err
+		}
+		if cfg.OnFailure == Degrade {
+			if d2, err2 := evalOne(i, true); err2 == nil {
+				cfg.Metrics.AddDegraded(1)
+				return d2, nil
+			} else {
+				err = fmt.Errorf("exact retry also failed: %w (fast path: %v)", err2, err)
+			}
+		}
+		return pairDelay{}, runner.SkipSample(NewSampleError(i, err))
+	}
+
+	res := &SkewResult{Skews: make([]float64, 0, cfg.N), Failures: FailureReport{Policy: cfg.OnFailure}}
 	as := make([]float64, 0, cfg.N)
 	bs := make([]float64, 0, cfg.N)
 	err := runner.Map(ctx, cfg.N,
-		runner.Options{Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress},
-		func(_ context.Context, i int) (pairDelay, error) { return evalOne(i) },
+		runner.Options{
+			Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress,
+			OnSkip: func(i int, err error) {
+				res.Failures.record(i, err)
+				class := ClassOther
+				var se *SampleError
+				if errors.As(err, &se) {
+					class = se.Class
+				}
+				cfg.Metrics.AddFailure(string(class))
+			},
+		},
+		evalFn,
 		func(_ int, d pairDelay) {
 			as = append(as, d.a)
 			bs = append(bs, d.b)
 			res.Skews = append(res.Skews, d.a-d.b)
+			if d.degraded {
+				res.Failures.Degraded++
+			}
 		})
 	if err != nil {
 		return nil, err

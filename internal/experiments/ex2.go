@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -142,7 +143,7 @@ func ex2Delay(o Ex2Options, res *teta.Result) (float64, error) {
 		return 0, err
 	}
 	cross := wf.CrossTime(o.Tech.VDD/2, -1)
-	if cross != cross { // NaN
+	if math.IsNaN(cross) {
 		return 0, fmt.Errorf("experiments: probe did not cross 50%%")
 	}
 	return cross - 0.30e-9, nil
@@ -180,7 +181,7 @@ func ex2SpiceDelay(o Ex2Options, lengthUm float64, w map[string]float64) (float6
 		return 0, nil, err
 	}
 	cross := wf.CrossTime(o.Tech.VDD/2, -1)
-	if cross != cross {
+	if math.IsNaN(cross) {
 		return 0, nil, fmt.Errorf("experiments: spice probe did not cross 50%%")
 	}
 	return cross - 0.30e-9, &res.Stats, nil

@@ -1,12 +1,26 @@
 package poleres
 
 import (
+	"errors"
 	"fmt"
 	"math/cmplx"
 
 	"lcsim/internal/mat"
 	"lcsim/internal/mor"
 )
+
+// ErrSingularGr reports that the evaluated conductance matrix Gr(w) of a
+// sample is singular, so the exact per-sample DC correction (and any DC
+// solve downstream) is impossible at that sample. It is a per-sample
+// fault, not a characterization failure: statistical runs classify it
+// (core.ClassSingularGr) and can skip or degrade instead of aborting.
+var ErrSingularGr = errors.New("poleres: Gr(w) is singular at this sample")
+
+// ErrAllPolesUnstable reports that the stability filter removed every
+// pole of a sample's macromodel: the remaining purely-static model cannot
+// represent the transient, so the sample must be treated as failed
+// rather than silently simulated with a DC-only load.
+var ErrAllPolesUnstable = errors.New("poleres: stabilization removed every pole")
 
 // VarMacromodel is a pole/residue macromodel characterized once per stage
 // together with its first-order sensitivities to every global parameter of
@@ -233,9 +247,13 @@ func ExtractVar(vrom *mor.VarROM) (*VarMacromodel, error) {
 
 // At evaluates the macromodel at a parameter sample into a freshly
 // allocated Macromodel. Per-sample loops should hold a MacroEval and use
-// EvalInto instead.
-func (v *VarMacromodel) At(w map[string]float64) *Macromodel {
-	mac := v.EvalInto(v.NewEval(), w)
+// EvalInto instead. A sample whose Gr(w) is singular returns
+// ErrSingularGr (the DC correction is impossible there).
+func (v *VarMacromodel) At(w map[string]float64) (*Macromodel, error) {
+	mac, err := v.EvalInto(v.NewEval(), w)
+	if err != nil {
+		return nil, err
+	}
 	out := &Macromodel{
 		Np:    mac.Np,
 		D0:    mac.D0.Clone(),
@@ -244,7 +262,7 @@ func (v *VarMacromodel) At(w map[string]float64) *Macromodel {
 	for _, r := range mac.Res {
 		out.Res = append(out.Res, r.Clone())
 	}
-	return out
+	return out, nil
 }
 
 // MacroEval is a reusable per-worker evaluation buffer for a
@@ -288,7 +306,13 @@ func (v *VarMacromodel) NewEval() *MacroEval {
 // and returns the contained model. The returned model is owned by me and
 // overwritten by the next call; in-place stabilization of it is fine
 // (the pole/residue buffers are re-copied from the nominal every time).
-func (v *VarMacromodel) EvalInto(me *MacroEval, w map[string]float64) *Macromodel {
+//
+// A sample whose evaluated Gr(w) is singular returns ErrSingularGr: the
+// exact DC correction cannot be applied there, and silently using the
+// uncorrected first-order model would produce a subtly wrong delay.
+// Callers must treat such a sample as failed (skip, degrade to exact
+// extraction, or abort per their failure policy).
+func (v *VarMacromodel) EvalInto(me *MacroEval, w map[string]float64) (*Macromodel, error) {
 	n := len(v.Nominal.Poles)
 	me.mac.D0.CopyFrom(v.Nominal.D0)
 	copy(me.pbuf[:n], v.Nominal.Poles)
@@ -312,8 +336,10 @@ func (v *VarMacromodel) EvalInto(me *MacroEval, w map[string]float64) *Macromode
 	me.mac.Poles = me.pbuf[:n]
 	me.mac.Res = me.mac.Res[:n]
 	copy(me.mac.Res, me.pool)
-	v.fixDC(me, w)
-	return &me.mac
+	if err := v.fixDC(me, w); err != nil {
+		return nil, err
+	}
+	return &me.mac, nil
 }
 
 // fixDC replaces the perturbed model's DC behavior with the exact
@@ -321,17 +347,17 @@ func (v *VarMacromodel) EvalInto(me *MacroEval, w map[string]float64) *Macromode
 // difference into D0. First-order pole/residue truncation leaves a flat
 // absolute offset on Z (worst on coupling entries whose exact DC value is
 // a cancellation of large terms); one q×q refactorization per sample
-// removes it entirely. A singular Gr(w) leaves the model uncorrected —
-// such samples fail later in the stage's DC solve with a clear error.
-func (v *VarMacromodel) fixDC(me *MacroEval, w map[string]float64) {
+// removes it entirely. A singular Gr(w) returns ErrSingularGr: the
+// sample's model cannot be DC-corrected, and must not be used.
+func (v *VarMacromodel) fixDC(me *MacroEval, w map[string]float64) error {
 	me.grw.CopyFrom(v.gr0)
 	for _, prm := range v.Params {
 		if wv := w[prm]; wv != 0 {
 			me.grw.AddScaled(wv, v.dgr[prm])
 		}
 	}
-	if me.lu.Refactor(me.grw) != nil {
-		return
+	if err := me.lu.Refactor(me.grw); err != nil {
+		return fmt.Errorf("%w: %v", ErrSingularGr, err)
 	}
 	np := v.Np
 	for j := 0; j < np; j++ {
@@ -347,6 +373,7 @@ func (v *VarMacromodel) fixDC(me *MacroEval, w map[string]float64) {
 			me.mac.D0.Add(i, j, me.x[i]-model)
 		}
 	}
+	return nil
 }
 
 // cMulReal returns a·b with a complex and b real.

@@ -1,6 +1,7 @@
 package poleres
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -37,6 +38,26 @@ func varLadder(t *testing.T, nSeg, order int) *mor.VarROM {
 	return vrom
 }
 
+// mustAt evaluates vm.At and fails the test on error.
+func mustAt(t *testing.T, vm *VarMacromodel, w map[string]float64) *Macromodel {
+	t.Helper()
+	mac, err := vm.At(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mac
+}
+
+// mustEvalInto evaluates vm.EvalInto and fails the test on error.
+func mustEvalInto(t *testing.T, vm *VarMacromodel, me *MacroEval, w map[string]float64) *Macromodel {
+	t.Helper()
+	mac, err := vm.EvalInto(me, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mac
+}
+
 // zErr returns the worst relative difference between the two macromodels'
 // port impedances over a frequency sweep spanning the ladder's dynamics.
 func zErr(a, b *Macromodel) float64 {
@@ -69,7 +90,7 @@ func TestExtractVarNominalMatchesExtract(t *testing.T) {
 	if len(vm.Nominal.Poles) != len(exact.Poles) {
 		t.Fatalf("nominal pole count %d != exact %d", len(vm.Nominal.Poles), len(exact.Poles))
 	}
-	if e := zErr(vm.At(nil), exact); e > 1e-8 {
+	if e := zErr(mustAt(t, vm, nil), exact); e > 1e-8 {
 		t.Fatalf("variational nominal impedance differs from exact extraction by %.3g", e)
 	}
 }
@@ -86,7 +107,7 @@ func TestExtractVarFirstOrderConvergence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return zErr(vm.At(w), exact)
+		return zErr(mustAt(t, vm, w), exact)
 	}
 	// Both models share the identical first-order ROM evaluation, so the
 	// macromodel linearization error is the only difference and must
@@ -107,16 +128,16 @@ func TestEvalIntoMatchesAtAndAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := map[string]float64{"rw": 0.3, "cw": -0.2}
-	want := vm.At(w)
+	want := mustAt(t, vm, w)
 	me := vm.NewEval()
-	got := vm.EvalInto(me, w)
+	got := mustEvalInto(t, vm, me, w)
 	if e := zErr(got, want); e > 1e-12 {
 		t.Fatalf("EvalInto differs from At by %.3g", e)
 	}
 	// Evaluating a different sample into the same buffer must fully
 	// overwrite the previous state.
-	vm.EvalInto(me, map[string]float64{"rw": -1})
-	got = vm.EvalInto(me, w)
+	mustEvalInto(t, vm, me, map[string]float64{"rw": -1})
+	got = mustEvalInto(t, vm, me, w)
 	if e := zErr(got, want); e > 1e-12 {
 		t.Fatalf("EvalInto not idempotent across samples: %.3g", e)
 	}
@@ -164,7 +185,7 @@ func TestExtractVarKeepsConjugatePairsExact(t *testing.T) {
 		t.Fatalf("want 2 poles, got %d", len(vm.Nominal.Poles))
 	}
 	for _, wv := range []float64{0, 0.5, -1, 0.123456} {
-		mac := vm.At(map[string]float64{"p": wv})
+		mac := mustAt(t, vm, map[string]float64{"p": wv})
 		p0, p1 := mac.Poles[0], mac.Poles[1]
 		if imag(p0) == 0 {
 			t.Fatalf("expected a complex pair at w=%g, got %v", wv, mac.Poles)
@@ -184,6 +205,33 @@ func TestExtractVarKeepsConjugatePairsExact(t *testing.T) {
 		if e := zErr(mac, exact); e > 0.10 {
 			t.Fatalf("synthetic pair impedance error %.3g at w=%g", e, wv)
 		}
+	}
+}
+
+func TestEvalIntoReportsSingularGr(t *testing.T) {
+	// DGr["p"] = −Gr0 makes Gr(w) = (1−w)·I exactly singular at w=1: the
+	// DC correction's refactorization must fail. This used to be a silent
+	// return (fixDC bailed out and the caller got a macromodel with an
+	// uncorrected, wrong DC level); it must now surface ErrSingularGr.
+	vrom := synthVarROM()
+	dgr := mat.NewDense(2, 2)
+	dgr.Set(0, 0, -1)
+	dgr.Set(1, 1, -1)
+	vrom.DGr = map[string]*mat.Dense{"p": dgr}
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := vm.NewEval()
+	if _, err := vm.EvalInto(me, map[string]float64{"p": 1}); !errors.Is(err, ErrSingularGr) {
+		t.Fatalf("EvalInto at singular Gr(w): err = %v, want ErrSingularGr", err)
+	}
+	if _, err := vm.At(map[string]float64{"p": 1}); !errors.Is(err, ErrSingularGr) {
+		t.Fatalf("At at singular Gr(w): err = %v, want ErrSingularGr", err)
+	}
+	// Away from the singular sample the same buffers must still work.
+	if _, err := vm.EvalInto(me, map[string]float64{"p": 0.1}); err != nil {
+		t.Fatalf("EvalInto at a healthy sample after the failure: %v", err)
 	}
 }
 

@@ -1,30 +1,49 @@
 package runner
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Metrics is a set of atomic cost counters shared by the evaluation
-// layers: the runner counts completed samples, the core/teta layers add
-// Successive-Chords iterations, linear (triangular) solves and stage
-// evaluations. All methods are safe on a nil receiver, so call sites
-// can pass counters through unconditionally.
+// layers: the runner counts completed and skipped samples, the core/teta
+// layers add Successive-Chords iterations, linear (triangular) solves,
+// stage evaluations, and — for fault-tolerant statistical runs — per-class
+// failure counts and degraded-recovery counts. All methods are safe on a
+// nil receiver, so call sites can pass counters through unconditionally.
 type Metrics struct {
 	samples    atomic.Int64
 	scIters    atomic.Int64
 	solves     atomic.Int64
 	stageEvals atomic.Int64
+	skipped    atomic.Int64
+	degraded   atomic.Int64
+	failures   sync.Map // failure class (string) → *atomic.Int64
 }
 
 // Snapshot is a consistent-enough copy of the counters for reporting.
 type Snapshot struct {
-	Samples      int64 // completed sample evaluations
+	Samples      int64 // completed sample evaluations (including skipped)
 	SCIterations int64 // Successive-Chords iterations
 	LinearSolves int64 // triangular solves during timestepping
 	StageEvals   int64 // stage transient evaluations
+	Skipped      int64 // samples excluded from the aggregate by a skip policy
+	Degraded     int64 // samples recovered through a degradation retry
+	// Failures maps failure class name → occurrence count (nil when no
+	// failure was ever recorded).
+	Failures map[string]int64
 }
 
 func (m *Metrics) addSamples(n int) {
 	if m != nil {
 		m.samples.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addSkipped(n int) {
+	if m != nil {
+		m.skipped.Add(int64(n))
 	}
 }
 
@@ -49,15 +68,62 @@ func (m *Metrics) AddStageEvals(n int) {
 	}
 }
 
+// AddDegraded counts samples that failed their primary evaluation but
+// were recovered by a degradation retry (e.g. exact per-sample
+// extraction).
+func (m *Metrics) AddDegraded(n int) {
+	if m != nil {
+		m.degraded.Add(int64(n))
+	}
+}
+
+// AddFailure counts one per-sample failure of the named class. Classes
+// are free-form strings (the core layer passes its FailureClass names);
+// each class gets its own atomic counter, created on first use.
+func (m *Metrics) AddFailure(class string) {
+	if m == nil {
+		return
+	}
+	c, ok := m.failures.Load(class)
+	if !ok {
+		c, _ = m.failures.LoadOrStore(class, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// FailureClasses returns the recorded failure class names, sorted.
+func (m *Metrics) FailureClasses() []string {
+	if m == nil {
+		return nil
+	}
+	var out []string
+	m.failures.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
 // Snapshot reads all counters. A nil receiver reads as zero.
 func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
-	return Snapshot{
+	s := Snapshot{
 		Samples:      m.samples.Load(),
 		SCIterations: m.scIters.Load(),
 		LinearSolves: m.solves.Load(),
 		StageEvals:   m.stageEvals.Load(),
+		Skipped:      m.skipped.Load(),
+		Degraded:     m.degraded.Load(),
 	}
+	m.failures.Range(func(k, v any) bool {
+		if s.Failures == nil {
+			s.Failures = map[string]int64{}
+		}
+		s.Failures[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return s
 }

@@ -13,11 +13,62 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrSkip is the sentinel recognized by Map/MapWorker for per-sample
+// degradation: an evaluation function that returns an error satisfying
+// errors.Is(err, ErrSkip) marks its sample as *skipped* rather than
+// failed — the run continues, the sample is excluded from sink delivery,
+// and Options.OnSkip observes the exclusion. Build such errors with
+// SkipSample so the underlying cause stays inspectable.
+var ErrSkip = errors.New("runner: sample skipped")
+
+// SkipSample wraps cause into a skip marker: Map/MapWorker exclude the
+// sample from delivery instead of failing the run, and report cause to
+// Options.OnSkip. errors.Is(SkipSample(c), ErrSkip) holds, and the full
+// cause chain stays reachable through errors.As/Is.
+func SkipSample(cause error) error { return &skipError{cause} }
+
+type skipError struct{ cause error }
+
+func (e *skipError) Error() string {
+	if e.cause == nil {
+		return ErrSkip.Error()
+	}
+	return "runner: sample skipped: " + e.cause.Error()
+}
+
+func (e *skipError) Is(target error) bool { return target == ErrSkip }
+func (e *skipError) Unwrap() error        { return e.cause }
+
+// WithRecovery wraps fn with a per-index recovery hook: when fn fails at
+// index i, rec runs once — on the same worker goroutine, with the same
+// per-worker state — and its outcome replaces the sample's. A rec that
+// returns (v, nil) repairs the sample; a SkipSample error excludes it; any
+// other error fails the run with the usual lowest-index-wins semantics.
+// Recovery must be a pure function of (i, cause) — state is a scratch
+// cache, not a memory — so results remain bit-identical at any worker
+// count. Errors already marked with ErrSkip bypass rec (fn has decided).
+func WithRecovery[S, T any](
+	fn func(ctx context.Context, i int, state S) (T, error),
+	rec func(ctx context.Context, i int, state S, cause error) (T, error),
+) func(ctx context.Context, i int, state S) (T, error) {
+	if rec == nil {
+		return fn
+	}
+	return func(ctx context.Context, i int, state S) (T, error) {
+		v, err := fn(ctx, i, state)
+		if err == nil || errors.Is(err, ErrSkip) {
+			return v, err
+		}
+		return rec(ctx, i, state, err)
+	}
+}
 
 // Options configures one Map run.
 type Options struct {
@@ -38,6 +89,12 @@ type Options struct {
 	// ProgressEvery is the sample interval between Progress calls
 	// (default max(1, n/100)).
 	ProgressEvery int
+	// OnSkip, when non-nil, is called for every sample whose evaluation
+	// returned a SkipSample error — from the collector goroutine, in
+	// strict index order, interleaved with sink deliveries — so failure
+	// reports built in OnSkip are bit-identical at any worker count. The
+	// error passed is the full skip error (unwrap for the cause).
+	OnSkip func(i int, err error)
 }
 
 // ResolveWorkers maps the Workers convention (0 = serial, negative =
@@ -94,6 +151,13 @@ type result[T any] struct {
 // that index is started (outstanding work is abandoned); samples below
 // it run to completion so a lower-index error can still win. The error
 // is wrapped as "sample %d: ...".
+//
+// Degradation: an fn error wrapping ErrSkip (build it with SkipSample)
+// does NOT fail the run — the sample is excluded from sink delivery,
+// counted in Metrics, and reported to Options.OnSkip in strict index
+// order. Because skipping is a per-index decision made by fn, the
+// skip-set — and everything the sink accumulates — is identical at any
+// worker count.
 //
 // Cancellation: when ctx is canceled (or its deadline passes), workers
 // stop between samples and Map returns ctx.Err() wrapped with the
@@ -160,7 +224,7 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 						continue
 					}
 					v, err := fn(ctx, i, state)
-					if err != nil {
+					if err != nil && !errors.Is(err, ErrSkip) {
 						storeMin(&minErr, int64(i))
 					}
 					results <- result[T]{i, v, err}
@@ -173,8 +237,10 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 		close(results)
 	}()
 
-	// Collector: reorder results to strict index order for sink, track
-	// the lowest-index error and progress.
+	// Collector: reorder results to strict index order for sink/OnSkip,
+	// track the lowest-index error and progress. Skipped samples (errors
+	// wrapping ErrSkip) flow through the same ordered drain as values, so
+	// OnSkip observes exclusions in strict index order too.
 	pending := make(map[int]result[T])
 	nextOut := 0
 	done := 0
@@ -183,7 +249,7 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 	for r := range results {
 		done++
 		opts.Metrics.addSamples(1)
-		if r.err != nil {
+		if r.err != nil && !errors.Is(r.err, ErrSkip) {
 			if r.i < firstErrIdx {
 				firstErrIdx = r.i
 				firstErr = r.err
@@ -196,7 +262,12 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 					break
 				}
 				delete(pending, nextOut)
-				if sink != nil {
+				if p.err != nil {
+					opts.Metrics.addSkipped(1)
+					if opts.OnSkip != nil {
+						opts.OnSkip(p.i, p.err)
+					}
+				} else if sink != nil {
 					sink(p.i, p.v)
 				}
 				nextOut++
@@ -229,7 +300,18 @@ func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func
 		}
 		v, err := fn(ctx, i, state)
 		if err != nil {
-			return fmt.Errorf("sample %d: %w", i, err)
+			if !errors.Is(err, ErrSkip) {
+				return fmt.Errorf("sample %d: %w", i, err)
+			}
+			opts.Metrics.addSamples(1)
+			opts.Metrics.addSkipped(1)
+			if opts.OnSkip != nil {
+				opts.OnSkip(i, err)
+			}
+			if opts.Progress != nil && ((i+1)%every == 0 || i == n-1) {
+				opts.Progress(i+1, n)
+			}
+			continue
 		}
 		opts.Metrics.addSamples(1)
 		if sink != nil {

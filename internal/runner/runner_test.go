@@ -202,8 +202,16 @@ func TestMetricsNilSafe(t *testing.T) {
 	m.AddSolves(1)
 	m.AddStageEvals(1)
 	m.addSamples(1)
-	if m.Snapshot() != (Snapshot{}) {
-		t.Fatal("nil metrics must read as zero")
+	m.addSkipped(1)
+	m.AddDegraded(1)
+	m.AddFailure("sc-diverged")
+	if got := m.FailureClasses(); got != nil {
+		t.Fatalf("nil metrics must record no failure classes, got %v", got)
+	}
+	s := m.Snapshot()
+	if s.Samples != 0 || s.SCIterations != 0 || s.LinearSolves != 0 ||
+		s.StageEvals != 0 || s.Skipped != 0 || s.Degraded != 0 || s.Failures != nil {
+		t.Fatalf("nil metrics must read as zero, got %+v", s)
 	}
 }
 

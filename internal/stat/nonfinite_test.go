@@ -1,0 +1,66 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeRejectsNonFinite(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5}
+	poisoned := []float64{1, math.NaN(), 2, 3, math.Inf(1), 4, 5, math.Inf(-1)}
+	got := Summarize(poisoned)
+	want := Summarize(clean)
+	if got.NonFinite != 3 {
+		t.Fatalf("NonFinite = %d, want 3", got.NonFinite)
+	}
+	want.NonFinite = 3
+	if got != want {
+		t.Fatalf("poisoned summary %+v differs from clean %+v", got, want)
+	}
+	if s := Summarize(clean); s.NonFinite != 0 {
+		t.Fatalf("clean sample reports NonFinite = %d", s.NonFinite)
+	}
+	// All-poisoned input must not produce NaN moments out of thin air.
+	s := Summarize([]float64{math.NaN(), math.Inf(1)})
+	if s.N != 0 || s.NonFinite != 2 || s.Mean != 0 {
+		t.Fatalf("all-non-finite summary %+v", s)
+	}
+}
+
+func TestStreamSummaryRejectsNonFinite(t *testing.T) {
+	clean := NewStreamSummary()
+	poisoned := NewStreamSummary()
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	for _, x := range xs {
+		clean.Add(x)
+		poisoned.Add(x)
+	}
+	poisoned.Add(math.NaN())
+	poisoned.Add(math.Inf(1))
+	poisoned.Add(math.Inf(-1))
+	if poisoned.Rejected() != 3 {
+		t.Fatalf("Rejected = %d, want 3", poisoned.Rejected())
+	}
+	if poisoned.N() != len(xs) {
+		t.Fatalf("N = %d, want %d accepted", poisoned.N(), len(xs))
+	}
+	got, want := poisoned.Summary(), clean.Summary()
+	want.NonFinite = 3
+	if got != want {
+		t.Fatalf("poisoned stream %+v differs from clean %+v", got, want)
+	}
+	if math.IsNaN(got.Mean) || math.IsNaN(got.Median) {
+		t.Fatal("stream statistics poisoned by a rejected observation")
+	}
+}
+
+func TestHistogramSkipsNonFinite(t *testing.T) {
+	xs := []float64{1, 2, 3, math.NaN(), math.Inf(1), 4}
+	h := NewHistogram(xs, 4)
+	if h.Total != 4 {
+		t.Fatalf("histogram total %d, want 4 finite samples", h.Total)
+	}
+	if math.IsInf(h.Hi, 0) || math.IsNaN(h.Lo) {
+		t.Fatalf("histogram span poisoned: [%g, %g]", h.Lo, h.Hi)
+	}
+}

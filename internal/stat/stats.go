@@ -17,10 +17,37 @@ type Summary struct {
 	Min, Max  float64
 	Median    float64
 	P05, P95  float64
+	// NonFinite counts NaN/±Inf observations rejected from the
+	// statistics (a single poisoned sample would otherwise silently turn
+	// Mean, Std and every P² quantile into NaN). N counts only the
+	// accepted observations.
+	NonFinite int
 }
 
+// isFinite reports whether x is an ordinary number (not NaN, not ±Inf).
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // Summarize computes sample statistics (unbiased standard deviation).
+// Non-finite observations are rejected and counted in Summary.NonFinite
+// rather than silently poisoning every moment and quantile.
 func Summarize(xs []float64) Summary {
+	nonFinite := 0
+	for _, x := range xs {
+		if !isFinite(x) {
+			nonFinite++
+		}
+	}
+	if nonFinite > 0 {
+		finite := make([]float64, 0, len(xs)-nonFinite)
+		for _, x := range xs {
+			if isFinite(x) {
+				finite = append(finite, x)
+			}
+		}
+		s := Summarize(finite)
+		s.NonFinite = nonFinite
+		return s
+	}
 	n := len(xs)
 	if n == 0 {
 		return Summary{}
@@ -87,6 +114,8 @@ type Histogram struct {
 
 // NewHistogram bins the samples into nbins equal-width bins spanning
 // [min, max] (expanded slightly so the extremes land inside).
+// Non-finite samples are excluded — a NaN would otherwise land in bin 0
+// and an Inf would stretch the span to nothing.
 func NewHistogram(xs []float64, nbins int) *Histogram {
 	if nbins < 1 {
 		nbins = 1
@@ -102,6 +131,9 @@ func NewHistogram(xs []float64, nbins int) *Histogram {
 	hi += 1e-9 * span
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
 	for _, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
 		b := int(float64(nbins) * (x - lo) / (hi - lo))
 		if b < 0 {
 			b = 0

@@ -167,9 +167,15 @@ func (e *P2Quantile) Value() float64 {
 // P² estimators for the median and the 5th/95th percentiles. Feed it in
 // a deterministic order (the runner's ordered sink) and the resulting
 // Summary is bit-identical at any worker count.
+//
+// Non-finite observations (NaN, ±Inf) are rejected and counted rather
+// than accumulated: a single NaN fed to Welford or a P² marker would
+// silently poison the mean, the variance and every quantile estimate for
+// the rest of the run.
 type StreamSummary struct {
 	w           Welford
 	med, lo, hi *P2Quantile
+	rejected    int
 }
 
 // NewStreamSummary creates an empty streaming summary sink.
@@ -181,32 +187,41 @@ func NewStreamSummary() *StreamSummary {
 	}
 }
 
-// Add folds one observation into every accumulator.
+// Add folds one observation into every accumulator. A non-finite x is
+// rejected (counted in Rejected, excluded from the statistics).
 func (s *StreamSummary) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.rejected++
+		return
+	}
 	s.w.Add(x)
 	s.med.Add(x)
 	s.lo.Add(x)
 	s.hi.Add(x)
 }
 
-// N returns the observation count.
+// N returns the accepted observation count.
 func (s *StreamSummary) N() int { return s.w.N() }
+
+// Rejected returns the number of non-finite observations rejected by Add.
+func (s *StreamSummary) Rejected() int { return s.rejected }
 
 // Summary renders the streaming state as a Summary. Mean/Std/Min/Max are
 // exact (up to floating-point accumulation); Median/P05/P95 are P²
 // estimates.
 func (s *StreamSummary) Summary() Summary {
 	if s.w.N() == 0 {
-		return Summary{}
+		return Summary{NonFinite: s.rejected}
 	}
 	return Summary{
-		N:      s.w.N(),
-		Mean:   s.w.Mean(),
-		Std:    s.w.Std(),
-		Min:    s.w.Min(),
-		Max:    s.w.Max(),
-		Median: s.med.Value(),
-		P05:    s.lo.Value(),
-		P95:    s.hi.Value(),
+		N:         s.w.N(),
+		Mean:      s.w.Mean(),
+		Std:       s.w.Std(),
+		Min:       s.w.Min(),
+		Max:       s.w.Max(),
+		Median:    s.med.Value(),
+		P05:       s.lo.Value(),
+		P95:       s.hi.Value(),
+		NonFinite: s.rejected,
 	}
 }

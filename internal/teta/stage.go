@@ -16,6 +16,33 @@ import (
 // ErrNoConvergence reports Successive-Chords iteration failure.
 var ErrNoConvergence = errors.New("teta: successive chords did not converge")
 
+// Typed per-sample failure causes. Both wrap ErrNoConvergence, so legacy
+// errors.Is(err, ErrNoConvergence) checks keep working; new code should
+// match the specific cause (the core layer classifies them into its
+// failure taxonomy for skip/degrade policies).
+var (
+	// ErrSCDiverged reports that the Successive-Chords iteration diverged
+	// (the port-voltage update went NaN or past scDivergeLimit), as
+	// opposed to merely failing to converge within the iteration budget.
+	ErrSCDiverged = fmt.Errorf("%w: iteration diverged", ErrNoConvergence)
+	// ErrDCNewtonFailed reports that the t=0 quasi-static DC Newton could
+	// not find an operating point from any starting sequence.
+	ErrDCNewtonFailed = fmt.Errorf("%w: DC Newton initialization failed", ErrNoConvergence)
+)
+
+// scDivergeLimit is the port-voltage update magnitude (volts) past which
+// the SC iteration is declared divergent rather than merely slow. It is
+// the single divergence threshold shared by the exact (runROM) and fast
+// (runFast) paths, so the two guards cannot drift apart.
+const scDivergeLimit = 1e6
+
+// scDiverged reports whether an SC port-voltage update indicates
+// divergence: a NaN (the iteration left the representable range) or a
+// step beyond scDivergeLimit.
+func scDiverged(delta float64) bool {
+	return math.IsNaN(delta) || delta > scDivergeLimit
+}
+
 // Config controls stage construction and simulation.
 type Config struct {
 	Tech  *device.ModelSet
@@ -287,6 +314,22 @@ func (st *Stage) getScratch() *Scratch {
 	return st.NewScratch()
 }
 
+// RunExact evaluates one sample through the per-sample extraction path —
+// variational library evaluation followed by a full pole/residue
+// extraction (dense LU + eigendecomposition), exactly what
+// Config.ExactExtract forces for every sample — regardless of whether the
+// characterize-once macromodel is available. It is the degradation rung
+// for samples whose fast-path evaluation fails (e.g. a singular Gr(w) in
+// the macromodel's DC correction): the exact extraction does not share
+// the macromodel's first-order truncation, so it can succeed where the
+// fast path cannot.
+func (st *Stage) RunExact(rs RunSpec) (*Result, error) {
+	if err := st.checkInputs(rs); err != nil {
+		return nil, err
+	}
+	return st.runROM(st.varrom.At(rs.W), rs)
+}
+
 // RunDirect recharacterizes the ROM exactly at the sample (full
 // re-reduction with exact element values) and simulates — the accuracy
 // reference used by the Example-2 histogram comparison.
@@ -321,6 +364,9 @@ func (st *Stage) runROM(rom *mor.ROM, rs RunSpec) (*Result, error) {
 		}
 		stats.UnstablePoles = len(rep.Removed)
 		stats.BetaMin, stats.BetaMax = rep.BetaMin, rep.BetaMax
+		if len(pr.Poles) == 0 && stats.UnstablePoles > 0 {
+			return nil, fmt.Errorf("%w (%d poles removed at this sample)", poleres.ErrAllPolesUnstable, stats.UnstablePoles)
+		}
 	}
 	cv, err := poleres.NewConvolver(pr, st.cfg.DT)
 	if err != nil {
@@ -417,8 +463,8 @@ func (st *Stage) runROM(rom *mor.ROM, rs RunSpec) (*Result, error) {
 				converged = true
 				break
 			}
-			if math.IsNaN(delta) || delta > 1e6 {
-				return nil, fmt.Errorf("%w: diverged at t=%.4g", ErrNoConvergence, t)
+			if scDiverged(delta) {
+				return nil, fmt.Errorf("%w at t=%.4g", ErrSCDiverged, t)
 			}
 		}
 		if !converged {
@@ -558,7 +604,7 @@ func (st *Stage) dcInit(zdc *mat.Dense, vp, iN []float64, vin0, unk [][]float64,
 		}
 	}
 	if !dcOK {
-		return fmt.Errorf("%w: DC initialization", ErrNoConvergence)
+		return ErrDCNewtonFailed
 	}
 	// Settle internals at the final port voltages.
 	for di, d := range st.drivers {
@@ -607,7 +653,13 @@ func (st *Stage) PrimeDC(inputs [][]circuit.Waveform) error {
 	}
 	var pr *poleres.Macromodel
 	if st.varmac != nil {
-		pr = st.varmac.At(nil)
+		var err error
+		pr, err = st.varmac.At(nil)
+		if err != nil {
+			// The nominal Gr was factored during characterization, so this
+			// cannot happen in practice; report it rather than crash.
+			return fmt.Errorf("teta: PrimeDC nominal evaluation: %w", err)
+		}
 	} else {
 		var err error
 		pr, err = poleres.Extract(st.varrom.Nominal())

@@ -65,7 +65,10 @@ func (st *Stage) NewScratch() *Scratch {
 // runROM up to the macromodel's first-order truncation (covered by the
 // consistency tests); the per-timestep work allocates nothing.
 func (st *Stage) runFast(sc *Scratch, rs RunSpec) (*Result, error) {
-	pr := st.varmac.EvalInto(sc.me, rs.W)
+	pr, err := st.varmac.EvalInto(sc.me, rs.W)
+	if err != nil {
+		return nil, err
+	}
 	stats := RunStats{BetaMin: 1, BetaMax: 1}
 	if !st.cfg.NoStab {
 		var rep poleres.StabReport
@@ -76,6 +79,9 @@ func (st *Stage) runFast(sc *Scratch, rs RunSpec) (*Result, error) {
 		}
 		stats.UnstablePoles = len(rep.Removed)
 		stats.BetaMin, stats.BetaMax = rep.BetaMin, rep.BetaMax
+		if len(pr.Poles) == 0 && stats.UnstablePoles > 0 {
+			return nil, fmt.Errorf("%w (%d poles removed at this sample)", poleres.ErrAllPolesUnstable, stats.UnstablePoles)
+		}
 	}
 	if err := sc.cv.Reconfigure(pr, st.cfg.DT); err != nil {
 		return nil, err
@@ -171,8 +177,8 @@ func (st *Stage) runFast(sc *Scratch, rs RunSpec) (*Result, error) {
 				converged = true
 				break
 			}
-			if math.IsNaN(delta) || delta > 1e6 {
-				return nil, fmt.Errorf("%w: diverged at t=%.4g", ErrNoConvergence, t)
+			if scDiverged(delta) {
+				return nil, fmt.Errorf("%w at t=%.4g", ErrSCDiverged, t)
 			}
 		}
 		if !converged {
