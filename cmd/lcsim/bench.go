@@ -25,8 +25,8 @@ type benchRow struct {
 	// measured sweep (all zero on a healthy configuration; a non-zero entry
 	// flags that the timing above excludes or degrades part of the
 	// population).
-	Skipped  int64            `json:"skipped,omitempty"`
-	Degraded int64            `json:"degraded,omitempty"`
+	Skipped  int64            `json:"skipped"`
+	Degraded int64            `json:"degraded"`
 	Failures map[string]int64 `json:"failures,omitempty"`
 }
 
