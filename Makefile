@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json fmt
+.PHONY: check vet build test race race-short bench bench-json fmt
 
-# Full CI gate: vet, build, race-enabled tests, paper benchmarks.
-# Run before every merge (see README "Failure policy" / pre-merge gate).
-check: vet build race bench
+# Full CI gate: vet, build, race-enabled tests (full + short modes),
+# paper benchmarks. Run before every merge (see README "Failure policy" /
+# pre-merge gate).
+check: vet build race race-short bench
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race detector over the -short subset: exercises the concurrency paths
+# (worker pools, engine scratch, ladder walks) without the slow
+# spice-golden cross-engine sweeps, so it stays fast enough per-commit.
+race-short:
+	$(GO) test -race -short ./...
 
 # One iteration of every paper table/figure benchmark (smoke, not timing).
 bench:

@@ -17,6 +17,9 @@ import (
 
 // benchRow is one measured configuration in BENCH_mc.json.
 type benchRow struct {
+	// Engine names the stage-evaluation backend the row was measured with
+	// (a core engine-registry name: teta-fast, teta-exact, ...).
+	Engine          string  `json:"engine"`
 	Workers         int     `json:"workers"`
 	NsPerSample     float64 `json:"ns_per_sample"`
 	AllocsPerSample float64 `json:"allocs_per_sample"`
@@ -44,6 +47,9 @@ type benchReport struct {
 	Var1W   benchRow `json:"var_1w"`
 	VarNW   benchRow `json:"var_nw"`
 	Exact1W benchRow `json:"exact_1w"`
+	// EngineRow is the optional extra row measured with -engine: the same
+	// sweep through an arbitrary registered backend (e.g. spice-golden).
+	EngineRow *benchRow `json:"engine_row,omitempty"`
 
 	// SpeedupCharOnce is exact_1w / var_1w: the single-worker gain from
 	// evaluating the characterize-once macromodel instead of re-extracting
@@ -63,6 +69,7 @@ func runBench(args []string) {
 	samples := fs.Int("samples", 100, "Monte-Carlo samples per measurement")
 	workers := fs.Int("workers", -1, "worker count for the N-worker row (-1 = all cores)")
 	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
+	engine := fs.String("engine", "", "measure an extra single-worker row with this engine (e.g. spice-golden; keep -samples small for slow backends)")
 	out := fs.String("out", "BENCH_mc.json", "output JSON path")
 	fail(fs.Parse(args))
 
@@ -80,11 +87,15 @@ func runBench(args []string) {
 		Samples:   *samples,
 		WireUm:    *wire,
 	}
-	rep.Var1W = benchStage(fastSt, specs, 1)
-	rep.VarNW = benchStage(fastSt, specs, *workers)
-	rep.Exact1W = benchStage(exactSt, specs, 1)
+	rep.Var1W = benchStage(fastSt, specs, 1, core.EngineTetaFast)
+	rep.VarNW = benchStage(fastSt, specs, *workers, core.EngineTetaFast)
+	rep.Exact1W = benchStage(exactSt, specs, 1, core.EngineTetaExact)
 	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
 	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
+	if *engine != "" {
+		row := benchEngine(o, *wire, *engine, specs)
+		rep.EngineRow = &row
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	fail(err)
@@ -96,6 +107,10 @@ func runBench(args []string) {
 		rep.VarNW.NsPerSample, rep.VarNW.AllocsPerSample, rep.VarNW.SamplesPerSec, runner.ResolveWorkers(*workers))
 	fmt.Printf("exact path : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
 		rep.Exact1W.NsPerSample, rep.Exact1W.AllocsPerSample, rep.Exact1W.SamplesPerSec)
+	if rep.EngineRow != nil {
+		fmt.Printf("%-11s: %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
+			rep.EngineRow.Engine, rep.EngineRow.NsPerSample, rep.EngineRow.AllocsPerSample, rep.EngineRow.SamplesPerSec)
+	}
 	fmt.Printf("speedup    : %.2fx characterize-once (1 worker), %.2fx parallel\n",
 		rep.SpeedupCharOnce, rep.SpeedupParallel)
 	fmt.Printf("wrote %s\n", *out)
@@ -103,7 +118,8 @@ func runBench(args []string) {
 
 // benchStage times one MC-style sweep over the sample specs with the
 // given worker count, reporting per-sample wall time and allocations.
-func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int) benchRow {
+// engineName labels the row (the backend the teta.Stage was built for).
+func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName string) benchRow {
 	// The sweep skips failing samples (instead of aborting the whole
 	// benchmark) and records them in the row's fault counters, so a partly
 	// sick configuration still produces a measurement — visibly flagged.
@@ -143,7 +159,59 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int) benchRow {
 	n := float64(len(specs))
 	snap := metrics.Snapshot()
 	return benchRow{
+		Engine:          engineName,
 		Workers:         runner.ResolveWorkers(workers),
+		NsPerSample:     float64(el.Nanoseconds()) / n,
+		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
+		SamplesPerSec:   n / el.Seconds(),
+		Skipped:         snap.Skipped,
+		Degraded:        snap.Degraded,
+		Failures:        snap.Failures,
+	}
+}
+
+// benchEngine times the same sweep through an arbitrary registered
+// backend via the experiments Example-2 evaluator (single worker). The
+// full warm-up pass matches benchStage, so keep -samples small for slow
+// backends like spice-golden.
+func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec) benchRow {
+	eval, err := experiments.Example2Evaluator(o, wire, name)
+	fail(err)
+	var metrics *runner.Metrics
+	run := func() time.Duration {
+		metrics = &runner.Metrics{}
+		t0 := time.Now()
+		err := runner.MapWorker(context.Background(), len(specs),
+			runner.Options{
+				Workers: 1, Metrics: metrics,
+				OnSkip: func(_ int, err error) {
+					metrics.AddFailure(string(core.ClassifyFailure(err)))
+				},
+			},
+			func() any { return nil },
+			runner.WithRecovery(
+				func(_ context.Context, i int, _ any) (struct{}, error) {
+					_, err := eval(specs[i])
+					return struct{}{}, err
+				},
+				func(_ context.Context, i int, _ any, cause error) (struct{}, error) {
+					return struct{}{}, runner.SkipSample(core.NewSampleError(i, cause))
+				}),
+			nil)
+		fail(err)
+		return time.Since(t0)
+	}
+	run() // warm-up
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	el := run()
+	runtime.ReadMemStats(&m1)
+	n := float64(len(specs))
+	snap := metrics.Snapshot()
+	return benchRow{
+		Engine:          name,
+		Workers:         1,
 		NsPerSample:     float64(el.Nanoseconds()) / n,
 		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
 		SamplesPerSec:   n / el.Seconds(),

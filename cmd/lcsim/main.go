@@ -1,16 +1,20 @@
 // Command lcsim is the general driver CLI:
 //
-//	lcsim sim    -netlist f.sp -tstop 5n -dt 5p -probe out[,node2,...]
-//	lcsim reduce -netlist f.sp -order 4 [-at p=0.1,...]
-//	lcsim sta    -bench f.bench
-//	lcsim bench  -samples 100 -out BENCH_mc.json
+//	lcsim sim      -netlist f.sp -tstop 5n -dt 5p -probe out[,node2,...]
+//	lcsim reduce   -netlist f.sp -order 4 [-at p=0.1,...]
+//	lcsim sta      -bench f.bench
+//	lcsim bench    -samples 100 -out BENCH_mc.json
+//	lcsim validate -engines teta-exact,spice-golden -samples 20
 //
 // `sim` runs the Newton transient simulator on a SPICE-like netlist;
 // `reduce` builds the (variational) reduced-order model of the netlist's
 // linear part and prints its poles before and after stabilization;
 // `sta` parses an ISCAS-89 .bench file and reports the critical path;
 // `bench` measures the per-sample Monte-Carlo evaluation cost and emits
-// machine-readable JSON.
+// machine-readable JSON;
+// `validate` cross-checks stage-evaluation engines (e.g. the TETA fast
+// path against the transistor-level spice-golden baseline) on a shared
+// sample set.
 //
 // Global flags (before the subcommand): -cpuprofile and -memprofile
 // write pprof profiles covering the subcommand's work.
@@ -63,6 +67,8 @@ func main() {
 		runSkew(args[1:])
 	case "bench":
 		runBench(args[1:])
+	case "validate":
+		runValidate(args[1:])
 	default:
 		usage()
 	}
@@ -70,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lcsim [-cpuprofile f] [-memprofile f] <sim|reduce|sta|path|skew|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lcsim [-cpuprofile f] [-memprofile f] <sim|reduce|sta|path|skew|bench|validate> [flags]")
 	os.Exit(2)
 }
 
@@ -341,6 +347,7 @@ func runPath(args []string) {
 	progress := fs.Bool("progress", false, "report MC progress on stderr")
 	samplerName := fs.String("sampler", "lhs", "sampling plan: lhs, halton or pseudo")
 	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
+	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
 	fail(fs.Parse(args))
 	if *cells == "" {
 		fail(fmt.Errorf("path needs -cells"))
@@ -369,17 +376,22 @@ func runPath(args []string) {
 	if *wires {
 		sources = append(sources, core.WireSources(0.33)...)
 	}
-	nom, err := p.Evaluate(teta.RunSpec{}, false)
+	// Resolve the engine up front: a bad -engine fails before any
+	// analysis, and the nominal evaluation runs on the same backend as
+	// the statistical drivers below.
+	eng, err := p.Engine(*engine)
 	fail(err)
-	fmt.Printf("path: %d stages, nominal delay %.2f ps, final slew %.2f ps\n",
-		len(names), nom.Delay*1e12, nom.FinalSlew*1e12)
+	nom, err := eng.EvalPath(nil, teta.RunSpec{})
+	fail(err)
+	fmt.Printf("path: %d stages (%s engine), nominal delay %.2f ps, final slew %.2f ps\n",
+		len(names), eng.Name(), nom.Delay*1e12, nom.FinalSlew*1e12)
 	ctx, cancel := runCtx(*timeout)
 	defer cancel()
 	metrics := &runner.Metrics{}
 	var gaRes *core.GAResult
 	var mcRes *core.MCResult
 	if *ga || *budget != "" || *worst {
-		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics})
+		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics, Engine: *engine})
 		fail(err)
 		fmt.Printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
 			gaRes.Mean*1e12, gaRes.Std*1e12, gaRes.Simulations)
@@ -392,7 +404,7 @@ func runPath(args []string) {
 			N: *mcN, Seed: *seed, Sources: sources,
 			Sampler: sampler, Workers: *workers, KeepSamples: true,
 			Metrics: metrics, Progress: progressFn(*progress, "mc"),
-			OnFailure: onFailure,
+			OnFailure: onFailure, Engine: *engine,
 		})
 		fail(err)
 		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
@@ -403,7 +415,7 @@ func runPath(args []string) {
 		printFailures(&mcRes.Failures)
 	}
 	if *worst {
-		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources})
+		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: *engine})
 		fail(err)
 		fmt.Printf("worst: slow corner %.2f ps (+%.2f ps vs nominal) at", wc.Delay*1e12, (wc.Delay-wc.Nominal)*1e12)
 		for _, s := range sources {
@@ -447,6 +459,7 @@ func runSkew(args []string) {
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
 	progress := fs.Bool("progress", false, "report MC progress on stderr")
 	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
+	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
 	fail(fs.Parse(args))
 	onFailure, err := core.ParseFailurePolicy(*onFailureName)
 	fail(err)
@@ -476,7 +489,7 @@ func runSkew(args []string) {
 	res, err := pair.MonteCarloSkewCtx(ctx, core.SkewConfig{
 		N: *mcN, Seed: *seed, Workers: *workers,
 		Metrics: metrics, Progress: progressFn(*progress, "skew"),
-		OnFailure: onFailure,
+		OnFailure: onFailure, Engine: *engine,
 	})
 	fail(err)
 	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"lcsim/internal/core"
+	"lcsim/internal/device"
+	"lcsim/internal/experiments"
+)
+
+// runValidate cross-checks stage-evaluation backends on a shared sample
+// set and reports per-engine mean/σ plus deltas against the first
+// (reference) engine:
+//
+//	lcsim validate -engines teta-exact,spice-golden -samples 20 -wire 40
+//	lcsim validate -engines teta-fast,teta-exact -cells INV,NAND2,INV -samples 20
+//
+// The default mode evaluates the paper's Example-2 coupled stage (the
+// Figure 4/6 workload); -cells switches to a BuildChain path evaluated
+// through the core engine registry.
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	enginesFlag := fs.String("engines", "teta-exact,spice-golden",
+		"comma-separated engine names to compare (first is the reference)")
+	samples := fs.Int("samples", 20, "samples evaluated per engine")
+	wire := fs.Float64("wire", 40, "wirelength in um (Example-2 stage or per chain segment)")
+	cells := fs.String("cells", "", "validate a chain path of these cells instead of the Example-2 stage")
+	elems := fs.Int("elems", 10, "linear elements between chain stages (-cells mode)")
+	drive := fs.Float64("drive", 2, "cell drive strength (-cells mode)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	workers := fs.Int("workers", -1, "evaluation workers (0 = serial, -1 = all cores)")
+	fail(fs.Parse(args))
+	var engines []string
+	for _, e := range strings.Split(*enginesFlag, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			engines = append(engines, e)
+		}
+	}
+	if len(engines) < 2 {
+		fail(fmt.Errorf("validate needs at least two engines (registered: %v)", core.EngineNames()))
+	}
+	var cols []experiments.EngineValidation
+	if *cells == "" {
+		o := experiments.Ex2Options{Samples: *samples, Seed: *seed, Workers: *workers}
+		res, err := experiments.ValidateExample2(o, *wire, engines)
+		fail(err)
+		cols = res
+		fmt.Printf("validate: example-2 coupled stage, %g um, %d samples\n", *wire, *samples)
+	} else {
+		cols = validateChain(*cells, *elems, *wire, *drive, *samples, *seed, *workers, engines)
+		fmt.Printf("validate: chain %s, %g um wires, %d samples\n", *cells, *wire, *samples)
+	}
+	fmt.Printf("%-14s %-11s %-10s %-9s %-9s %s\n", "engine", "mean(ps)", "sigma(ps)", "dmean%", "dsigma%", "max|d|(ps)")
+	for i, c := range cols {
+		if i == 0 {
+			fmt.Printf("%-14s %-11.3f %-10.4f %-9s %-9s %s\n",
+				c.Engine, c.Summary.Mean*1e12, c.Summary.Std*1e12, "ref", "ref", "ref")
+			continue
+		}
+		fmt.Printf("%-14s %-11.3f %-10.4f %-+9.3f %-+9.3f %.4f\n",
+			c.Engine, c.Summary.Mean*1e12, c.Summary.Std*1e12,
+			c.MeanDeltaPct, c.StdDeltaPct, c.MaxAbsDelta*1e12)
+	}
+}
+
+// validateChain runs the same Monte-Carlo sample set through each named
+// engine on a BuildChain path and folds the results into the shared
+// validation-column shape. The MC configuration (seed, sampler, worker
+// count) is identical per engine, so per-sample delays align.
+func validateChain(cells string, elems int, wireUm, drive float64, n int, seed int64, workers int, engines []string) []experiments.EngineValidation {
+	var names []string
+	for _, c := range strings.Split(cells, ",") {
+		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
+	}
+	p, err := core.BuildChain(core.ChainSpec{
+		Cells: names, Drive: drive,
+		ElemsBetween: elems, WireLengthUm: wireUm,
+		Variational: true, Tech: device.Tech180,
+		DT: 4e-12, TStop: 1.6e-9, Order: 4,
+	})
+	fail(err)
+	sources := append(core.DeviceSources(device.Tech180, 0.33, 0.33), core.WireSources(0.33)...)
+	cols := make([]experiments.EngineValidation, len(engines))
+	for ei, name := range engines {
+		mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
+			N: n, Seed: seed, Sources: sources,
+			Workers: workers, KeepSamples: true, Engine: name,
+		})
+		fail(err)
+		cols[ei] = experiments.EngineValidation{
+			Engine: name, Summary: mc.Summary, Delays: mc.Delays,
+		}
+	}
+	ref := cols[0]
+	for i := 1; i < len(cols); i++ {
+		cols[i].MeanDeltaPct = 100 * (cols[i].Summary.Mean - ref.Summary.Mean) / ref.Summary.Mean
+		cols[i].StdDeltaPct = 100 * (cols[i].Summary.Std - ref.Summary.Std) / ref.Summary.Std
+		for k, d := range cols[i].Delays {
+			if ad := math.Abs(d - ref.Delays[k]); ad > cols[i].MaxAbsDelta {
+				cols[i].MaxAbsDelta = ad
+			}
+		}
+	}
+	return cols
+}

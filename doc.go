@@ -49,8 +49,24 @@
 // MCConfig.OnFailure / SkewConfig.OnFailure select the run-level policy:
 // FailFast (default) aborts with the lowest failing index's error; Skip
 // excludes failing samples from the aggregate statistics and reports them
-// in the result's FailureReport; Degrade retries each failure once
-// through exact per-sample pole/residue extraction before skipping.
-// Under every policy the skip-set, the FailureReport and the statistics
-// are bit-identical at any worker count.
+// in the result's FailureReport; Degrade retries each failure through the
+// engine ladder (every ladder-eligible backend costlier than the primary,
+// ascending — teta-fast → teta-exact → spice-golden by default) before
+// skipping. Under every policy the skip-set, the FailureReport and the
+// statistics are bit-identical at any worker count.
+//
+// # Engine registry
+//
+// Stage evaluation is pluggable behind the core.Engine interface. Four
+// backends are registered, in ascending cost order:
+//
+//	teta-fast     characterize-once variational macromodels (default)
+//	teta-exact    per-sample pole/residue extraction, same SC transient
+//	teta-direct   dense direct-form evaluation (diagnostic; not in ladders)
+//	spice-golden  transistor-level Newton transient per sample (reference)
+//
+// Every statistical driver (MonteCarloCtx, MonteCarloCorrelatedCtx,
+// GradientAnalysis, MonteCarloSkewCtx, WorstCase) takes an Engine name in
+// its config and runs unmodified against any registered backend; "lcsim
+// validate" cross-checks two or more engines on the same sample set.
 package lcsim

@@ -86,6 +86,21 @@ func main() {
 	}
 	fmt.Printf("streaming MC: mean %.2f ps, σ %.2f ps, median≈%.2f ps (no per-sample storage)\n",
 		stream.Summary.Mean*1e12, stream.Summary.Std*1e12, stream.Summary.Median*1e12)
+
+	// Every statistical driver dispatches through the core.Engine registry;
+	// naming an engine re-runs the identical analysis on another backend
+	// (per-sample exact extraction here; spice-golden would run the full
+	// transistor-level Newton transient per sample).
+	fmt.Printf("engines: %v\n", core.EngineNames())
+	exact, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
+		N: 20, Seed: 11, Sources: sources, Sampler: core.SamplerLHS, Workers: -1,
+		Engine: core.EngineTetaExact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("teta-exact re-run (20 samples): mean %.2f ps (cross-engine consistency check)\n",
+		exact.Summary.Mean*1e12)
 }
 
 func abs(x float64) float64 {

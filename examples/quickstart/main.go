@@ -52,29 +52,32 @@ func main() {
 	fmt.Printf("TETA : far-end 50%% fall at %.2f ps, slew %.2f ps (%d SC iterations over %d steps)\n",
 		cross*1e12, slew*1e12, res.Stats.SCIterations, res.Stats.Steps)
 
-	// 4. Same circuit in the Newton baseline.
-	nl := circuit.New()
-	nl.AddV("VDD", "vdd", "0", circuit.DC(tech.VDD))
-	nl.AddV("VIN", "in", "0", in)
-	if err := device.INV.Instantiate(nl, "drv", []string{"in"}, "near", device.BuildOpts{Tech: tech, Drive: 4}); err != nil {
-		log.Fatal(err)
-	}
-	far2 := interconnect.AddLine(nl, interconnect.Wire180, "near", "w", 100, 1, false)
-	nl.AddC("Crcv", far2, "0", circuit.V(2e-15))
-	sim, err := spice.NewSimulator(nl, spice.Options{DT: cfg.DT, TStop: cfg.TStop, Models: tech})
+	// 4. Same circuit in the Newton baseline, through the reusable
+	//    transistor-level stage harness (the replica the spice-golden
+	//    engine runs per Monte-Carlo sample). The load builder returns a
+	//    fresh netlist per evaluation; node names are deterministic, so
+	//    the probe name from step 1 carries over.
+	h, err := spice.NewStageHarness(spice.StageSpec{
+		Tech:    tech,
+		Drivers: []spice.HarnessDriver{{Name: "drv", Cell: device.INV, Drive: 4, Out: "near"}},
+		BuildLoad: func() (*circuit.Netlist, error) {
+			nl := circuit.New()
+			f := interconnect.AddLine(nl, interconnect.Wire180, "near", "w", 100, 1, false)
+			nl.AddC("Crcv", f, "0", circuit.V(2e-15))
+			return nl, nil
+		},
+		Probe: far,
+		DT:    cfg.DT, TStop: cfg.TStop,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := sim.Run([]string{far2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rw, err := ref.Waveform(far2)
+	rw, stats, err := h.Eval(nil, 0, 0, [][]circuit.Waveform{{in}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rc, rs := rw.MeasureSatRamp(0, tech.VDD, -1)
 	fmt.Printf("SPICE: far-end 50%% fall at %.2f ps, slew %.2f ps (%d LU factorizations)\n",
-		rc*1e12, rs*1e12, ref.Stats.LUFactorizations)
+		rc*1e12, rs*1e12, stats.LUFactorizations)
 	fmt.Printf("crossing agreement: %.2f ps\n", (cross-rc)*1e12)
 }

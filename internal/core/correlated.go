@@ -61,48 +61,38 @@ func (c *CorrelatedSources) RunSpecFromFactors(z []float64) (teta.RunSpec, error
 }
 
 // MonteCarloCorrelatedCtx runs path Monte-Carlo sampling in factor space
-// on the parallel runtime (workers: 0 = serial, negative = GOMAXPROCS,
-// positive = exact). Results are bit-identical at any worker count.
-func (p *Path) MonteCarloCorrelatedCtx(ctx context.Context, cs *CorrelatedSources, n int, seed int64, workers int) (*MCResult, error) {
-	if n <= 0 {
+// through the same sample kernel as MonteCarloCtx: the run honors the
+// full MCConfig — sampler plan, worker count, streaming vs KeepSamples,
+// engine selection, metrics and the OnFailure policy with its engine
+// ladder — and is bit-identical at any worker count.
+//
+// cfg.Sources is ignored (the physical sources and their covariance live
+// in cs); when KeepSamples is set, MCResult.Samples rows hold the
+// standard-normal factor scores, not physical source values.
+func (p *Path) MonteCarloCorrelatedCtx(ctx context.Context, cs *CorrelatedSources, cfg MCConfig) (*MCResult, error) {
+	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: MC needs N > 0")
 	}
-	rng := stat.NewRNG(seed)
-	cube := stat.LatinHypercube(rng, n, cs.factors)
 	dists := make([]stat.Dist, cs.factors)
 	for i := range dists {
 		dists[i] = stat.Normal{Mean: 0, Sigma: 1}
 	}
-	samples := stat.SamplePlan(cube, dists)
-	res := &MCResult{Samples: samples}
-	delays, err := stat.MapSamplesCtx(ctx, samples, workers, func(i int, z []float64) (float64, error) {
-		rs, err := cs.RunSpecFromFactors(z)
-		if err != nil {
-			return 0, err
-		}
-		ev, err := p.Evaluate(rs, false)
-		if err != nil {
-			return 0, err
-		}
-		return ev.Delay, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Delays = delays
-	res.Summary = stat.Summarize(delays)
-	return res, nil
+	row := rowGen(cfg, cfg.sampler(), dists)
+	return p.runMonteCarlo(ctx, cfg, row, cs.RunSpecFromFactors)
 }
 
 // MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.
 //
-// Deprecated: use MonteCarloCorrelatedCtx, which adds cancellation and an
-// explicit worker count. This signature delegates with
-// context.Background() and parallel ⇒ GOMAXPROCS workers.
+// Deprecated: use MonteCarloCorrelatedCtx, which takes the full MCConfig
+// (failure policies, engines, streaming). This signature delegates with
+// context.Background(), KeepSamples set (its pre-redesign behavior) and
+// parallel ⇒ GOMAXPROCS workers.
 func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, parallel bool) (*MCResult, error) {
 	workers := 0
 	if parallel {
 		workers = -1
 	}
-	return p.MonteCarloCorrelatedCtx(context.Background(), cs, n, seed, workers)
+	return p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: n, Seed: seed, Workers: workers, KeepSamples: true,
+	})
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/interconnect"
+	"lcsim/internal/spice"
+	"lcsim/internal/teta"
+)
+
+// The spice-golden engine expands each stage to transistor level and
+// runs the internal/spice Newton transient per sample — the paper's
+// SPICE baseline as a first-class, reusable backend. It requires the
+// BuildChain stage recipes (cell, drive, wire geometry, receiver cap);
+// paths assembled by other means cannot construct it, and default
+// degrade ladders silently drop it for them.
+func init() {
+	RegisterEngine(EngineSpiceGolden, 4, true, newSpiceEngine)
+}
+
+// newSpiceEngine builds one spice.StageHarness per stage from its
+// recipe. Harness construction is cheap (validation plus closures); the
+// expensive transistor-level expansion happens per sample inside Eval.
+func newSpiceEngine(p *Path) (Engine, error) {
+	harnesses := make([]*spice.StageHarness, len(p.Stages))
+	wire := wireTechFor(p.Tech)
+	for i, st := range p.Stages {
+		r := st.Recipe
+		if r == nil {
+			return nil, fmt.Errorf("stage %s has no transistor-level recipe (built outside BuildChain)", st.Name)
+		}
+		rec := *r // copy: the closure must not alias caller-mutable state
+		buildLoad := func() (*circuit.Netlist, error) {
+			load := circuit.New()
+			far := interconnect.AddLineElements(load, wire, "near", "w",
+				rec.Elems, rec.WireLengthUm, rec.Variational)
+			load.AddC("Crcv", far, "0", circuit.V(rec.RcvCap))
+			return load, nil
+		}
+		// Node names are deterministic, so a throwaway build yields the
+		// probe (far-end) node name every per-sample rebuild reproduces.
+		probe := interconnect.AddLineElements(circuit.New(), wire, "near", "w",
+			rec.Elems, rec.WireLengthUm, rec.Variational)
+		h, err := spice.NewStageHarness(spice.StageSpec{
+			Tech: p.Tech,
+			Drivers: []spice.HarnessDriver{{
+				Name: fmt.Sprintf("s%d", i), Cell: st.Cell, Drive: rec.Drive, Out: "near",
+			}},
+			BuildLoad: buildLoad,
+			Probe:     probe,
+			DT:        rec.DT, TStop: rec.TStop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stage %s: %w", st.Name, err)
+		}
+		harnesses[i] = h
+	}
+	e := &pathEngine{p: p, name: EngineSpiceGolden, cost: 4}
+	e.wave = func(_ any, i int, rs teta.RunSpec, in circuit.Waveform) (*circuit.PWL, int, int, error) {
+		st := p.Stages[i]
+		ins := make([]circuit.Waveform, 1+len(st.side))
+		ins[0] = in
+		copy(ins[1:], st.side)
+		wf, stats, err := harnesses[i].Eval(rs.W, rs.DL, rs.DVT, [][]circuit.Waveform{ins})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		// Cost counters map onto the PathEval/metrics slots by role:
+		// Newton iterations are the outer nonlinear loop (like SC
+		// iterations), LU factorizations are the linear-solve work.
+		return wf, stats.NewtonIterations, stats.LUFactorizations, nil
+	}
+	return e, nil
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/mat"
+	"lcsim/internal/teta"
+)
+
+// testCorrelatedSources builds a two-source correlated model (ΔL/ΔVT at
+// ρ=0.8) matching the construction in worstcase_test.go.
+func testCorrelatedSources(t *testing.T, p *Path) *CorrelatedSources {
+	t.Helper()
+	sources := []Source{
+		{Name: "DL", Sigma: 1, IsDL: true},
+		{Name: "VT", Sigma: 1, IsDVT: true},
+	}
+	sDL := 0.33 * p.Tech.TolDL
+	sVT := 0.33 * p.Tech.TolDVT
+	rho := 0.8
+	cov := mat.NewDenseData(2, 2, []float64{
+		sDL * sDL, rho * sDL * sVT,
+		rho * sDL * sVT, sVT * sVT,
+	})
+	cs, err := NewCorrelatedSources(sources, cov, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// TestEngineNamesOrder checks the registry lists the built-in backends in
+// ascending cost order.
+func TestEngineNamesOrder(t *testing.T) {
+	names := EngineNames()
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	for _, n := range []string{EngineTetaFast, EngineTetaExact, EngineTetaDirect, EngineSpiceGolden} {
+		if _, ok := pos[n]; !ok {
+			t.Fatalf("built-in engine %s not registered (got %v)", n, names)
+		}
+	}
+	if !(pos[EngineTetaFast] < pos[EngineTetaExact] &&
+		pos[EngineTetaExact] < pos[EngineTetaDirect] &&
+		pos[EngineTetaDirect] < pos[EngineSpiceGolden]) {
+		t.Fatalf("engine names not in ascending cost order: %v", names)
+	}
+}
+
+func TestEngineUnknownName(t *testing.T) {
+	p := quickChain(t, []string{"INV"}, 6, false)
+	if _, err := p.Engine("no-such-engine"); err == nil {
+		t.Fatal("expected an error for an unknown engine name")
+	}
+	if _, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N: 2, Seed: 1, Sources: DeviceSources(p.Tech, 0.33, 0.33), Engine: "no-such-engine",
+	}); err == nil {
+		t.Fatal("expected MonteCarloCtx to surface the unknown engine")
+	}
+}
+
+// TestDefaultLadder checks the default Degrade ladder is every
+// ladder-eligible engine costlier than the primary, ascending — and that
+// teta-direct stays out while spice-golden drops out for paths without
+// stage recipes.
+func TestDefaultLadder(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 6, false)
+	fast, err := p.Engine("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Name() != EngineTetaFast {
+		t.Fatalf("empty name resolved to %s, want %s", fast.Name(), EngineTetaFast)
+	}
+	ladder, err := p.EngineLadder(fast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ladder {
+		names = append(names, e.Name())
+	}
+	want := []string{EngineTetaExact, EngineSpiceGolden}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("default ladder = %v, want %v", names, want)
+	}
+
+	// A path without recipes (hand-assembled) silently loses spice-golden.
+	bare := &Path{Tech: p.Tech, InputSlew: p.InputSlew, TStart: p.TStart}
+	for _, st := range p.Stages {
+		cp := *st
+		cp.Recipe = nil
+		bare.Stages = append(bare.Stages, &cp)
+	}
+	if _, err := bare.Engine(EngineSpiceGolden); err == nil {
+		t.Fatal("expected spice-golden construction to fail without recipes")
+	}
+	ladder, err = bare.EngineLadder(fast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = names[:0]
+	for _, e := range ladder {
+		names = append(names, e.Name())
+	}
+	if fmt.Sprint(names) != fmt.Sprint([]string{EngineTetaExact}) {
+		t.Fatalf("recipe-less default ladder = %v, want [teta-exact]", names)
+	}
+
+	// Explicit names must all resolve.
+	if _, err := p.EngineLadder(fast, []string{EngineTetaExact, "bogus"}); err == nil {
+		t.Fatal("expected explicit ladder with an unknown name to error")
+	}
+}
+
+// TestCrossEngineConsistency drives the same samples through teta-exact
+// and the transistor-level spice-golden backend on a short chain and
+// requires per-stage agreement: the linear-centric stage evaluation
+// against the paper's golden Newton baseline.
+func TestCrossEngineConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spice-golden per-sample transient is slow; skipped with -short")
+	}
+	p := quickChain(t, []string{"INV", "NAND2", "INV"}, 8, true)
+	exact, err := p.Engine(EngineTetaExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := p.Engine(EngineSpiceGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []teta.RunSpec{
+		{},
+		{DL: 4e-9, DVT: 0.02},
+		{DL: -4e-9, DVT: -0.02, W: map[string]float64{"Ww": 0.5}},
+	}
+	for si, rs := range samples {
+		evE, err := exact.EvalPath(nil, rs)
+		if err != nil {
+			t.Fatalf("sample %d teta-exact: %v", si, err)
+		}
+		evS, err := golden.EvalPath(nil, rs)
+		if err != nil {
+			t.Fatalf("sample %d spice-golden: %v", si, err)
+		}
+		if len(evS.StageDelays) != len(evE.StageDelays) {
+			t.Fatalf("sample %d: stage count mismatch %d vs %d", si, len(evS.StageDelays), len(evE.StageDelays))
+		}
+		for i := range evE.StageDelays {
+			de, ds := evE.StageDelays[i], evS.StageDelays[i]
+			if rel := math.Abs(ds-de) / math.Abs(de); rel > 0.10 {
+				t.Errorf("sample %d stage %d: teta-exact %.3g vs spice-golden %.3g (rel err %.1f%%)",
+					si, i, de, ds, 100*rel)
+			}
+		}
+		if rel := math.Abs(evS.Delay-evE.Delay) / evE.Delay; rel > 0.08 {
+			t.Errorf("sample %d: path delay teta-exact %.4g vs spice-golden %.4g (rel err %.1f%%)",
+				si, evE.Delay, evS.Delay, 100*rel)
+		}
+	}
+}
+
+// fakeRung is a registrable test engine that records every EvalPath
+// attempt and either fails or delegates to a real backend.
+type fakeRung struct {
+	name string
+	fail bool
+	real Engine
+	mu   *sync.Mutex
+	log  *[]string
+}
+
+func (f *fakeRung) Name() string    { return f.name }
+func (f *fakeRung) Cost() int       { return 99 }
+func (f *fakeRung) NewScratch() any { return nil }
+func (f *fakeRung) EvalStage(sc any, i int, rs teta.RunSpec, in circuit.Waveform, rising bool) (StageDelayResult, *circuit.PWL, error) {
+	return f.real.EvalStage(sc, i, rs, in, rising)
+}
+func (f *fakeRung) EvalPath(sc any, rs teta.RunSpec) (*PathEval, error) {
+	f.mu.Lock()
+	*f.log = append(*f.log, f.name)
+	f.mu.Unlock()
+	if f.fail {
+		return nil, fmt.Errorf("%s: %w", f.name, teta.ErrSCDiverged)
+	}
+	return f.real.EvalPath(sc, rs)
+}
+
+// TestEngineLadderWalk checks Degrade walks an explicit engine ladder in
+// order — first rung fails, second recovers — with bit-identical results
+// at any worker count.
+func TestEngineLadderWalk(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 6, false)
+	exact, err := p.Engine(EngineTetaExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var log []string
+	// Register the two fake rungs (ladder=false keeps them out of every
+	// other test's default ladder); the factories only serve this test's
+	// path so a stray resolution elsewhere fails loudly.
+	RegisterEngine("test-rung-fail", 90, false, func(pp *Path) (Engine, error) {
+		if pp != p {
+			return nil, fmt.Errorf("test-rung-fail serves only its own test path")
+		}
+		return &fakeRung{name: "test-rung-fail", fail: true, real: exact, mu: &mu, log: &log}, nil
+	})
+	RegisterEngine("test-rung-ok", 91, false, func(pp *Path) (Engine, error) {
+		if pp != p {
+			return nil, fmt.Errorf("test-rung-ok serves only its own test path")
+		}
+		return &fakeRung{name: "test-rung-ok", fail: false, real: exact, mu: &mu, log: &log}, nil
+	})
+
+	sources := DeviceSources(p.Tech, 0.33, 0.33)
+	faulty := map[int]bool{1: true, 3: true}
+	run := func(workers int) *MCResult {
+		mc, err := p.MonteCarloCtx(context.Background(), MCConfig{
+			N: 5, Seed: 7, Sources: sources, Workers: workers, KeepSamples: true,
+			OnFailure: Degrade, Ladder: []string{"test-rung-fail", "test-rung-ok"},
+			injectFault: func(i int) error {
+				if faulty[i] {
+					return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+
+	mc := run(0) // serial: the attempt order is fully deterministic
+	want := []string{"test-rung-fail", "test-rung-ok", "test-rung-fail", "test-rung-ok"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("ladder walk = %v, want %v", log, want)
+	}
+	if mc.Failures.Degraded != 2 || mc.Failures.Skipped != 0 {
+		t.Fatalf("degraded=%d skipped=%d, want 2/0", mc.Failures.Degraded, mc.Failures.Skipped)
+	}
+	if len(mc.Delays) != 5 {
+		t.Fatalf("got %d delays, want 5", len(mc.Delays))
+	}
+
+	log = nil
+	mc3 := run(3)
+	for i := range mc.Delays {
+		if mc.Delays[i] != mc3.Delays[i] {
+			t.Fatalf("delay %d differs across worker counts: %g vs %g", i, mc.Delays[i], mc3.Delays[i])
+		}
+	}
+}
+
+// TestLadderExhaustedChainsCauses checks a sample every rung fails on is
+// skipped with the full cause chain in the report.
+func TestLadderExhaustedChainsCauses(t *testing.T) {
+	p := quickChain(t, []string{"INV"}, 6, false)
+	var mu sync.Mutex
+	var log []string
+	RegisterEngine("test-rung-fail2", 92, false, func(pp *Path) (Engine, error) {
+		if pp != p {
+			return nil, fmt.Errorf("test-rung-fail2 serves only its own test path")
+		}
+		return &fakeRung{name: "test-rung-fail2", fail: true, mu: &mu, log: &log}, nil
+	})
+	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N: 3, Seed: 2, Sources: DeviceSources(p.Tech, 0.33, 0.33), KeepSamples: true,
+		OnFailure: Degrade, Ladder: []string{"test-rung-fail2"},
+		injectFault: func(i int) error {
+			if i == 1 {
+				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Failures.Skipped != 1 || mc.Failures.Degraded != 0 {
+		t.Fatalf("skipped=%d degraded=%d, want 1/0", mc.Failures.Skipped, mc.Failures.Degraded)
+	}
+	if len(mc.Failures.Classes) != 1 {
+		t.Fatalf("classes = %+v, want one", mc.Failures.Classes)
+	}
+	if msg := mc.Failures.Classes[0].FirstErr; !strings.Contains(msg, "rung also failed") {
+		t.Fatalf("cause chain missing ladder context: %q", msg)
+	}
+}
+
+// TestCorrelatedThroughKernel checks MonteCarloCorrelatedCtx now honors
+// the shared sample kernel: failure policies produce a FailureReport, the
+// deprecated wrapper reproduces the cfg-based call, and results are
+// worker-count invariant.
+func TestCorrelatedThroughKernel(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2"}, 6, false)
+	cs := testCorrelatedSources(t, p)
+
+	base, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: 10, Seed: 3, KeepSamples: true, Workers: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Summary.N != 10 || len(base.Samples) != 10 {
+		t.Fatalf("base run: N=%d samples=%d", base.Summary.N, len(base.Samples))
+	}
+	if got := len(base.Samples[0]); got != cs.NumFactors() {
+		t.Fatalf("sample rows carry %d factor scores, want %d", got, cs.NumFactors())
+	}
+
+	// Deprecated wrapper delegates to the same kernel.
+	old, err := p.MonteCarloCorrelated(cs, 10, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Delays {
+		if base.Delays[i] != old.Delays[i] {
+			t.Fatalf("deprecated wrapper diverges at %d: %g vs %g", i, old.Delays[i], base.Delays[i])
+		}
+	}
+
+	// Worker invariance.
+	par, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: 10, Seed: 3, KeepSamples: true, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Delays {
+		if base.Delays[i] != par.Delays[i] {
+			t.Fatalf("correlated delay %d differs across worker counts", i)
+		}
+	}
+
+	// Skip policy: correlated runs now classify and report failures
+	// instead of aborting (pre-refactor they bypassed OnFailure).
+	skip, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: 10, Seed: 3, KeepSamples: true, Workers: 3, OnFailure: Skip,
+		injectFault: func(i int) error {
+			if i == 2 || i == 7 {
+				return fmt.Errorf("injected: %w", ErrWaveformNaN)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skip.Failures.Skipped != 2 || skip.Summary.N != 8 {
+		t.Fatalf("skipped=%d N=%d, want 2/8", skip.Failures.Skipped, skip.Summary.N)
+	}
+	if fmt.Sprint(skip.Failures.SkippedIndices) != fmt.Sprint([]int{2, 7}) {
+		t.Fatalf("skipped indices = %v, want [2 7]", skip.Failures.SkippedIndices)
+	}
+	if skip.Failures.Classes[0].Class != ClassWaveformNaN {
+		t.Fatalf("class = %s, want %s", skip.Failures.Classes[0].Class, ClassWaveformNaN)
+	}
+
+	// Degrade policy: the ladder rescues the injected failures (the fault
+	// hook intercepts only the primary evaluation).
+	deg, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: 10, Seed: 3, KeepSamples: true, OnFailure: Degrade,
+		Ladder: []string{EngineTetaExact},
+		injectFault: func(i int) error {
+			if i == 4 {
+				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Failures.Degraded != 1 || deg.Summary.N != 10 {
+		t.Fatalf("degraded=%d N=%d, want 1/10", deg.Failures.Degraded, deg.Summary.N)
+	}
+	if rel := math.Abs(deg.Delays[4]-base.Delays[4]) / base.Delays[4]; rel > 0.05 {
+		t.Fatalf("degraded sample drifted %.2f%% from the fast-path value", 100*rel)
+	}
+}
+
+// TestSkewEngineSelection checks MonteCarloSkewCtx accepts an engine name
+// and stays worker-invariant through the engine-scratch worker state.
+func TestSkewEngineSelection(t *testing.T) {
+	a := quickChain(t, []string{"INV", "INV"}, 6, true)
+	b := quickChain(t, []string{"INV", "INV"}, 6, true)
+	pair := &PathPair{
+		A: a, B: b,
+		Shared:       UniformWireSources(),
+		IndependentA: DeviceSources(a.Tech, 0.33, 0.33),
+		IndependentB: DeviceSources(b.Tech, 0.33, 0.33),
+	}
+	serial, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
+		N: 6, Seed: 5, Workers: 0, Engine: EngineTetaExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
+		N: 6, Seed: 5, Workers: 3, Engine: EngineTetaExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Skews {
+		if serial.Skews[i] != par.Skews[i] {
+			t.Fatalf("skew %d differs across worker counts", i)
+		}
+	}
+	if _, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
+		N: 2, Seed: 1, Engine: "bogus",
+	}); err == nil {
+		t.Fatal("expected an unknown-engine error from skew")
+	}
+}

@@ -106,10 +106,11 @@ const (
 	// function of the sample indices, so results are bit-identical at any
 	// worker count.
 	Skip
-	// Degrade retries a failed sample once through the exact per-sample
-	// extraction path (Config.ExactExtract-style: library evaluation +
-	// full pole/residue extraction) before skipping it. Recovered samples
-	// enter the aggregate; twice-failed samples are recorded and skipped.
+	// Degrade retries a failed sample through the engine ladder (by
+	// default every ladder-eligible engine costlier than the primary,
+	// ascending: teta-fast → teta-exact → spice-golden) before skipping
+	// it. Recovered samples enter the aggregate; samples every rung fails
+	// on are recorded and skipped.
 	Degrade
 )
 
@@ -157,9 +158,9 @@ type FailureReport struct {
 	Policy FailurePolicy
 	// Skipped counts samples excluded from the aggregate statistics.
 	Skipped int
-	// Degraded counts samples whose primary (fast-path) evaluation failed
-	// but were recovered through exact per-sample extraction; they ARE in
-	// the aggregate.
+	// Degraded counts samples whose primary evaluation failed but were
+	// recovered by a costlier engine-ladder rung; they ARE in the
+	// aggregate.
 	Degraded int
 	// Classes aggregates the skipped failures per class, sorted by class
 	// name.

@@ -20,6 +20,9 @@ type GAConfig struct {
 	// Metrics, when non-nil, accumulates evaluation-cost counters (stage
 	// evaluations, SC iterations, linear solves) across the analysis.
 	Metrics *runner.Metrics
+	// Engine names the stage-evaluation backend ("" resolves to
+	// teta-fast). See RegisterEngine and EngineNames.
+	Engine string
 }
 
 // GAResult holds the gradient-analysis outcome: the nominal path delay,
@@ -64,6 +67,11 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 	}
 	nw := len(cfg.Sources)
 	res := &GAResult{Sensitivity: map[string]float64{}, StageCount: len(p.Stages)}
+	e, err := p.Engine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	sc := e.NewScratch() // the analysis is serial: one scratch suffices
 
 	// Path state: nominal (M, S) plus dM/dw, dS/dw per source. M is
 	// carried as accumulated delay relative to the stimulus 50% point.
@@ -73,8 +81,8 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 	dS := make([]float64, nw)
 	rising := true
 
-	for _, st := range p.Stages {
-		sd, err := p.stageDerivatives(st, cfg.Sources, slew, rising, step, slewStep, &res.Simulations, cfg.Metrics)
+	for i := range p.Stages {
+		sd, err := p.stageDerivatives(e, sc, i, cfg.Sources, slew, rising, step, slewStep, &res.Simulations, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +96,7 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 			dS[l] = dSout
 		}
 		slew = sd.nom.Slew
-		rising = rising != st.Invert
+		rising = rising != p.Stages[i].Invert
 	}
 	res.Mean = mTot
 	// eq. (24): σ² = Σ σ_l² (∂D/∂w_l)².
@@ -104,11 +112,11 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 // stageDerivatives evaluates the stage Γ function and its derivatives by
 // finite differences: nominal, slew perturbation (central), and a central
 // difference per variation source.
-func (p *Path) stageDerivatives(st *Stage, sources []Source, slew float64, rising bool, step, slewStep float64, sims *int, m *runner.Metrics) (*stageDerivs, error) {
-	// eval wraps evalStage with the simulation counter and the shared
-	// metrics accumulators.
+func (p *Path) stageDerivatives(e Engine, sc any, i int, sources []Source, slew float64, rising bool, step, slewStep float64, sims *int, m *runner.Metrics) (*stageDerivs, error) {
+	// eval wraps the engine's stage evaluation with the simulation counter
+	// and the shared metrics accumulators.
 	eval := func(rs teta.RunSpec, s float64) (StageDelayResult, error) {
-		r, err := p.evalStage(st, rs, s, rising, false)
+		r, _, err := e.EvalStage(sc, i, rs, p.stageRamp(s, rising), rising)
 		if err != nil {
 			return r, err
 		}

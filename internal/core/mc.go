@@ -8,6 +8,7 @@ import (
 
 	"lcsim/internal/runner"
 	"lcsim/internal/stat"
+	"lcsim/internal/teta"
 )
 
 // Sampler selects the unit-cube sampling plan for Monte-Carlo analysis.
@@ -68,7 +69,10 @@ type MCConfig struct {
 	// run streams — Summary comes from online accumulators (Welford +
 	// P² quantiles) and memory stays O(1) in N.
 	KeepSamples bool
-	Direct      bool // exact per-sample re-reduction instead of the library
+	// Deprecated: Direct selects exact per-sample re-reduction instead of
+	// the library; honored only when Engine is empty (Direct ⇒ the
+	// teta-direct engine). Use Engine.
+	Direct bool
 	// Metrics, when non-nil, accumulates evaluation-cost counters
 	// (samples, SC iterations, linear solves, stage evaluations, per-class
 	// failures) across the run; safe to share between concurrent analyses.
@@ -79,10 +83,20 @@ type MCConfig struct {
 	// OnFailure selects how the run responds to per-sample evaluation
 	// failures: FailFast (zero value) aborts with the lowest failing
 	// index's error; Skip excludes failing samples from the aggregate and
-	// reports them in MCResult.Failures; Degrade retries each failure once
-	// through exact per-sample extraction before skipping. Skip-sets and
+	// reports them in MCResult.Failures; Degrade walks the engine ladder
+	// (by default every ladder-eligible engine costlier than the primary,
+	// ascending: fast → exact → spice) before skipping. Skip-sets and
 	// results are bit-identical at any worker count.
 	OnFailure FailurePolicy
+	// Engine names the stage-evaluation backend for the primary
+	// per-sample evaluation ("" resolves to teta-fast, or teta-direct
+	// when the deprecated Direct flag is set). See RegisterEngine and
+	// EngineNames for the available backends.
+	Engine string
+	// Ladder optionally overrides the Degrade retry ladder with an
+	// ordered list of engine names; nil selects the default ladder (see
+	// Path.EngineLadder).
+	Ladder []string
 
 	// Deprecated: UseLHS/UseHalton are the pre-Sampler selection booleans,
 	// honored only when Sampler is SamplerDefault. Use Sampler.
@@ -95,7 +109,7 @@ type MCConfig struct {
 	// injectFault, when non-nil, can fail sample i's primary evaluation
 	// with the returned error (nil → evaluate normally). It intercepts
 	// only the primary path, so a Degrade retry still exercises the real
-	// exact-extraction rung. Test hook; unexported on purpose.
+	// engine-ladder rungs. Test hook; unexported on purpose.
 	injectFault func(i int) error
 }
 
@@ -122,6 +136,19 @@ func (cfg MCConfig) workers() int {
 		return -1
 	}
 	return 0
+}
+
+// engineName resolves the Engine field against the deprecated Direct
+// flag. An explicit Engine wins; Direct maps to teta-direct; the default
+// is teta-fast.
+func (cfg MCConfig) engineName() string {
+	if cfg.Engine != "" {
+		return cfg.Engine
+	}
+	if cfg.Direct {
+		return EngineTetaDirect
+	}
+	return EngineTetaFast
 }
 
 // MCResult holds the Monte-Carlo outcome.
@@ -218,7 +245,7 @@ type mcEval struct {
 	delay    float64
 	sc       int
 	sample   []float64
-	degraded bool // recovered through the exact-extraction retry
+	degraded bool // recovered through a degrade-ladder rung
 }
 
 // rowGen returns a deterministic per-index generator of transformed
@@ -284,6 +311,28 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 		dists[i] = s.dist()
 	}
 	row := rowGen(cfg, cfg.sampler(), dists)
+	return p.runMonteCarlo(ctx, cfg, row, func(sv []float64) (teta.RunSpec, error) {
+		return BuildRunSpec(cfg.Sources, sv), nil
+	})
+}
+
+// runMonteCarlo is the sample kernel shared by the independent-source
+// (MonteCarloCtx) and correlated (MonteCarloCorrelatedCtx) drivers: the
+// per-sample evaluation through the selected engine, the failure policy
+// with its engine ladder, metrics, streaming aggregation and the
+// skip-compaction post-pass. row generates the (already transformed)
+// sample row for an index; spec maps a row to a RunSpec.
+func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) []float64, spec func(sv []float64) (teta.RunSpec, error)) (*MCResult, error) {
+	engine, err := p.Engine(cfg.engineName())
+	if err != nil {
+		return nil, err
+	}
+	var ladder []Engine
+	if cfg.OnFailure == Degrade {
+		if ladder, err = p.EngineLadder(engine, cfg.Ladder); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &MCResult{Failures: FailureReport{Policy: cfg.OnFailure}}
 	stream := stat.NewStreamSummary()
@@ -292,16 +341,19 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 		res.Samples = make([][]float64, cfg.N)
 	}
 
-	// Primary per-sample evaluation: the fast (or Direct) path.
-	evalPrimary := func(_ context.Context, i int, sc *PathScratch) (mcEval, error) {
+	// Primary per-sample evaluation through the selected engine.
+	evalPrimary := func(_ context.Context, i int, sc any) (mcEval, error) {
 		sv := row(i)
-		rs := BuildRunSpec(cfg.Sources, sv)
+		rs, err := spec(sv)
+		if err != nil {
+			return mcEval{}, err
+		}
 		if cfg.injectFault != nil {
 			if err := cfg.injectFault(i); err != nil {
 				return mcEval{}, err
 			}
 		}
-		ev, err := p.EvaluateWith(sc, rs, cfg.Direct)
+		ev, err := engine.EvalPath(sc, rs)
 		if err != nil {
 			return mcEval{}, err
 		}
@@ -315,34 +367,43 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 	// a pure function of (index, cause) — never of worker identity or
 	// scheduling — so the skip-set and every recovered value are
 	// bit-identical at any worker count.
-	var recoverFn func(_ context.Context, i int, sc *PathScratch, cause error) (mcEval, error)
+	var recoverFn func(_ context.Context, i int, sc any, cause error) (mcEval, error)
 	switch cfg.OnFailure {
 	case Skip:
-		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
 			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
 		}
 	case Degrade:
-		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
 			sv := row(i)
-			rs := BuildRunSpec(cfg.Sources, sv)
-			ev, err := p.EvaluateExact(rs)
-			if err != nil {
-				return mcEval{}, runner.SkipSample(NewSampleError(i,
-					fmt.Errorf("exact retry also failed: %w (fast path: %v)", err, cause)))
+			rs, serr := spec(sv)
+			if serr != nil {
+				return mcEval{}, runner.SkipSample(NewSampleError(i, serr))
 			}
-			cfg.Metrics.AddDegraded(1)
-			cfg.Metrics.AddSC(ev.SCIters)
-			cfg.Metrics.AddSolves(ev.LinearSolves)
-			cfg.Metrics.AddStageEvals(len(p.Stages))
-			return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv, degraded: true}, nil
+			// Walk the engine ladder in ascending cost order; the first
+			// rung that evaluates the sample wins. Every rung failing
+			// falls through to a skip carrying the whole cause chain.
+			for _, rung := range ladder {
+				ev, rerr := rung.EvalPath(nil, rs)
+				if rerr != nil {
+					cause = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.Name(), rerr, cause)
+					continue
+				}
+				cfg.Metrics.AddDegraded(1)
+				cfg.Metrics.AddSC(ev.SCIters)
+				cfg.Metrics.AddSolves(ev.LinearSolves)
+				cfg.Metrics.AddStageEvals(len(p.Stages))
+				return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv, degraded: true}, nil
+			}
+			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
 		}
 	default: // FailFast: wrap with the taxonomy so callers get a typed error.
-		recoverFn = func(_ context.Context, i int, _ *PathScratch, cause error) (mcEval, error) {
+		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
 			return mcEval{}, NewSampleError(i, cause)
 		}
 	}
 
-	err := runner.MapWorker(ctx, cfg.N,
+	err = runner.MapWorker(ctx, cfg.N,
 		runner.Options{
 			Workers:  cfg.workers(),
 			Metrics:  cfg.Metrics,
@@ -357,7 +418,7 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 				cfg.Metrics.AddFailure(string(class))
 			},
 		},
-		p.NewScratch,
+		engine.NewScratch,
 		runner.WithRecovery(evalPrimary, recoverFn),
 		func(i int, v mcEval) {
 			stream.Add(v.delay)

@@ -10,7 +10,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"lcsim/internal/circuit"
 	"lcsim/internal/device"
@@ -64,6 +63,23 @@ type Stage struct {
 	OutPort int
 	Invert  bool
 	side    []circuit.Waveform // waveforms for side inputs of driver 0
+	// Recipe, when non-nil, records how the stage's load was assembled so
+	// the spice-golden engine can re-expand the stage to transistor level
+	// per sample. BuildChain fills it; hand-built stages without one
+	// simply cannot construct the spice-golden engine.
+	Recipe *StageRecipe
+}
+
+// StageRecipe is the transistor-level expansion recipe of one
+// BuildChain-assembled stage: the parameters needed to rebuild the
+// driving cell plus its RC load from scratch at any (W, DL, DVT) sample.
+type StageRecipe struct {
+	Drive        float64
+	Elems        int     // linear elements of the inter-stage RC line
+	WireLengthUm float64 // physical wire length
+	Variational  bool    // wire values carry parameter sensitivities
+	RcvCap       float64 // receiver (next stage input) capacitance, F
+	DT, TStop    float64 // simulation window matching the TETA stage
 }
 
 // Path is an ordered chain of stages.
@@ -86,84 +102,16 @@ type StageDelayResult struct {
 	Solves  int // prefactored linear solves spent in the SC loop
 }
 
-// evalMode selects how a stage evaluates one sample.
-type evalMode int
-
-const (
-	// evalFast: the characterize-once variational macromodel (the default
-	// per-sample path).
-	evalFast evalMode = iota
-	// evalDirect: exact per-sample re-reduction of the interconnect (the
-	// accuracy reference; Config-level Direct flag).
-	evalDirect
-	// evalExact: exact per-sample pole/residue extraction from the
-	// variational library — the degradation-ladder retry target.
-	evalExact
-)
-
-// evalStageWave runs one stage for an arbitrary input waveform and
-// returns the measured output ramp abstraction plus the full output
-// waveform. rising reports the *input* edge direction. sc may be nil
-// (the stage then uses its internal scratch pool on the fast path).
-func (p *Path) evalStageWave(st *Stage, sc *teta.Scratch, rs teta.RunSpec, in circuit.Waveform, rising bool, mode evalMode) (StageDelayResult, *circuit.PWL, error) {
+// stageRamp builds the saturated-ramp abstraction of a stage input whose
+// 50% crossing arrives at TStart (used for the primary stimulus and by
+// Gradient Analysis, which propagates the ramp abstraction instead of the
+// full waveform — the paper's §4.3.2).
+func (p *Path) stageRamp(slewIn float64, rising bool) circuit.SatRamp {
 	vdd := p.Tech.VDD
-	ins := make([]circuit.Waveform, 1+len(st.side))
-	ins[0] = in
-	copy(ins[1:], st.side)
-	rs.Inputs = [][]circuit.Waveform{ins}
-	var (
-		res *teta.Result
-		err error
-	)
-	switch mode {
-	case evalDirect:
-		res, err = st.TStage.RunDirect(rs)
-	case evalExact:
-		res, err = st.TStage.RunExact(rs)
-	default:
-		res, err = st.TStage.RunWith(sc, rs)
-	}
-	if err != nil {
-		return StageDelayResult{}, nil, fmt.Errorf("stage %s: %w", st.Name, err)
-	}
-	wf, err := res.PortWaveform(st.OutPort)
-	if err != nil {
-		return StageDelayResult{}, nil, err
-	}
-	outRising := rising != st.Invert
-	dir := -1
-	if outRising {
-		dir = +1
-	}
-	cross, slew := wf.MeasureSatRamp(0, vdd, dir)
-	if math.IsNaN(cross) || math.IsNaN(slew) || slew <= 0 {
-		return StageDelayResult{}, nil, fmt.Errorf("stage %s: %w (cross=%g slew=%g); increase TStop", st.Name, ErrWaveformNaN, cross, slew)
-	}
-	return StageDelayResult{
-		Cross50: cross,
-		Slew:    slew,
-		SCIters: res.Stats.SCIterations,
-		Solves:  res.Stats.LinearSolves,
-	}, wf, nil
-}
-
-// evalStage is the saturated-ramp variant used by Gradient Analysis (the
-// paper's §4.3.2 propagates the ramp abstraction; Monte-Carlo propagates
-// the full waveform).
-func (p *Path) evalStage(st *Stage, rs teta.RunSpec, slewIn float64, rising bool, direct bool) (StageDelayResult, error) {
-	vdd := p.Tech.VDD
-	var ramp circuit.SatRamp
 	if rising {
-		ramp = circuit.SatRamp{V0: 0, V1: vdd, Start: p.TStart - slewIn/2, Slew: slewIn}
-	} else {
-		ramp = circuit.SatRamp{V0: vdd, V1: 0, Start: p.TStart - slewIn/2, Slew: slewIn}
+		return circuit.SatRamp{V0: 0, V1: vdd, Start: p.TStart - slewIn/2, Slew: slewIn}
 	}
-	mode := evalFast
-	if direct {
-		mode = evalDirect
-	}
-	r, _, err := p.evalStageWave(st, nil, rs, ramp, rising, mode)
-	return r, err
+	return circuit.SatRamp{V0: vdd, V1: 0, Start: p.TStart - slewIn/2, Slew: slewIn}
 }
 
 // shiftPWL translates a waveform in time by dt.
@@ -207,20 +155,26 @@ func (p *Path) NewScratch() *PathScratch {
 // Evaluate propagates the stimulus through every stage at the given
 // sample. When direct is true the interconnect models are exactly
 // re-reduced per sample instead of using the variational library (the
-// accuracy reference).
+// accuracy reference). It is a convenience wrapper over the teta-fast /
+// teta-direct engines; engine-generic callers use Path.Engine and
+// Engine.EvalPath directly.
 func (p *Path) Evaluate(rs teta.RunSpec, direct bool) (*PathEval, error) {
 	return p.EvaluateWith(nil, rs, direct)
 }
 
 // EvaluateExact propagates the stimulus through every stage using exact
 // per-sample pole/residue extraction from the variational library (the
-// Config.ExactExtract-style path): the reduced system is evaluated at
-// the sample's parameter values and a fresh extraction replaces the
-// first-order macromodel update. It is the Degrade policy's retry rung —
+// teta-exact engine): the reduced system is evaluated at the sample's
+// parameter values and a fresh extraction replaces the first-order
+// macromodel update. It is the first rung of the default Degrade ladder —
 // slower than the fast path, but immune to macromodel-truncation and
 // DC-correction failures.
 func (p *Path) EvaluateExact(rs teta.RunSpec) (*PathEval, error) {
-	return p.evaluateMode(nil, rs, evalExact)
+	e, err := p.Engine(EngineTetaExact)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalPath(nil, rs)
 }
 
 // EvaluateWith is Evaluate with caller-owned scratch: repeated calls
@@ -228,48 +182,18 @@ func (p *Path) EvaluateExact(rs teta.RunSpec) (*PathEval, error) {
 // solver workspaces instead of hitting the stages' shared pools. sc may
 // be nil (plain Evaluate behavior).
 func (p *Path) EvaluateWith(sc *PathScratch, rs teta.RunSpec, direct bool) (*PathEval, error) {
-	mode := evalFast
+	name := EngineTetaFast
 	if direct {
-		mode = evalDirect
+		name = EngineTetaDirect
 	}
-	return p.evaluateMode(sc, rs, mode)
-}
-
-// evaluateMode is the shared stage-by-stage propagation loop behind
-// Evaluate/EvaluateWith/EvaluateExact.
-func (p *Path) evaluateMode(sc *PathScratch, rs teta.RunSpec, mode evalMode) (*PathEval, error) {
-	if len(p.Stages) == 0 {
-		return nil, fmt.Errorf("core: empty path")
+	e, err := p.Engine(name)
+	if err != nil {
+		return nil, err
 	}
-	rising := true
-	vdd := p.Tech.VDD
-	// The primary input is a saturated ramp; between stages the full
-	// measured waveform is propagated (time-shifted so its 50% crossing
-	// arrives at TStart, compressed with the adaptive-breakpoint rule) —
-	// the fine-resolution propagation of §4.3.1.
-	var in circuit.Waveform = circuit.SatRamp{
-		V0: 0, V1: vdd, Start: p.TStart - p.InputSlew/2, Slew: p.InputSlew,
+	if sc == nil {
+		return e.EvalPath(nil, rs)
 	}
-	out := &PathEval{}
-	for i, st := range p.Stages {
-		var stageSc *teta.Scratch
-		if sc != nil {
-			stageSc = sc.stages[i]
-		}
-		r, wf, err := p.evalStageWave(st, stageSc, rs, in, rising, mode)
-		if err != nil {
-			return nil, err
-		}
-		d := r.Cross50 - p.TStart
-		out.StageDelays = append(out.StageDelays, d)
-		out.Delay += d
-		out.SCIters += r.SCIters
-		out.LinearSolves += r.Solves
-		in = shiftPWL(wf, p.TStart-r.Cross50).Compress(1e-4 * vdd)
-		rising = rising != st.Invert
-		out.FinalSlew = r.Slew
-	}
-	return out, nil
+	return e.EvalPath(sc, rs)
 }
 
 // ChainSpec describes a benchmark path: a sequence of library cells with
@@ -335,7 +259,8 @@ func BuildChain(spec ChainSpec) (*Path, error) {
 				return nil, err
 			}
 		}
-		load.AddC("Crcv", far, "0", circuit.V(InputCap(rcvCell, spec.Drive, spec.Tech, 0)))
+		rcvCap := InputCap(rcvCell, spec.Drive, spec.Tech, 0)
+		load.AddC("Crcv", far, "0", circuit.V(rcvCap))
 		ts, err := teta.BuildStage(load, []teta.DriverSpec{{
 			Name: fmt.Sprintf("s%d_%s", i, cellName), Cell: cell, Drive: spec.Drive, Port: 0,
 		}}, teta.Config{
@@ -360,6 +285,11 @@ func BuildChain(spec ChainSpec) (*Path, error) {
 			OutPort: 1,
 			Invert:  info.invert,
 			side:    side,
+			Recipe: &StageRecipe{
+				Drive: spec.Drive, Elems: spec.ElemsBetween,
+				WireLengthUm: spec.WireLengthUm, Variational: spec.Variational,
+				RcvCap: rcvCap, DT: spec.DT, TStop: spec.TStop,
+			},
 		})
 	}
 	// Warm-start the first stage's per-sample DC Newton from the nominal

@@ -40,6 +40,13 @@ type SkewConfig struct {
 	// Degrade); a skipped sample drops BOTH branch arrivals, keeping the
 	// skew pairing aligned.
 	OnFailure FailurePolicy
+	// Engine names the stage-evaluation backend for both branches (""
+	// resolves to teta-fast). See RegisterEngine and EngineNames.
+	Engine string
+	// Ladder optionally overrides the Degrade retry ladder with an ordered
+	// list of engine names; nil selects the default ladder (engines both
+	// branches can build, paired by name — see Path.EngineLadder).
+	Ladder []string
 }
 
 // SkewResult holds the Monte-Carlo skew outcome.
@@ -92,14 +99,46 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	}
 	samples := stat.SamplePlan(cube, dists)
 
-	// evalOne evaluates both branches at sample i; exact selects the
-	// degradation rung (exact per-sample extraction) instead of the fast
-	// path.
-	evalOne := func(i int, exact bool) (pairDelay, error) {
+	eA, err := pp.A.Engine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	eB, err := pp.B.Engine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	// The Degrade ladder walks both branches in lockstep: rungs are paired
+	// by engine name so a recovered sample's arrivals come from the same
+	// backend. With default ladders an engine only one branch can build
+	// (e.g. spice-golden for a hand-assembled pair) drops out of the walk.
+	type rungPair struct{ a, b Engine }
+	var ladder []rungPair
+	if cfg.OnFailure == Degrade {
+		ladA, err := pp.A.EngineLadder(eA, cfg.Ladder)
+		if err != nil {
+			return nil, err
+		}
+		ladB, err := pp.B.EngineLadder(eB, cfg.Ladder)
+		if err != nil {
+			return nil, err
+		}
+		byName := map[string]Engine{}
+		for _, e := range ladB {
+			byName[e.Name()] = e
+		}
+		for _, ea := range ladA {
+			if eb, ok := byName[ea.Name()]; ok {
+				ladder = append(ladder, rungPair{ea, eb})
+			}
+		}
+	}
+
+	// buildSpecs maps sample i's row to both branch RunSpecs: shared
+	// sources apply the same value to both, independent sources their own.
+	buildSpecs := func(i int) (rsA, rsB teta.RunSpec) {
 		row := samples[i]
 		ns := len(pp.Shared)
 		na := len(pp.IndependentA)
-		var rsA, rsB teta.RunSpec
 		for k, s := range pp.Shared {
 			s.Apply(&rsA, row[k])
 			s.Apply(&rsB, row[k])
@@ -110,31 +149,37 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		for k, s := range pp.IndependentB {
 			s.Apply(&rsB, row[ns+na+k])
 		}
-		eval := func(p *Path, rs teta.RunSpec) (*PathEval, error) {
-			if exact {
-				return p.EvaluateExact(rs)
-			}
-			return p.Evaluate(rs, false)
-		}
-		ea, err := eval(pp.A, rsA)
+		return rsA, rsB
+	}
+
+	// evalOne evaluates both branches at sample i through one engine pair.
+	evalOne := func(i int, ea, eb Engine, sca, scb any) (pairDelay, error) {
+		rsA, rsB := buildSpecs(i)
+		da, err := ea.EvalPath(sca, rsA)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch A: %w", err)
 		}
-		eb, err := eval(pp.B, rsB)
+		db, err := eb.EvalPath(scb, rsB)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch B: %w", err)
 		}
-		cfg.Metrics.AddSC(ea.SCIters + eb.SCIters)
-		cfg.Metrics.AddSolves(ea.LinearSolves + eb.LinearSolves)
+		cfg.Metrics.AddSC(da.SCIters + db.SCIters)
+		cfg.Metrics.AddSolves(da.LinearSolves + db.LinearSolves)
 		cfg.Metrics.AddStageEvals(len(pp.A.Stages) + len(pp.B.Stages))
-		return pairDelay{a: ea.Delay, b: eb.Delay, degraded: exact}, nil
+		return pairDelay{a: da.Delay, b: db.Delay}, nil
 	}
 
-	// Per-index failure policy, mirroring MonteCarloCtx: recovery depends
+	// Per-worker scratch: one per branch engine, reused across samples.
+	type skewScratch struct{ a, b any }
+	newState := func() skewScratch {
+		return skewScratch{a: eA.NewScratch(), b: eB.NewScratch()}
+	}
+
+	// Per-index failure policy, mirroring runMonteCarlo: recovery depends
 	// only on (index, cause), so skip-sets and results are bit-identical
 	// at any worker count.
-	evalFn := func(_ context.Context, i int) (pairDelay, error) {
-		d, err := evalOne(i, false)
+	evalFn := func(_ context.Context, i int, sc skewScratch) (pairDelay, error) {
+		d, err := evalOne(i, eA, eB, sc.a, sc.b)
 		if err == nil || cfg.OnFailure == FailFast {
 			if err != nil {
 				err = NewSampleError(i, err)
@@ -142,11 +187,15 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 			return d, err
 		}
 		if cfg.OnFailure == Degrade {
-			if d2, err2 := evalOne(i, true); err2 == nil {
+			for _, rung := range ladder {
+				d2, err2 := evalOne(i, rung.a, rung.b, nil, nil)
+				if err2 != nil {
+					err = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.a.Name(), err2, err)
+					continue
+				}
 				cfg.Metrics.AddDegraded(1)
+				d2.degraded = true
 				return d2, nil
-			} else {
-				err = fmt.Errorf("exact retry also failed: %w (fast path: %v)", err2, err)
 			}
 		}
 		return pairDelay{}, runner.SkipSample(NewSampleError(i, err))
@@ -155,7 +204,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	res := &SkewResult{Skews: make([]float64, 0, cfg.N), Failures: FailureReport{Policy: cfg.OnFailure}}
 	as := make([]float64, 0, cfg.N)
 	bs := make([]float64, 0, cfg.N)
-	err := runner.Map(ctx, cfg.N,
+	err = runner.MapWorker(ctx, cfg.N,
 		runner.Options{
 			Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress,
 			OnSkip: func(i int, err error) {
@@ -168,6 +217,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 				cfg.Metrics.AddFailure(string(class))
 			},
 		},
+		newState,
 		evalFn,
 		func(_ int, d pairDelay) {
 			as = append(as, d.a)

@@ -18,6 +18,9 @@ type WorstCaseConfig struct {
 	// Refinements bounds the sign-refinement sweeps (a corner search over
 	// a monotone-ish response converges in one or two).
 	Refinements int
+	// Engine names the stage-evaluation backend for both the GA seed and
+	// the corner verification simulations ("" resolves to teta-fast).
+	Engine string
 }
 
 // WorstCaseResult is a verified extreme corner.
@@ -56,10 +59,15 @@ func (p *Path) WorstCase(cfg WorstCaseConfig) (*WorstCaseResult, error) {
 	if cfg.Minimize {
 		sign = -1
 	}
-	ga, err := p.GradientAnalysis(GAConfig{Sources: cfg.Sources})
+	ga, err := p.GradientAnalysis(GAConfig{Sources: cfg.Sources, Engine: cfg.Engine})
 	if err != nil {
 		return nil, err
 	}
+	e, err := p.Engine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	sc := e.NewScratch() // the corner search is serial: one scratch suffices
 	sims := ga.Simulations
 	corner := make([]float64, len(cfg.Sources))
 	for i, s := range cfg.Sources {
@@ -68,7 +76,7 @@ func (p *Path) WorstCase(cfg WorstCaseConfig) (*WorstCaseResult, error) {
 	}
 	eval := func(c []float64) (float64, error) {
 		sims++
-		ev, err := p.Evaluate(BuildRunSpec(cfg.Sources, c), false)
+		ev, err := e.EvalPath(sc, BuildRunSpec(cfg.Sources, c))
 		if err != nil {
 			return 0, err
 		}

@@ -149,34 +149,37 @@ func ex2Delay(o Ex2Options, res *teta.Result) (float64, error) {
 	return cross - 0.30e-9, nil
 }
 
+// ex2SpiceHarness builds the transistor-level replica of the Figure-4
+// stage on the generic spice.StageHarness: three INV drivers onto a fresh
+// 3-line coupled bus per sample (BuildBus's node names are deterministic,
+// so a throwaway build supplies the driver and probe node names).
+func ex2SpiceHarness(o Ex2Options, lengthUm float64) (*spice.StageHarness, error) {
+	nodes := interconnect.BuildBus(o.Wire, 3, lengthUm, 1, true)
+	buildLoad := func() (*circuit.Netlist, error) {
+		bus := interconnect.BuildBus(o.Wire, 3, lengthUm, 1, true)
+		bus.Netlist.AddC("Crcv", bus.Out[1], "0", circuit.V(4e-15))
+		return bus.Netlist, nil
+	}
+	return spice.NewStageHarness(spice.StageSpec{
+		Tech: o.Tech,
+		Drivers: []spice.HarnessDriver{
+			{Name: "v", Cell: device.INV, Drive: o.Drive, Out: nodes.In[1]},
+			{Name: "a", Cell: device.INV, Drive: o.Drive, Out: nodes.In[0]},
+			{Name: "b", Cell: device.INV, Drive: o.Drive, Out: nodes.In[2]},
+		},
+		BuildLoad: buildLoad,
+		Probe:     nodes.Out[1],
+		DT:        o.DT, TStop: o.TStop,
+	})
+}
+
 // ex2SpiceDelay runs the same stage in the Newton baseline at one sample.
 func ex2SpiceDelay(o Ex2Options, lengthUm float64, w map[string]float64) (float64, *spice.Stats, error) {
-	bus := interconnect.BuildBus(o.Wire, 3, lengthUm, 1, true)
-	nl := bus.Netlist
-	nl.AddC("Crcv", bus.Out[1], "0", circuit.V(4e-15))
-	nl.AddV("VDD", "vdd", "0", circuit.DC(o.Tech.VDD))
-	ins := ex2Inputs(o)
-	nl.AddV("VINV", "vin_v", "0", ins[0][0])
-	nl.AddV("VINA", "vin_a", "0", ins[1][0])
-	nl.AddV("VINB", "vin_b", "0", ins[2][0])
-	if err := device.INV.Instantiate(nl, "dv", []string{"vin_v"}, bus.In[1], device.BuildOpts{Tech: o.Tech, Drive: o.Drive}); err != nil {
-		return 0, nil, err
-	}
-	if err := device.INV.Instantiate(nl, "da", []string{"vin_a"}, bus.In[0], device.BuildOpts{Tech: o.Tech, Drive: o.Drive}); err != nil {
-		return 0, nil, err
-	}
-	if err := device.INV.Instantiate(nl, "db", []string{"vin_b"}, bus.In[2], device.BuildOpts{Tech: o.Tech, Drive: o.Drive}); err != nil {
-		return 0, nil, err
-	}
-	sim, err := spice.NewSimulator(nl, spice.Options{DT: o.DT, TStop: o.TStop, Models: o.Tech, W: w})
+	h, err := ex2SpiceHarness(o, lengthUm)
 	if err != nil {
 		return 0, nil, err
 	}
-	res, err := sim.Run([]string{bus.Out[1]})
-	if err != nil {
-		return 0, nil, err
-	}
-	wf, err := res.Waveform(bus.Out[1])
+	wf, stats, err := h.Eval(w, 0, 0, ex2Inputs(o))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -184,7 +187,7 @@ func ex2SpiceDelay(o Ex2Options, lengthUm float64, w map[string]float64) (float6
 	if math.IsNaN(cross) {
 		return 0, nil, fmt.Errorf("experiments: spice probe did not cross 50%%")
 	}
-	return cross - 0.30e-9, &res.Stats, nil
+	return cross - 0.30e-9, &stats, nil
 }
 
 // Figure5Row is one wirelength point of the CPU-time comparison.
