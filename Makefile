@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-json fmt
+.PHONY: check vet build test race race-short bench bench-json checkpoint-resume fmt
 
 # Full CI gate: vet, build, race-enabled tests (full + short modes),
-# paper benchmarks. Run before every merge (see README "Failure policy" /
-# pre-merge gate).
-check: vet build race race-short bench
+# paper benchmarks, crash-safety kill/resume gate. Run before every merge
+# (see README "Failure policy" / pre-merge gate).
+check: vet build race race-short bench checkpoint-resume
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,12 @@ bench:
 # counters) for tracking the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/lcsim bench -samples 100 -out BENCH_mc.json
+
+# Crash-safety gate: 200-sample MC, SIGKILLed mid-sweep, resumed from
+# its checkpoint journal; the resumed summary must match an
+# uninterrupted reference run bit for bit.
+checkpoint-resume:
+	sh scripts/checkpoint_resume.sh
 
 fmt:
 	gofmt -l -w .

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"lcsim/internal/checkpoint"
 	"lcsim/internal/core"
 	"lcsim/internal/experiments"
 	"lcsim/internal/runner"
@@ -24,12 +25,14 @@ type benchRow struct {
 	NsPerSample     float64 `json:"ns_per_sample"`
 	AllocsPerSample float64 `json:"allocs_per_sample"`
 	SamplesPerSec   float64 `json:"samples_per_sec"`
-	// Skipped/Degraded/Failures record the fault-handling counters of the
-	// measured sweep (all zero on a healthy configuration; a non-zero entry
-	// flags that the timing above excludes or degrades part of the
-	// population).
+	// Skipped/Degraded/TimedOut/Failures record the fault-handling counters
+	// of the measured sweep (all zero on a healthy configuration; a non-zero
+	// entry flags that the timing above excludes or degrades part of the
+	// population). TimedOut counts samples cut off by the -sample-timeout
+	// watchdog; they are a subset of Skipped.
 	Skipped  int64            `json:"skipped"`
 	Degraded int64            `json:"degraded"`
+	TimedOut int64            `json:"timed_out"`
 	Failures map[string]int64 `json:"failures,omitempty"`
 }
 
@@ -58,6 +61,16 @@ type benchReport struct {
 	// SpeedupParallel is var_1w / var_nw: the additional gain from the
 	// worker pool at the N-worker setting.
 	SpeedupParallel float64 `json:"speedup_parallel"`
+
+	// DurationSec / ResumedSamples / TimedOutSamples are recorded
+	// unconditionally (zero counts included) so downstream tooling can
+	// rely on their presence: the wall-clock duration of the whole bench
+	// run, the samples restored from a -resume'd checkpoint journal
+	// instead of re-evaluated, and the samples cut off by the
+	// -sample-timeout watchdog across all rows.
+	DurationSec     float64 `json:"duration_sec"`
+	ResumedSamples  int64   `json:"resumed_samples"`
+	TimedOutSamples int64   `json:"timed_out_samples"`
 }
 
 // runBench measures per-sample Monte-Carlo evaluation cost on the
@@ -71,7 +84,14 @@ func runBench(args []string) {
 	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
 	engine := fs.String("engine", "", "measure an extra single-worker row with this engine (e.g. spice-golden; keep -samples small for slow backends)")
 	out := fs.String("out", "BENCH_mc.json", "output JSON path")
+	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per sample evaluation (0 = none); timed-out samples are skipped and counted")
+	ckptOf := checkpointFlags(fs)
 	fail(fs.Parse(args))
+	ckpt := ckptOf()
+	if ckpt != nil && *engine == "" {
+		fail(fmt.Errorf("bench: -checkpoint journals the slow -engine row; pass -engine (e.g. spice-golden)"))
+	}
+	t0 := time.Now()
 
 	o := experiments.Ex2Options{Samples: *samples}
 	fastSt, err := experiments.BuildExample2Stage(o, *wire, false)
@@ -87,15 +107,21 @@ func runBench(args []string) {
 		Samples:   *samples,
 		WireUm:    *wire,
 	}
-	rep.Var1W = benchStage(fastSt, specs, 1, core.EngineTetaFast)
-	rep.VarNW = benchStage(fastSt, specs, *workers, core.EngineTetaFast)
-	rep.Exact1W = benchStage(exactSt, specs, 1, core.EngineTetaExact)
+	rep.Var1W = benchStage(fastSt, specs, 1, core.EngineTetaFast, *sampleTimeout)
+	rep.VarNW = benchStage(fastSt, specs, *workers, core.EngineTetaFast, *sampleTimeout)
+	rep.Exact1W = benchStage(exactSt, specs, 1, core.EngineTetaExact, *sampleTimeout)
 	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
 	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
 	if *engine != "" {
-		row := benchEngine(o, *wire, *engine, specs)
+		row, resumed := benchEngine(o, *wire, *engine, specs, *sampleTimeout, ckpt)
 		rep.EngineRow = &row
+		rep.ResumedSamples = resumed
 	}
+	rep.TimedOutSamples = rep.Var1W.TimedOut + rep.VarNW.TimedOut + rep.Exact1W.TimedOut
+	if rep.EngineRow != nil {
+		rep.TimedOutSamples += rep.EngineRow.TimedOut
+	}
+	rep.DurationSec = time.Since(t0).Seconds()
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	fail(err)
@@ -116,10 +142,42 @@ func runBench(args []string) {
 	fmt.Printf("wrote %s\n", *out)
 }
 
+// evalDeadline bounds one synchronous benchmark evaluation by the
+// watchdog deadline d (0 = no bound). On timeout the evaluation
+// goroutine is abandoned — abandoned (if non-nil) must retire any
+// scratch state the stray goroutine still owns — and the sample fails
+// with core.ErrSampleTimeout so the sweep's skip path classifies it as
+// a timeout.
+func evalDeadline(d time.Duration, m *runner.Metrics, abandoned func(), eval func() error) error {
+	if d <= 0 {
+		return eval()
+	}
+	done := make(chan error, 1)
+	go func() { done <- eval() }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		if abandoned != nil {
+			abandoned()
+		}
+		m.AddTimeout(1)
+		return fmt.Errorf("bench: no result after %v: %w", d, core.ErrSampleTimeout)
+	}
+}
+
+// benchBox holds one worker's stage scratch behind a replaceable slot:
+// when the watchdog abandons a hung evaluation, the stray goroutine
+// keeps the old scratch and the worker continues on a fresh one.
+type benchBox struct{ sc *teta.Scratch }
+
 // benchStage times one MC-style sweep over the sample specs with the
 // given worker count, reporting per-sample wall time and allocations.
-// engineName labels the row (the backend the teta.Stage was built for).
-func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName string) benchRow {
+// engineName labels the row (the backend the teta.Stage was built for);
+// deadline, when positive, bounds each sample evaluation.
+func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName string, deadline time.Duration) benchRow {
 	// The sweep skips failing samples (instead of aborting the whole
 	// benchmark) and records them in the row's fault counters, so a partly
 	// sick configuration still produces a measurement — visibly flagged.
@@ -136,13 +194,19 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName st
 					metrics.AddFailure(string(core.ClassifyFailure(err)))
 				},
 			},
-			st.NewScratch,
+			func() *benchBox { return &benchBox{sc: st.NewScratch()} },
 			runner.WithRecovery(
-				func(_ context.Context, i int, sc *teta.Scratch) (struct{}, error) {
-					_, err := st.RunWith(sc, specs[i])
+				func(_ context.Context, i int, box *benchBox) (struct{}, error) {
+					sc := box.sc
+					err := evalDeadline(deadline, metrics,
+						func() { box.sc = st.NewScratch() },
+						func() error {
+							_, err := st.RunWith(sc, specs[i])
+							return err
+						})
 					return struct{}{}, err
 				},
-				func(_ context.Context, i int, _ *teta.Scratch, cause error) (struct{}, error) {
+				func(_ context.Context, i int, _ *benchBox, cause error) (struct{}, error) {
 					return struct{}{}, runner.SkipSample(core.NewSampleError(i, cause))
 				}),
 			nil)
@@ -166,32 +230,100 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName st
 		SamplesPerSec:   n / el.Seconds(),
 		Skipped:         snap.Skipped,
 		Degraded:        snap.Degraded,
+		TimedOut:        snap.TimedOut,
 		Failures:        snap.Failures,
 	}
 }
 
+// benchState is the journal payload of a checkpointed engine-row sweep:
+// the wall time already spent on the completed prefix and its cost
+// counters. Per-sample timings are additive, so a resumed measurement
+// just keeps accumulating both.
+type benchState struct {
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Metrics   runner.Snapshot `json:"metrics"`
+}
+
 // benchEngine times the same sweep through an arbitrary registered
-// backend via the experiments Example-2 evaluator (single worker). The
-// full warm-up pass matches benchStage, so keep -samples small for slow
-// backends like spice-golden.
-func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec) benchRow {
+// backend via the experiments Example-2 evaluator (single worker),
+// returning the row and the number of samples restored from a resumed
+// journal. Without a journal the full warm-up pass matches benchStage,
+// so keep -samples small for slow backends like spice-golden. With
+// -checkpoint the warm-up is skipped — the row exists to survive crashes
+// of hour-long spice-golden sweeps, and a resume must not redo the full
+// population as a warm-up — so the measurement is cold-start inclusive.
+func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec, deadline time.Duration, ck *checkpoint.Config) (benchRow, int64) {
 	eval, err := experiments.Example2Evaluator(o, wire, name)
 	fail(err)
+
+	fp := checkpoint.Fingerprint{
+		Kind:    "bench-engine",
+		Seed:    o.Seed,
+		N:       len(specs),
+		Sampler: "lhs",
+		Engine:  name,
+		Policy:  "skip",
+		Sources: fmt.Sprintf("ex2/wire=%gum/samples=%d", wire, o.Samples),
+	}
+	start := 0
+	var prior benchState
+	if ck != nil && ck.Resume {
+		snap, _, err := checkpoint.Load(ck.Path)
+		if err != nil && !checkpoint.IsNotExist(err) {
+			fail(err)
+		}
+		if err == nil {
+			fail(fp.Check(snap.Fingerprint))
+			fail(json.Unmarshal(snap.State, &prior))
+			start = snap.Next
+		}
+	}
+
 	var metrics *runner.Metrics
-	run := func() time.Duration {
+	var ckErr error
+	run := func(measured bool) time.Duration {
 		metrics = &runner.Metrics{}
-		t0 := time.Now()
-		err := runner.MapWorker(context.Background(), len(specs),
-			runner.Options{
-				Workers: 1, Metrics: metrics,
-				OnSkip: func(_ int, err error) {
-					metrics.AddFailure(string(core.ClassifyFailure(err)))
-				},
+		opts := runner.Options{
+			Workers: 1, Metrics: metrics,
+			OnSkip: func(_ int, err error) {
+				metrics.AddFailure(string(core.ClassifyFailure(err)))
 			},
+		}
+		t0 := time.Now()
+		if measured && ck != nil {
+			s := prior.Metrics
+			s.Resumed = 0
+			metrics.Merge(s)
+			metrics.AddResumed(start)
+			flush := func(next int) {
+				if ckErr != nil {
+					return
+				}
+				s := metrics.Snapshot()
+				s.Resumed = 0
+				body, err := json.Marshal(benchState{
+					ElapsedNs: prior.ElapsedNs + time.Since(t0).Nanoseconds(),
+					Metrics:   s,
+				})
+				if err == nil {
+					err = checkpoint.Save(ck.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body})
+				}
+				ckErr = err
+			}
+			opts.Start = start
+			opts.OnCheckpoint = flush
+			opts.CheckpointEvery = ck.Every
+			opts.CheckpointInterval = ck.Interval
+			defer flush(len(specs))
+		}
+		err := runner.MapWorker(context.Background(), len(specs), opts,
 			func() any { return nil },
 			runner.WithRecovery(
 				func(_ context.Context, i int, _ any) (struct{}, error) {
-					_, err := eval(specs[i])
+					err := evalDeadline(deadline, metrics, nil, func() error {
+						_, err := eval(specs[i])
+						return err
+					})
 					return struct{}{}, err
 				},
 				func(_ context.Context, i int, _ any, cause error) (struct{}, error) {
@@ -201,22 +333,33 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 		fail(err)
 		return time.Since(t0)
 	}
-	run() // warm-up
+	if ck == nil {
+		run(false) // warm-up
+	}
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	el := run()
+	el := run(true)
 	runtime.ReadMemStats(&m1)
+	fail(ckErr)
 	n := float64(len(specs))
+	// Wall time accumulates across the resume chain; allocations can only
+	// be measured for the samples this process actually evaluated.
+	total := time.Duration(prior.ElapsedNs) + el
+	allocs := 0.0
+	if evaluated := len(specs) - start; evaluated > 0 {
+		allocs = float64(m1.Mallocs-m0.Mallocs) / float64(evaluated)
+	}
 	snap := metrics.Snapshot()
 	return benchRow{
 		Engine:          name,
 		Workers:         1,
-		NsPerSample:     float64(el.Nanoseconds()) / n,
-		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
-		SamplesPerSec:   n / el.Seconds(),
+		NsPerSample:     float64(total.Nanoseconds()) / n,
+		AllocsPerSample: allocs,
+		SamplesPerSec:   n / total.Seconds(),
 		Skipped:         snap.Skipped,
 		Degraded:        snap.Degraded,
+		TimedOut:        snap.TimedOut,
 		Failures:        snap.Failures,
-	}
+	}, snap.Resumed
 }

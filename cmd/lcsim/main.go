@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"lcsim/internal/checkpoint"
 	"lcsim/internal/circuit"
 	"lcsim/internal/core"
 	"lcsim/internal/device"
@@ -151,6 +152,27 @@ func runCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
+// checkpointFlags registers the crash-safe-run flags shared by the long
+// statistical subcommands. The returned resolver (call it after Parse)
+// turns them into a checkpoint config; nil means journaling is off.
+func checkpointFlags(fs *flag.FlagSet) func() *checkpoint.Config {
+	path := fs.String("checkpoint", "", "durable run-journal `file`, written atomically during the sweep (empty = off)")
+	every := fs.Int("checkpoint-every", 0, "samples between journal flushes (0 = default 64; a 30s wall-clock bound always applies)")
+	resume := fs.Bool("resume", false, "continue from the -checkpoint journal instead of starting at sample 0")
+	return func() *checkpoint.Config {
+		if *path == "" {
+			if *resume {
+				fail(fmt.Errorf("-resume needs -checkpoint"))
+			}
+			if *every != 0 {
+				fail(fmt.Errorf("-checkpoint-every needs -checkpoint"))
+			}
+			return nil
+		}
+		return &checkpoint.Config{Path: *path, Every: *every, Resume: *resume}
+	}
+}
+
 // progressFn returns a stderr progress reporter, or nil when disabled.
 func progressFn(enabled bool, label string) func(done, total int) {
 	if !enabled {
@@ -169,8 +191,11 @@ func printMetrics(m *runner.Metrics) {
 	s := m.Snapshot()
 	fmt.Printf("cost: %d samples, %d stage evals, %d SC iterations, %d linear solves\n",
 		s.Samples, s.StageEvals, s.SCIterations, s.LinearSolves)
-	if s.Skipped > 0 || s.Degraded > 0 {
-		fmt.Printf("      %d skipped, %d degraded-recovered\n", s.Skipped, s.Degraded)
+	if s.Skipped > 0 || s.Degraded > 0 || s.TimedOut > 0 {
+		fmt.Printf("      %d skipped, %d degraded-recovered, %d timed out\n", s.Skipped, s.Degraded, s.TimedOut)
+	}
+	if s.Resumed > 0 {
+		fmt.Printf("      resumed: %d samples restored from the checkpoint journal\n", s.Resumed)
 	}
 }
 
@@ -348,10 +373,13 @@ func runPath(args []string) {
 	samplerName := fs.String("sampler", "lhs", "sampling plan: lhs, halton or pseudo")
 	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
 	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
+	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per sample evaluation (0 = none)")
+	ckptOf := checkpointFlags(fs)
 	fail(fs.Parse(args))
 	if *cells == "" {
 		fail(fmt.Errorf("path needs -cells"))
 	}
+	ckpt := ckptOf()
 	sampler, err := core.ParseSampler(*samplerName)
 	fail(err)
 	onFailure, err := core.ParseFailurePolicy(*onFailureName)
@@ -405,6 +433,7 @@ func runPath(args []string) {
 			Sampler: sampler, Workers: *workers, KeepSamples: true,
 			Metrics: metrics, Progress: progressFn(*progress, "mc"),
 			OnFailure: onFailure, Engine: *engine,
+			Checkpoint: ckpt, SampleTimeout: *sampleTimeout,
 		})
 		fail(err)
 		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
@@ -460,7 +489,10 @@ func runSkew(args []string) {
 	progress := fs.Bool("progress", false, "report MC progress on stderr")
 	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
 	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
+	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per branch evaluation (0 = none)")
+	ckptOf := checkpointFlags(fs)
 	fail(fs.Parse(args))
+	ckpt := ckptOf()
 	onFailure, err := core.ParseFailurePolicy(*onFailureName)
 	fail(err)
 	build := func(stages int, wireUm float64) *core.Path {
@@ -490,6 +522,7 @@ func runSkew(args []string) {
 		N: *mcN, Seed: *seed, Workers: *workers,
 		Metrics: metrics, Progress: progressFn(*progress, "skew"),
 		OnFailure: onFailure, Engine: *engine,
+		Checkpoint: ckpt, SampleTimeout: *sampleTimeout,
 	})
 	fail(err)
 	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)

@@ -33,7 +33,10 @@ func runValidate(args []string) {
 	drive := fs.Float64("drive", 2, "cell drive strength (-cells mode)")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	workers := fs.Int("workers", -1, "evaluation workers (0 = serial, -1 = all cores)")
+	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast or skip (-cells mode also accepts degrade)")
 	fail(fs.Parse(args))
+	onFailure, err := core.ParseFailurePolicy(*onFailureName)
+	fail(err)
 	var engines []string
 	for _, e := range strings.Split(*enginesFlag, ",") {
 		if e = strings.TrimSpace(e); e != "" {
@@ -45,13 +48,13 @@ func runValidate(args []string) {
 	}
 	var cols []experiments.EngineValidation
 	if *cells == "" {
-		o := experiments.Ex2Options{Samples: *samples, Seed: *seed, Workers: *workers}
+		o := experiments.Ex2Options{Samples: *samples, Seed: *seed, Workers: *workers, OnFailure: onFailure}
 		res, err := experiments.ValidateExample2(o, *wire, engines)
 		fail(err)
 		cols = res
 		fmt.Printf("validate: example-2 coupled stage, %g um, %d samples\n", *wire, *samples)
 	} else {
-		cols = validateChain(*cells, *elems, *wire, *drive, *samples, *seed, *workers, engines)
+		cols = validateChain(*cells, *elems, *wire, *drive, *samples, *seed, *workers, onFailure, engines)
 		fmt.Printf("validate: chain %s, %g um wires, %d samples\n", *cells, *wire, *samples)
 	}
 	fmt.Printf("%-14s %-11s %-10s %-9s %-9s %s\n", "engine", "mean(ps)", "sigma(ps)", "dmean%", "dsigma%", "max|d|(ps)")
@@ -65,13 +68,22 @@ func runValidate(args []string) {
 			c.Engine, c.Summary.Mean*1e12, c.Summary.Std*1e12,
 			c.MeanDeltaPct, c.StdDeltaPct, c.MaxAbsDelta*1e12)
 	}
+	for _, c := range cols {
+		if c.Skipped > 0 {
+			fmt.Printf("note: %s skipped %d/%d samples; per-sample deltas pair only mutually-delivered samples\n",
+				c.Engine, c.Skipped, *samples)
+		}
+	}
 }
 
 // validateChain runs the same Monte-Carlo sample set through each named
 // engine on a BuildChain path and folds the results into the shared
 // validation-column shape. The MC configuration (seed, sampler, worker
-// count) is identical per engine, so per-sample delays align.
-func validateChain(cells string, elems int, wireUm, drive float64, n int, seed int64, workers int, engines []string) []experiments.EngineValidation {
+// count, failure policy) is identical per engine, so per-sample delays
+// align; under the skip policy each engine's compacted delay list is
+// re-expanded to its original indices with NaN holes first, because
+// different engines may skip different samples.
+func validateChain(cells string, elems int, wireUm, drive float64, n int, seed int64, workers int, onFailure core.FailurePolicy, engines []string) []experiments.EngineValidation {
 	var names []string
 	for _, c := range strings.Split(cells, ",") {
 		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
@@ -89,21 +101,41 @@ func validateChain(cells string, elems int, wireUm, drive float64, n int, seed i
 		mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
 			N: n, Seed: seed, Sources: sources,
 			Workers: workers, KeepSamples: true, Engine: name,
+			OnFailure: onFailure,
 		})
 		fail(err)
 		cols[ei] = experiments.EngineValidation{
-			Engine: name, Summary: mc.Summary, Delays: mc.Delays,
+			Engine:  name,
+			Summary: mc.Summary,
+			Delays:  expandSkipped(mc.Delays, mc.Failures.SkippedIndices, n),
+			Skipped: mc.Failures.Skipped,
 		}
 	}
-	ref := cols[0]
-	for i := 1; i < len(cols); i++ {
-		cols[i].MeanDeltaPct = 100 * (cols[i].Summary.Mean - ref.Summary.Mean) / ref.Summary.Mean
-		cols[i].StdDeltaPct = 100 * (cols[i].Summary.Std - ref.Summary.Std) / ref.Summary.Std
-		for k, d := range cols[i].Delays {
-			if ad := math.Abs(d - ref.Delays[k]); ad > cols[i].MaxAbsDelta {
-				cols[i].MaxAbsDelta = ad
-			}
-		}
-	}
+	experiments.FinishDeltas(cols)
 	return cols
+}
+
+// expandSkipped re-aligns a compacted per-sample slice to its original
+// sample indices, leaving NaN at the skipped positions. With no skips it
+// returns the compact slice unchanged.
+func expandSkipped(compact []float64, skipped []int, n int) []float64 {
+	if len(skipped) == 0 {
+		return compact
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	skip := make(map[int]bool, len(skipped))
+	for _, i := range skipped {
+		skip[i] = true
+	}
+	k := 0
+	for i := 0; i < n && k < len(compact); i++ {
+		if !skip[i] {
+			out[i] = compact[k]
+			k++
+		}
+	}
+	return out
 }

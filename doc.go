@@ -41,6 +41,7 @@
 //	poleres.ErrSingularGr       Gr(w) singular — DC correction impossible
 //	poleres.ErrAllPolesUnstable stabilization removed every pole
 //	core.ErrWaveformNaN         output never completed its transition
+//	core.ErrSampleTimeout       the per-sample watchdog deadline expired
 //
 // core.ClassifyFailure maps any of these (arbitrarily wrapped) to a
 // core.FailureClass, and core.SampleError carries the sample index plus
@@ -54,6 +55,32 @@
 // ascending — teta-fast → teta-exact → spice-golden by default) before
 // skipping. Under every policy the skip-set, the FailureReport and the
 // statistics are bit-identical at any worker count.
+//
+// MCConfig.SampleTimeout / SkewConfig.SampleTimeout arm a per-sample
+// watchdog: an evaluation that exceeds the deadline is abandoned and
+// fails with core.ErrSampleTimeout (class FailTimeout), flowing through
+// the same policies — Degrade retries the next ladder rung under a fresh
+// deadline, Skip records the timeout and moves on, FailFast surfaces the
+// typed error. A single pathological sample can therefore never stall a
+// statistical sweep.
+//
+// # Crash-safe checkpoint/resume
+//
+// Long statistical runs can journal their progress durably
+// (internal/checkpoint): MCConfig.Checkpoint / SkewConfig.Checkpoint
+// point at a snapshot file that is rewritten atomically
+// (write-to-temp + fsync + rename, previous generation kept as .bak)
+// every K samples or T wall-seconds, always at a prefix-consistent cut
+// of the ordered delivery stream. A killed run restarted with
+// Checkpoint.Resume re-evaluates only the remaining samples on the
+// restored accumulators and finishes bit-identical to an uninterrupted
+// run — at any worker count, which is deliberately not part of the
+// snapshot's config fingerprint. A snapshot whose fingerprint (seed, N,
+// sampler, engine/ladder, policy, source list) disagrees with the live
+// run is refused with checkpoint.ErrMismatch; a corrupt snapshot
+// (checkpoint.ErrCorruptCheckpoint, CRC-verified) falls back to the
+// .bak generation. The lcsim path/skew/bench subcommands expose
+// -checkpoint, -checkpoint-every, -resume and -sample-timeout.
 //
 // # Engine registry
 //

@@ -1,0 +1,275 @@
+// Package checkpoint is the durable run journal behind crash-safe
+// statistical sweeps: a versioned, CRC-protected JSON snapshot of a
+// run's prefix-consistent state, written atomically (temp file + rename)
+// with the previous good snapshot rotated to a .bak fallback.
+//
+// The design leans on the framework's determinism contract: sampling is
+// a pure function of the sample index (fixed Seed, bit-identical at any
+// worker count), so a snapshot never stores pending work — only the
+// prefix cut (how many leading samples are complete), the serialized
+// streaming-statistics state, and the failure/cost counters. Resuming is
+// then re-running indices [Next, N) on top of the restored accumulators,
+// and the combined run is bit-identical to an uninterrupted one.
+//
+// A snapshot also carries a config fingerprint (seed, N, sampler,
+// engine/ladder, source-list hash). Load verifies integrity only; the
+// driver that resumes must compare fingerprints and refuse a snapshot
+// from a different run configuration (ErrMismatch).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Version is the snapshot schema version. Load rejects snapshots written
+// by a different (future or obsolete) schema.
+const Version = 1
+
+// ErrCorruptCheckpoint reports a snapshot file that failed its integrity
+// check: truncated, bit-flipped (CRC32 mismatch), or not a snapshot at
+// all. Load falls back to the .bak rotation before returning it.
+var ErrCorruptCheckpoint = errors.New("checkpoint: snapshot corrupt")
+
+// ErrMismatch reports a snapshot whose config fingerprint differs from
+// the live run's — resuming it would silently mix statistics from two
+// different populations, so drivers refuse instead.
+var ErrMismatch = errors.New("checkpoint: config fingerprint mismatch")
+
+// Fingerprint identifies the run configuration a snapshot belongs to.
+// Two runs may share a checkpoint if and only if every field matches;
+// the worker count is deliberately absent (results are bit-identical at
+// any worker count, so resuming at a different parallelism is safe).
+type Fingerprint struct {
+	// Kind names the driver ("mc", "mc-correlated", "skew", ...).
+	Kind string `json:"kind"`
+	// Seed/N/Sampler pin the sampling plan.
+	Seed    int64  `json:"seed"`
+	N       int    `json:"n"`
+	Sampler string `json:"sampler"`
+	// Engine and Ladder pin the evaluation backend(s); Policy the
+	// failure policy (it shapes the skip-set).
+	Engine string `json:"engine"`
+	Ladder string `json:"ladder"`
+	Policy string `json:"policy"`
+	// Sources is a hash of the variation-source list (names, sigmas,
+	// targets, distributions).
+	Sources string `json:"sources"`
+}
+
+// Equal reports whether two fingerprints describe the same run.
+func (f Fingerprint) Equal(g Fingerprint) bool { return f == g }
+
+// Check returns ErrMismatch (wrapped, naming the first differing field)
+// when the snapshot fingerprint g cannot resume a run fingerprinted f.
+func (f Fingerprint) Check(g Fingerprint) error {
+	if f == g {
+		return nil
+	}
+	diff := func(field, live, snap string) error {
+		return fmt.Errorf("%w: %s is %q in this run but %q in the snapshot", ErrMismatch, field, live, snap)
+	}
+	switch {
+	case f.Kind != g.Kind:
+		return diff("driver kind", f.Kind, g.Kind)
+	case f.Seed != g.Seed:
+		return diff("seed", fmt.Sprint(f.Seed), fmt.Sprint(g.Seed))
+	case f.N != g.N:
+		return diff("N", fmt.Sprint(f.N), fmt.Sprint(g.N))
+	case f.Sampler != g.Sampler:
+		return diff("sampler", f.Sampler, g.Sampler)
+	case f.Engine != g.Engine:
+		return diff("engine", f.Engine, g.Engine)
+	case f.Ladder != g.Ladder:
+		return diff("ladder", f.Ladder, g.Ladder)
+	case f.Policy != g.Policy:
+		return diff("failure policy", f.Policy, g.Policy)
+	default:
+		return diff("source list", f.Sources, g.Sources)
+	}
+}
+
+// Snapshot is one prefix-consistent cut of a statistical run.
+type Snapshot struct {
+	Version     int         `json:"version"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Next is the prefix cut: samples [0, Next) are complete (aggregated
+	// or recorded as skipped); nothing at or beyond Next is.
+	Next int `json:"next"`
+	// State is the driver-specific payload (streaming-statistics state,
+	// failure report, cost counters), serialized by the driver so this
+	// package stays independent of the statistical layers above it.
+	State json.RawMessage `json:"state"`
+}
+
+// header is the first line of the on-disk format. The rest of the file
+// is the marshaled snapshot, byte for byte; CRC32 (IEEE) covers exactly
+// those payload bytes, so any truncation or bit flip is detected before
+// the snapshot is trusted. The two-part layout exists because the CRC
+// must cover the bytes as written: nesting the snapshot inside a JSON
+// envelope lets the encoder re-format (indent/compact/escape) it, which
+// silently diverges from the checksummed form.
+type header struct {
+	Magic string `json:"magic"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// magic marks a file as an lcsim checkpoint.
+const magic = "lcsim-checkpoint"
+
+// BakPath is the rotation target: the previous good snapshot of path.
+func BakPath(path string) string { return path + ".bak" }
+
+// IsNotExist reports whether err from Load means no snapshot has ever
+// been written (as opposed to a corrupt or mismatched one) — the case a
+// resuming driver treats as "start from sample 0".
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// Save writes snap to path atomically: marshal, CRC, write to a temp
+// file in the same directory, fsync, then rotate the current snapshot
+// (if any) to BakPath and rename the temp file into place. A crash at
+// any instant leaves either the old snapshot, the new one, or the old
+// one under .bak — never a half-written file that parses.
+func Save(path string, snap *Snapshot) error {
+	if snap.Version == 0 {
+		snap.Version = Version
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal snapshot: %w", err)
+	}
+	hdr, err := json.Marshal(header{Magic: magic, CRC32: crc32.ChecksumIEEE(body)})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal header: %w", err)
+	}
+	buf := make([]byte, 0, len(hdr)+len(body)+2)
+	buf = append(buf, hdr...)
+	buf = append(buf, '\n')
+	buf = append(buf, body...)
+	buf = append(buf, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	// Rotate the previous good snapshot to .bak so a corrupt new file
+	// (torn disk, bad sector) still leaves a recoverable generation.
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, BakPath(path)); err != nil {
+			return fmt.Errorf("checkpoint: rotate %s: %w", path, err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: install %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and verifies the snapshot at path. A corrupt primary file
+// (CRC mismatch, truncation, unparseable) falls back to the .bak
+// rotation; only when both generations fail does Load return an error
+// wrapping ErrCorruptCheckpoint. A missing primary with no .bak returns
+// the underlying fs.ErrNotExist so callers can distinguish "never
+// checkpointed" from "corrupted". The second return is true when the
+// snapshot came from the .bak fallback.
+func Load(path string) (*Snapshot, bool, error) {
+	snap, primaryErr := loadOne(path)
+	if primaryErr == nil {
+		return snap, false, nil
+	}
+	if os.IsNotExist(primaryErr) {
+		if _, bakErr := os.Stat(BakPath(path)); os.IsNotExist(bakErr) {
+			return nil, false, fmt.Errorf("checkpoint: %s: %w", path, primaryErr)
+		}
+	}
+	bak, bakErr := loadOne(BakPath(path))
+	if bakErr == nil {
+		return bak, true, nil
+	}
+	return nil, false, fmt.Errorf("checkpoint: %s unusable (%v) and no good .bak (%v)", path, primaryErr, bakErr)
+}
+
+// loadOne reads one snapshot generation, verifying CRC and version.
+func loadOne(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: %s: missing header line", ErrCorruptCheckpoint, path)
+	}
+	var hdr header
+	if err := json.Unmarshal(buf[:nl], &hdr); err != nil || hdr.Magic != magic {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorruptCheckpoint, path)
+	}
+	body := bytes.TrimSuffix(buf[nl+1:], []byte{'\n'})
+	if got := crc32.ChecksumIEEE(body); got != hdr.CRC32 {
+		return nil, fmt.Errorf("%w: %s: CRC32 %08x, want %08x", ErrCorruptCheckpoint, path, got, hdr.CRC32)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptCheckpoint, path, err)
+	}
+	if snap.Version != Version {
+		return nil, fmt.Errorf("%w: %s: schema version %d, this build reads %d", ErrCorruptCheckpoint, path, snap.Version, Version)
+	}
+	return &snap, nil
+}
+
+// Config enables durable checkpointing on a statistical driver.
+type Config struct {
+	// Path is the snapshot file. The driver writes it periodically
+	// (atomic rename; the previous generation survives as Path+".bak")
+	// and once more at the end of the run.
+	Path string
+	// Every flushes a snapshot each time this many samples complete
+	// (default 64).
+	Every int
+	// Interval is the wall-clock flush bound: when it elapses, the next
+	// completed sample triggers a flush regardless of Every (default 30s).
+	Interval time.Duration
+	// Resume loads the snapshot at Path and continues from its prefix
+	// cut instead of starting at sample 0. The snapshot's fingerprint
+	// must match the live run (ErrMismatch otherwise); a corrupt primary
+	// falls back to Path+".bak".
+	Resume bool
+}
+
+// Validate checks the config.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.Path == "" {
+		return fmt.Errorf("checkpoint: Config.Path must be set")
+	}
+	if c.Every < 0 {
+		return fmt.Errorf("checkpoint: Config.Every must be >= 0, got %d", c.Every)
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("checkpoint: Config.Interval must be >= 0, got %v", c.Interval)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"lcsim/internal/checkpoint"
+	"lcsim/internal/runner"
+	"lcsim/internal/stat"
+)
+
+// This file is the glue between the statistical drivers and the durable
+// run journal (internal/checkpoint): config fingerprints, the
+// driver-specific snapshot payloads, and the shared save/restore
+// plumbing. The journal itself stores an opaque json.RawMessage; the
+// payload schemas live here so the checkpoint package stays independent
+// of the statistical layers.
+
+// sourcesHash digests the variation-source groups for the config
+// fingerprint: a resumed run must use the exact same source list (names,
+// sigmas, distributions, targets), or its samples would come from a
+// different population than the snapshot's prefix.
+func sourcesHash(groups ...[]Source) string {
+	h := fnv.New64a()
+	for gi, group := range groups {
+		fmt.Fprintf(h, "group %d:", gi)
+		for _, s := range group {
+			fmt.Fprintf(h, "%s|%g|%v|%s|%t|%t;", s.Name, s.Sigma, s.Dist, s.Wire, s.IsDL, s.IsDVT)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// mcFingerprint pins a path-MC run configuration. KeepSamples is folded
+// into the kind because a streaming snapshot has no per-sample rows to
+// restore a KeepSamples run from (and vice versa the rows would be
+// silently dropped). The worker count is deliberately absent: results are
+// bit-identical at any parallelism, so resuming at a different worker
+// count is safe.
+func mcFingerprint(kind string, cfg MCConfig, sources string) checkpoint.Fingerprint {
+	if cfg.KeepSamples {
+		kind += "+samples"
+	}
+	return checkpoint.Fingerprint{
+		Kind:    kind,
+		Seed:    cfg.Seed,
+		N:       cfg.N,
+		Sampler: cfg.sampler().String(),
+		Engine:  cfg.engineName(),
+		Ladder:  strings.Join(cfg.Ladder, ","),
+		Policy:  cfg.OnFailure.String(),
+		Sources: sources,
+	}
+}
+
+// mcPayload is the driver-specific state inside a path-MC snapshot: the
+// streaming accumulators, the failure report, the cost counters and — for
+// KeepSamples runs — the delivered per-sample rows of the prefix (skipped
+// indices hold zero rows; the end-of-run compaction removes them exactly
+// as in an uninterrupted run).
+type mcPayload struct {
+	Stream   stat.StreamSummaryState `json:"stream"`
+	TotalSC  int                     `json:"total_sc"`
+	Failures FailureReport           `json:"failures"`
+	Metrics  runner.Snapshot         `json:"metrics"`
+	Delays   []float64               `json:"delays,omitempty"`
+	Samples  [][]float64             `json:"samples,omitempty"`
+}
+
+// skewPayload is the driver-specific state inside a skew snapshot: the
+// delivered prefix of both branch arrival lists and the skews (their
+// length is the prefix cut minus the skipped samples), the failure
+// report and the cost counters.
+type skewPayload struct {
+	A        []float64       `json:"a"`
+	B        []float64       `json:"b"`
+	Skews    []float64       `json:"skews"`
+	Failures FailureReport   `json:"failures"`
+	Metrics  runner.Snapshot `json:"metrics"`
+}
+
+// resumeSnapshot loads, fingerprint-checks and decodes a snapshot for a
+// resuming run. The (nil, 0, nil) return means there is nothing to resume
+// — no snapshot on disk yet — and the run starts from sample 0, so
+// enabling Resume unconditionally is safe for first runs. state is
+// decoded into statePtr.
+func resumeSnapshot(ck *checkpoint.Config, fp checkpoint.Fingerprint, statePtr any) (start int, err error) {
+	snap, _, err := checkpoint.Load(ck.Path)
+	if err != nil {
+		if checkpoint.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := fp.Check(snap.Fingerprint); err != nil {
+		return 0, fmt.Errorf("core: cannot resume %s: %w", ck.Path, err)
+	}
+	if err := json.Unmarshal(snap.State, statePtr); err != nil {
+		return 0, fmt.Errorf("core: %s: %w: state payload: %v", ck.Path, checkpoint.ErrCorruptCheckpoint, err)
+	}
+	return snap.Next, nil
+}
+
+// saveMetrics snapshots the cost counters for a checkpoint payload. The
+// Resumed counter is stripped: it describes what *this process* restored
+// rather than evaluated, and the next resume recomputes it from its own
+// prefix cut — persisting it would double-count across a chain of
+// resumes. Worker-side counters (SC iterations, solves) may include
+// in-flight samples beyond the cut; they are cost telemetry, not part of
+// the bit-identity contract.
+func saveMetrics(m *runner.Metrics) runner.Snapshot {
+	s := m.Snapshot()
+	s.Resumed = 0
+	return s
+}
+
+// restoreMetrics folds a snapshot payload's counters back into the live
+// metrics and records the restored prefix.
+func restoreMetrics(m *runner.Metrics, s runner.Snapshot, next int) {
+	m.Merge(s)
+	m.AddResumed(next)
+}
+
+// ckptWriter serializes one driver's periodic checkpoint flushes. payload
+// builds the driver state for a prefix cut; the first write error latches
+// (later flushes are skipped) and fails the run after the sweep returns —
+// a journal that silently stopped persisting is worse than a loud run
+// failure.
+type ckptWriter struct {
+	ck      *checkpoint.Config
+	fp      checkpoint.Fingerprint
+	payload func(next int) any
+	err     error
+}
+
+// flush writes one snapshot at the prefix cut next. Called from the
+// runner's ordered-delivery goroutine (and once more after the sweep
+// completes), so the payload closure may read the driver's accumulators
+// without locking.
+func (w *ckptWriter) flush(next int) {
+	if w.err != nil {
+		return
+	}
+	body, err := json.Marshal(w.payload(next))
+	if err == nil {
+		err = checkpoint.Save(w.ck.Path, &checkpoint.Snapshot{Fingerprint: w.fp, Next: next, State: body})
+	}
+	if err != nil {
+		w.err = err
+	}
+}

@@ -78,7 +78,9 @@ func (p *Path) MonteCarloCorrelatedCtx(ctx context.Context, cs *CorrelatedSource
 		dists[i] = stat.Normal{Mean: 0, Sigma: 1}
 	}
 	row := rowGen(cfg, cfg.sampler(), dists)
-	return p.runMonteCarlo(ctx, cfg, row, cs.RunSpecFromFactors)
+	fp := mcFingerprint("mc-correlated", cfg,
+		fmt.Sprintf("%s/f%d", sourcesHash(cs.Sources), cs.factors))
+	return p.runMonteCarlo(ctx, cfg, fp, row, cs.RunSpecFromFactors)
 }
 
 // MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.

@@ -17,6 +17,16 @@ import (
 // of the population is fine.
 var ErrWaveformNaN = errors.New("core: output waveform did not complete its transition")
 
+// ErrSampleTimeout reports a per-sample evaluation abandoned at the
+// MCConfig.SampleTimeout / SkewConfig.SampleTimeout watchdog deadline.
+// Engines are synchronous and cannot be preempted, so the evaluation
+// goroutine is left to finish (or hang) in the background; its scratch is
+// replaced and its eventual result discarded. The error flows through the
+// failure policies like any other per-sample fault: FailFast aborts,
+// Skip excludes the sample, Degrade retries the next ladder rung with a
+// fresh deadline.
+var ErrSampleTimeout = errors.New("core: sample evaluation exceeded its watchdog deadline")
+
 // FailureClass labels a per-sample failure cause for reporting and the
 // runner's per-class counters. Classification is by errors.Is against the
 // typed causes exported by teta, poleres and this package — never by
@@ -44,6 +54,9 @@ const (
 	ClassWaveformNaN FailureClass = "waveform-nan"
 	// ClassOther: any per-sample failure not matched above.
 	ClassOther FailureClass = "other"
+	// FailTimeout: the evaluation was abandoned at the per-sample
+	// watchdog deadline (ErrSampleTimeout).
+	FailTimeout FailureClass = "timeout"
 )
 
 // ClassifyFailure maps a per-sample error to its failure class via
@@ -53,6 +66,8 @@ func ClassifyFailure(err error) FailureClass {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrSampleTimeout):
+		return FailTimeout
 	case errors.Is(err, poleres.ErrSingularGr):
 		return ClassSingularGr
 	case errors.Is(err, poleres.ErrAllPolesUnstable):

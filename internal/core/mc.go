@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"lcsim/internal/checkpoint"
 	"lcsim/internal/runner"
 	"lcsim/internal/stat"
 	"lcsim/internal/teta"
@@ -97,6 +99,23 @@ type MCConfig struct {
 	// ordered list of engine names; nil selects the default ladder (see
 	// Path.EngineLadder).
 	Ladder []string
+	// Checkpoint, when non-nil, journals the run durably: a
+	// prefix-consistent snapshot (streaming statistics, failure report,
+	// cost counters, and — for KeepSamples runs — the per-sample rows) is
+	// written to Checkpoint.Path on the Every/Interval cadence and once
+	// after the sweep. With Checkpoint.Resume set, a matching snapshot on
+	// disk restores the accumulators and the run re-evaluates only
+	// [snapshot.Next, N); the combined result is bit-identical to an
+	// uninterrupted run at any worker count. A snapshot whose fingerprint
+	// (seed, N, sampler, engine/ladder, policy, source list) differs from
+	// this config refuses to resume with checkpoint.ErrMismatch.
+	Checkpoint *checkpoint.Config
+	// SampleTimeout, when positive, bounds every engine invocation with a
+	// watchdog deadline: an evaluation that has not returned after this
+	// long is abandoned, classified as FailTimeout, and handled by the
+	// OnFailure policy (Degrade retries each ladder rung with a fresh
+	// deadline), so one pathological sample cannot wedge the sweep.
+	SampleTimeout time.Duration
 
 	// Deprecated: UseLHS/UseHalton are the pre-Sampler selection booleans,
 	// honored only when Sampler is SamplerDefault. Use Sampler.
@@ -311,7 +330,8 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 		dists[i] = s.dist()
 	}
 	row := rowGen(cfg, cfg.sampler(), dists)
-	return p.runMonteCarlo(ctx, cfg, row, func(sv []float64) (teta.RunSpec, error) {
+	fp := mcFingerprint("mc", cfg, sourcesHash(cfg.Sources))
+	return p.runMonteCarlo(ctx, cfg, fp, row, func(sv []float64) (teta.RunSpec, error) {
 		return BuildRunSpec(cfg.Sources, sv), nil
 	})
 }
@@ -322,7 +342,7 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 // with its engine ladder, metrics, streaming aggregation and the
 // skip-compaction post-pass. row generates the (already transformed)
 // sample row for an index; spec maps a row to a RunSpec.
-func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) []float64, spec func(sv []float64) (teta.RunSpec, error)) (*MCResult, error) {
+func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fingerprint, row func(i int) []float64, spec func(sv []float64) (teta.RunSpec, error)) (*MCResult, error) {
 	engine, err := p.Engine(cfg.engineName())
 	if err != nil {
 		return nil, err
@@ -333,6 +353,12 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 			return nil, err
 		}
 	}
+	if err := cfg.Checkpoint.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleTimeout < 0 {
+		return nil, fmt.Errorf("core: SampleTimeout must be >= 0, got %v", cfg.SampleTimeout)
+	}
 
 	res := &MCResult{Failures: FailureReport{Policy: cfg.OnFailure}}
 	stream := stat.NewStreamSummary()
@@ -341,8 +367,48 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 		res.Samples = make([][]float64, cfg.N)
 	}
 
-	// Primary per-sample evaluation through the selected engine.
-	evalPrimary := func(_ context.Context, i int, sc any) (mcEval, error) {
+	// Durable journal: restore a matching snapshot's prefix (Resume), and
+	// flush prefix-consistent cuts from the ordered-delivery goroutine.
+	start := 0
+	var ckpt *ckptWriter
+	if ck := cfg.Checkpoint; ck != nil {
+		if ck.Resume {
+			var st mcPayload
+			next, err := resumeSnapshot(ck, fp, &st)
+			if err != nil {
+				return nil, err
+			}
+			if next > 0 {
+				stream.Restore(st.Stream)
+				res.TotalSC = st.TotalSC
+				res.Failures = st.Failures
+				if cfg.KeepSamples {
+					copy(res.Delays, st.Delays)
+					copy(res.Samples, st.Samples)
+				}
+				restoreMetrics(cfg.Metrics, st.Metrics, next)
+				start = next
+			}
+		}
+		ckpt = &ckptWriter{ck: ck, fp: fp, payload: func(next int) any {
+			st := mcPayload{
+				Stream:   stream.State(),
+				TotalSC:  res.TotalSC,
+				Failures: res.Failures,
+				Metrics:  saveMetrics(cfg.Metrics),
+			}
+			if cfg.KeepSamples {
+				st.Delays = res.Delays[:next]
+				st.Samples = res.Samples[:next]
+			}
+			return st
+		}}
+	}
+
+	// Primary per-sample evaluation through the selected engine. The
+	// worker state is a scratchBox so a watchdog timeout can replace the
+	// scratch the abandoned evaluation still owns.
+	evalPrimary := func(ctx context.Context, i int, sc any) (mcEval, error) {
 		sv := row(i)
 		rs, err := spec(sv)
 		if err != nil {
@@ -353,7 +419,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 				return mcEval{}, err
 			}
 		}
-		ev, err := engine.EvalPath(sc, rs)
+		ev, err := engineEvalDeadline(ctx, cfg.SampleTimeout, engine, sc.(*scratchBox), rs, cfg.Metrics)
 		if err != nil {
 			return mcEval{}, err
 		}
@@ -374,7 +440,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
 		}
 	case Degrade:
-		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
+		recoverFn = func(ctx context.Context, i int, _ any, cause error) (mcEval, error) {
 			sv := row(i)
 			rs, serr := spec(sv)
 			if serr != nil {
@@ -383,8 +449,10 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 			// Walk the engine ladder in ascending cost order; the first
 			// rung that evaluates the sample wins. Every rung failing
 			// falls through to a skip carrying the whole cause chain.
+			// Each rung gets a fresh watchdog deadline, so a hung sample
+			// costs at most one SampleTimeout per rung.
 			for _, rung := range ladder {
-				ev, rerr := rung.EvalPath(nil, rs)
+				ev, rerr := rungEvalDeadline(ctx, cfg.SampleTimeout, rung, rs, cfg.Metrics)
 				if rerr != nil {
 					cause = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.Name(), rerr, cause)
 					continue
@@ -403,22 +471,28 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 		}
 	}
 
-	err = runner.MapWorker(ctx, cfg.N,
-		runner.Options{
-			Workers:  cfg.workers(),
-			Metrics:  cfg.Metrics,
-			Progress: cfg.Progress,
-			OnSkip: func(i int, err error) {
-				res.Failures.record(i, err)
-				class := ClassOther
-				var se *SampleError
-				if errors.As(err, &se) {
-					class = se.Class
-				}
-				cfg.Metrics.AddFailure(string(class))
-			},
+	opts := runner.Options{
+		Workers:  cfg.workers(),
+		Metrics:  cfg.Metrics,
+		Progress: cfg.Progress,
+		Start:    start,
+		OnSkip: func(i int, err error) {
+			res.Failures.record(i, err)
+			class := ClassOther
+			var se *SampleError
+			if errors.As(err, &se) {
+				class = se.Class
+			}
+			cfg.Metrics.AddFailure(string(class))
 		},
-		engine.NewScratch,
+	}
+	if ckpt != nil {
+		opts.OnCheckpoint = ckpt.flush
+		opts.CheckpointEvery = cfg.Checkpoint.Every
+		opts.CheckpointInterval = cfg.Checkpoint.Interval
+	}
+	err = runner.MapWorker(ctx, cfg.N, opts,
+		func() any { return &scratchBox{sc: engine.NewScratch()} },
 		runner.WithRecovery(evalPrimary, recoverFn),
 		func(i int, v mcEval) {
 			stream.Add(v.delay)
@@ -433,6 +507,15 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, row func(i int) 
 		})
 	if err != nil {
 		return nil, err
+	}
+	if ckpt != nil {
+		// One unconditional snapshot after the sweep: resuming a completed
+		// run restores the final state and evaluates nothing, which also
+		// makes kill/resume scripts race-free when the kill lands late.
+		ckpt.flush(cfg.N)
+		if ckpt.err != nil {
+			return nil, fmt.Errorf("core: checkpoint write failed: %w", ckpt.err)
+		}
 	}
 	if cfg.KeepSamples {
 		if len(res.Failures.SkippedIndices) > 0 {

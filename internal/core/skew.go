@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
+	"time"
 
+	"lcsim/internal/checkpoint"
 	"lcsim/internal/runner"
 	"lcsim/internal/stat"
 	"lcsim/internal/teta"
@@ -47,6 +50,15 @@ type SkewConfig struct {
 	// list of engine names; nil selects the default ladder (engines both
 	// branches can build, paired by name — see Path.EngineLadder).
 	Ladder []string
+	// Checkpoint, when non-nil, journals the run durably and (with
+	// Checkpoint.Resume) continues a matching snapshot from its prefix
+	// cut; the combined result is bit-identical to an uninterrupted run
+	// at any worker count. See MCConfig.Checkpoint.
+	Checkpoint *checkpoint.Config
+	// SampleTimeout, when positive, bounds each branch-engine invocation
+	// with a watchdog deadline; a timed-out sample classifies as
+	// FailTimeout and follows OnFailure. See MCConfig.SampleTimeout.
+	SampleTimeout time.Duration
 }
 
 // SkewResult holds the Monte-Carlo skew outcome.
@@ -78,6 +90,12 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: skew MC needs n > 0")
+	}
+	if err := cfg.Checkpoint.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleTimeout < 0 {
+		return nil, fmt.Errorf("core: SampleTimeout must be >= 0, got %v", cfg.SampleTimeout)
 	}
 	for _, group := range [][]Source{pp.Shared, pp.IndependentA, pp.IndependentB} {
 		for _, s := range group {
@@ -152,14 +170,40 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		return rsA, rsB
 	}
 
-	// evalOne evaluates both branches at sample i through one engine pair.
-	evalOne := func(i int, ea, eb Engine, sca, scb any) (pairDelay, error) {
+	// branchEval runs one branch engine under the watchdog deadline. scp
+	// points at the worker's per-branch scratch slot (nil for ladder
+	// rungs, which evaluate scratch-free); a timed-out evaluation is
+	// abandoned with the scratch it owns and the slot gets a fresh one.
+	branchEval := func(ctx context.Context, eng Engine, scp *any, rs teta.RunSpec) (*PathEval, error) {
+		if scp == nil {
+			return evalPathDeadline(ctx, cfg.SampleTimeout, eng.Name(), cfg.Metrics, nil,
+				func() (*PathEval, error) { return eng.EvalPath(nil, rs) })
+		}
+		sc := *scp
+		return evalPathDeadline(ctx, cfg.SampleTimeout, eng.Name(), cfg.Metrics,
+			func() { *scp = eng.NewScratch() },
+			func() (*PathEval, error) { return eng.EvalPath(sc, rs) })
+	}
+
+	// Per-worker scratch: one per branch engine, reused across samples.
+	type skewScratch struct{ a, b any }
+	newState := func() *skewScratch {
+		return &skewScratch{a: eA.NewScratch(), b: eB.NewScratch()}
+	}
+
+	// evalOne evaluates both branches at sample i through one engine pair
+	// (sc == nil on the degrade-ladder path).
+	evalOne := func(ctx context.Context, i int, ea, eb Engine, sc *skewScratch) (pairDelay, error) {
 		rsA, rsB := buildSpecs(i)
-		da, err := ea.EvalPath(sca, rsA)
+		var pa, pb *any
+		if sc != nil {
+			pa, pb = &sc.a, &sc.b
+		}
+		da, err := branchEval(ctx, ea, pa, rsA)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch A: %w", err)
 		}
-		db, err := eb.EvalPath(scb, rsB)
+		db, err := branchEval(ctx, eb, pb, rsB)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch B: %w", err)
 		}
@@ -169,17 +213,11 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		return pairDelay{a: da.Delay, b: db.Delay}, nil
 	}
 
-	// Per-worker scratch: one per branch engine, reused across samples.
-	type skewScratch struct{ a, b any }
-	newState := func() skewScratch {
-		return skewScratch{a: eA.NewScratch(), b: eB.NewScratch()}
-	}
-
 	// Per-index failure policy, mirroring runMonteCarlo: recovery depends
 	// only on (index, cause), so skip-sets and results are bit-identical
-	// at any worker count.
-	evalFn := func(_ context.Context, i int, sc skewScratch) (pairDelay, error) {
-		d, err := evalOne(i, eA, eB, sc.a, sc.b)
+	// at any worker count. Each ladder rung gets a fresh watchdog deadline.
+	evalFn := func(ctx context.Context, i int, sc *skewScratch) (pairDelay, error) {
+		d, err := evalOne(ctx, i, eA, eB, sc)
 		if err == nil || cfg.OnFailure == FailFast {
 			if err != nil {
 				err = NewSampleError(i, err)
@@ -188,7 +226,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		}
 		if cfg.OnFailure == Degrade {
 			for _, rung := range ladder {
-				d2, err2 := evalOne(i, rung.a, rung.b, nil, nil)
+				d2, err2 := evalOne(ctx, i, rung.a, rung.b, nil)
 				if err2 != nil {
 					err = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.a.Name(), err2, err)
 					continue
@@ -204,19 +242,66 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	res := &SkewResult{Skews: make([]float64, 0, cfg.N), Failures: FailureReport{Policy: cfg.OnFailure}}
 	as := make([]float64, 0, cfg.N)
 	bs := make([]float64, 0, cfg.N)
-	err = runner.MapWorker(ctx, cfg.N,
-		runner.Options{
-			Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress,
-			OnSkip: func(i int, err error) {
-				res.Failures.record(i, err)
-				class := ClassOther
-				var se *SampleError
-				if errors.As(err, &se) {
-					class = se.Class
-				}
-				cfg.Metrics.AddFailure(string(class))
-			},
+
+	// Durable journal: the payload is the delivered prefix of both branch
+	// arrival lists plus the failure/cost counters (see MCConfig.Checkpoint
+	// for the resume semantics).
+	fp := checkpoint.Fingerprint{
+		Kind:    "skew",
+		Seed:    cfg.Seed,
+		N:       cfg.N,
+		Sampler: SamplerLHS.String(), // skew always samples jointly via LHS
+		Engine:  eA.Name(),
+		Ladder:  strings.Join(cfg.Ladder, ","),
+		Policy:  cfg.OnFailure.String(),
+		Sources: sourcesHash(pp.Shared, pp.IndependentA, pp.IndependentB),
+	}
+	start := 0
+	var ckpt *ckptWriter
+	if ck := cfg.Checkpoint; ck != nil {
+		if ck.Resume {
+			var st skewPayload
+			next, err := resumeSnapshot(ck, fp, &st)
+			if err != nil {
+				return nil, err
+			}
+			if next > 0 {
+				as = append(as, st.A...)
+				bs = append(bs, st.B...)
+				res.Skews = append(res.Skews, st.Skews...)
+				res.Failures = st.Failures
+				restoreMetrics(cfg.Metrics, st.Metrics, next)
+				start = next
+			}
+		}
+		ckpt = &ckptWriter{ck: ck, fp: fp, payload: func(int) any {
+			return skewPayload{
+				A: as, B: bs, Skews: res.Skews,
+				Failures: res.Failures,
+				Metrics:  saveMetrics(cfg.Metrics),
+			}
+		}}
+	}
+
+	opts := runner.Options{
+		Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress,
+		Start: start,
+		OnSkip: func(i int, err error) {
+			res.Failures.record(i, err)
+			class := ClassOther
+			var se *SampleError
+			if errors.As(err, &se) {
+				class = se.Class
+			}
+			cfg.Metrics.AddFailure(string(class))
 		},
+	}
+	if ckpt != nil {
+		opts.OnCheckpoint = ckpt.flush
+		opts.CheckpointEvery = cfg.Checkpoint.Every
+		opts.CheckpointInterval = cfg.Checkpoint.Interval
+	}
+	err = runner.MapWorker(ctx, cfg.N, opts,
 		newState,
 		evalFn,
 		func(_ int, d pairDelay) {
@@ -229,6 +314,12 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		})
 	if err != nil {
 		return nil, err
+	}
+	if ckpt != nil {
+		ckpt.flush(cfg.N)
+		if ckpt.err != nil {
+			return nil, fmt.Errorf("core: checkpoint write failed: %w", ckpt.err)
+		}
 	}
 	res.ArrivalA = stat.Summarize(as)
 	res.ArrivalB = stat.Summarize(bs)

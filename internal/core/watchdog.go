@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lcsim/internal/runner"
+	"lcsim/internal/teta"
+)
+
+// scratchBox is the mutable per-worker holder of an engine scratch. The
+// indirection exists for the watchdog: a timed-out evaluation's goroutine
+// cannot be killed, so it is abandoned together with the scratch it was
+// given, and the box gets a fresh scratch for the worker's next sample —
+// the leaked evaluation can never race a live one.
+type scratchBox struct{ sc any }
+
+// evalPathDeadline runs eval — one synchronous engine invocation — under
+// the per-sample watchdog deadline d (d <= 0 runs eval inline, no
+// watchdog). On timeout the evaluation goroutine is abandoned (abandoned,
+// when non-nil, must replace whatever scratch the goroutine still owns),
+// the timeout metric is counted, and the returned error wraps
+// ErrSampleTimeout — classifying as FailTimeout and flowing through the
+// Skip/Degrade/FailFast policies like any other per-sample failure.
+// Cancellation of ctx also abandons the evaluation, so a hung engine
+// cannot delay a canceled run either.
+func evalPathDeadline(ctx context.Context, d time.Duration, name string, m *runner.Metrics, abandoned func(), eval func() (*PathEval, error)) (*PathEval, error) {
+	if d <= 0 {
+		return eval()
+	}
+	type outcome struct {
+		ev  *PathEval
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: the abandoned goroutine never blocks
+	go func() {
+		ev, err := eval()
+		ch <- outcome{ev, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.ev, o.err
+	case <-ctx.Done():
+		if abandoned != nil {
+			abandoned()
+		}
+		return nil, ctx.Err()
+	case <-timer.C:
+		if abandoned != nil {
+			abandoned()
+		}
+		m.AddTimeout(1)
+		return nil, fmt.Errorf("engine %s: no result after %v: %w", name, d, ErrSampleTimeout)
+	}
+}
+
+// engineEvalDeadline evaluates one path sample through eng with the
+// worker's boxed scratch under the watchdog deadline. The scratch is read
+// out of the box before the evaluation starts; a timeout replaces it with
+// a fresh one.
+func engineEvalDeadline(ctx context.Context, d time.Duration, eng Engine, box *scratchBox, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
+	if d <= 0 {
+		return eng.EvalPath(box.sc, rs)
+	}
+	sc := box.sc
+	return evalPathDeadline(ctx, d, eng.Name(), m,
+		func() { box.sc = eng.NewScratch() },
+		func() (*PathEval, error) { return eng.EvalPath(sc, rs) })
+}
+
+// rungEvalDeadline evaluates one path sample through a degrade-ladder
+// rung under a fresh watchdog deadline. Rungs evaluate scratch-free
+// (recovery is rare; allocating is cheaper than keeping N engines' worth
+// of per-worker scratch alive), so there is nothing to replace on
+// abandonment.
+func rungEvalDeadline(ctx context.Context, d time.Duration, rung Engine, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
+	return evalPathDeadline(ctx, d, rung.Name(), m, nil,
+		func() (*PathEval, error) { return rung.EvalPath(nil, rs) })
+}

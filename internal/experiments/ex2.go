@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lcsim/internal/circuit"
+	"lcsim/internal/core"
 	"lcsim/internal/device"
 	"lcsim/internal/interconnect"
 	"lcsim/internal/runner"
@@ -32,6 +33,10 @@ type Ex2Options struct {
 	// Workers selects evaluation parallelism per the core.MCConfig
 	// convention: 0 = serial, negative = GOMAXPROCS, positive = exact.
 	Workers int
+	// OnFailure picks the per-sample failure policy for the validation
+	// sweeps (FailFast or Skip; the Example-2 evaluators have no
+	// degradation ladder). Zero value = FailFast.
+	OnFailure core.FailurePolicy
 	// Deprecated: Parallel is honored only when Workers is 0
 	// (Parallel ⇒ GOMAXPROCS). Use Workers.
 	Parallel bool

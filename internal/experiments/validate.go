@@ -69,7 +69,12 @@ func Example2Evaluator(o Ex2Options, lengthUm float64, engine string) (func(rs t
 type EngineValidation struct {
 	Engine  string
 	Summary stat.Summary
-	Delays  []float64 // per-sample delays, aligned across engines
+	// Delays holds the per-sample delays, aligned across engines by
+	// sample index. Under the skip policy a skipped sample leaves a NaN
+	// hole, so the alignment survives engines skipping different samples.
+	Delays []float64
+	// Skipped counts this engine's skipped samples (NaN holes in Delays).
+	Skipped int
 	// MeanDeltaPct/StdDeltaPct/MaxAbsDelta compare against the reference
 	// engine (zero for the reference itself): signed mean and σ deviation
 	// in percent, and the largest per-sample |Δdelay| in seconds.
@@ -88,6 +93,11 @@ func ValidateExample2(o Ex2Options, lengthUm float64, engines []string) ([]Engin
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("experiments: validation needs at least one engine")
 	}
+	switch o.OnFailure {
+	case core.FailFast, core.Skip:
+	default:
+		return nil, fmt.Errorf("experiments: validation supports the fail-fast and skip policies, not %s (the Example-2 evaluators have no degradation ladder)", o.OnFailure)
+	}
 	specs := ex2SampleSpecs(o)
 	out := make([]EngineValidation, len(engines))
 	for ei, name := range engines {
@@ -96,24 +106,68 @@ func ValidateExample2(o Ex2Options, lengthUm float64, engines []string) ([]Engin
 			return nil, err
 		}
 		delays := make([]float64, len(specs))
-		err = runner.Map(context.Background(), len(specs),
-			runner.Options{Workers: o.workers()},
-			func(_ context.Context, i int) (float64, error) { return eval(specs[i]) },
-			func(i int, d float64) { delays[i] = d })
+		var skipped int
+		if o.OnFailure == core.Skip {
+			// Pre-fill with NaN: a skipped sample never reaches the sink,
+			// so its hole marks the index as undelivered for this engine.
+			for i := range delays {
+				delays[i] = math.NaN()
+			}
+			err = runner.MapWorker(context.Background(), len(specs),
+				runner.Options{
+					Workers: o.workers(),
+					OnSkip:  func(int, error) { skipped++ },
+				},
+				func() any { return nil },
+				runner.WithRecovery(
+					func(_ context.Context, i int, _ any) (float64, error) { return eval(specs[i]) },
+					func(_ context.Context, i int, _ any, cause error) (float64, error) {
+						return 0, runner.SkipSample(core.NewSampleError(i, cause))
+					}),
+				func(i int, d float64) { delays[i] = d })
+		} else {
+			err = runner.Map(context.Background(), len(specs),
+				runner.Options{Workers: o.workers()},
+				func(_ context.Context, i int) (float64, error) { return eval(specs[i]) },
+				func(i int, d float64) { delays[i] = d })
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: engine %s: %w", name, err)
 		}
-		out[ei] = EngineValidation{Engine: name, Summary: stat.Summarize(delays), Delays: delays}
+		out[ei] = EngineValidation{Engine: name, Summary: summarizeDelivered(delays), Delays: delays, Skipped: skipped}
 	}
-	ref := out[0]
-	for i := 1; i < len(out); i++ {
-		out[i].MeanDeltaPct = 100 * (out[i].Summary.Mean - ref.Summary.Mean) / ref.Summary.Mean
-		out[i].StdDeltaPct = 100 * (out[i].Summary.Std - ref.Summary.Std) / ref.Summary.Std
-		for k, d := range out[i].Delays {
-			if ad := math.Abs(d - ref.Delays[k]); ad > out[i].MaxAbsDelta {
-				out[i].MaxAbsDelta = ad
+	FinishDeltas(out)
+	return out, nil
+}
+
+// summarizeDelivered summarizes the delivered entries of an aligned
+// delay slice, ignoring the NaN holes left by skipped samples.
+func summarizeDelivered(delays []float64) stat.Summary {
+	finite := make([]float64, 0, len(delays))
+	for _, d := range delays {
+		if !math.IsNaN(d) {
+			finite = append(finite, d)
+		}
+	}
+	return stat.Summarize(finite)
+}
+
+// FinishDeltas fills the delta columns of a validation set against its
+// first (reference) column. A per-sample delta exists only where both
+// engines delivered the sample — NaN holes on either side pair with
+// nothing, so skip-policy runs still compare like with like.
+func FinishDeltas(cols []EngineValidation) {
+	ref := cols[0]
+	for i := 1; i < len(cols); i++ {
+		cols[i].MeanDeltaPct = 100 * (cols[i].Summary.Mean - ref.Summary.Mean) / ref.Summary.Mean
+		cols[i].StdDeltaPct = 100 * (cols[i].Summary.Std - ref.Summary.Std) / ref.Summary.Std
+		for k, d := range cols[i].Delays {
+			if math.IsNaN(d) || math.IsNaN(ref.Delays[k]) {
+				continue
+			}
+			if ad := math.Abs(d - ref.Delays[k]); ad > cols[i].MaxAbsDelta {
+				cols[i].MaxAbsDelta = ad
 			}
 		}
 	}
-	return out, nil
 }

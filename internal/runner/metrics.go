@@ -19,6 +19,8 @@ type Metrics struct {
 	stageEvals atomic.Int64
 	skipped    atomic.Int64
 	degraded   atomic.Int64
+	timedOut   atomic.Int64
+	resumed    atomic.Int64
 	failures   sync.Map // failure class (string) → *atomic.Int64
 }
 
@@ -30,6 +32,8 @@ type Snapshot struct {
 	StageEvals   int64 // stage transient evaluations
 	Skipped      int64 // samples excluded from the aggregate by a skip policy
 	Degraded     int64 // samples recovered through a degradation retry
+	TimedOut     int64 // evaluations abandoned at a SampleTimeout deadline
+	Resumed      int64 // samples restored from a checkpoint, not evaluated
 	// Failures maps failure class name → occurrence count (nil when no
 	// failure was ever recorded).
 	Failures map[string]int64
@@ -77,6 +81,23 @@ func (m *Metrics) AddDegraded(n int) {
 	}
 }
 
+// AddTimeout counts evaluations abandoned at a per-sample watchdog
+// deadline (whether the sample was later recovered by a ladder rung or
+// skipped).
+func (m *Metrics) AddTimeout(n int) {
+	if m != nil {
+		m.timedOut.Add(int64(n))
+	}
+}
+
+// AddResumed counts samples whose results were restored from a durable
+// checkpoint instead of being evaluated by this process.
+func (m *Metrics) AddResumed(n int) {
+	if m != nil {
+		m.resumed.Add(int64(n))
+	}
+}
+
 // AddFailure counts one per-sample failure of the named class. Classes
 // are free-form strings (the core layer passes its FailureClass names);
 // each class gets its own atomic counter, created on first use.
@@ -117,6 +138,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		StageEvals:   m.stageEvals.Load(),
 		Skipped:      m.skipped.Load(),
 		Degraded:     m.degraded.Load(),
+		TimedOut:     m.timedOut.Load(),
+		Resumed:      m.resumed.Load(),
 	}
 	m.failures.Range(func(k, v any) bool {
 		if s.Failures == nil {
@@ -126,4 +149,28 @@ func (m *Metrics) Snapshot() Snapshot {
 		return true
 	})
 	return s
+}
+
+// Merge folds a previously captured snapshot into the counters — how a
+// checkpoint-resumed run restores the cost counters its completed prefix
+// accumulated in the killed process. Safe on a nil receiver.
+func (m *Metrics) Merge(s Snapshot) {
+	if m == nil {
+		return
+	}
+	m.samples.Add(s.Samples)
+	m.scIters.Add(s.SCIterations)
+	m.solves.Add(s.LinearSolves)
+	m.stageEvals.Add(s.StageEvals)
+	m.skipped.Add(s.Skipped)
+	m.degraded.Add(s.Degraded)
+	m.timedOut.Add(s.TimedOut)
+	m.resumed.Add(s.Resumed)
+	for class, n := range s.Failures {
+		c, ok := m.failures.Load(class)
+		if !ok {
+			c, _ = m.failures.LoadOrStore(class, new(atomic.Int64))
+		}
+		c.(*atomic.Int64).Add(n)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrSkip is the sentinel recognized by Map/MapWorker for per-sample
@@ -95,6 +96,28 @@ type Options struct {
 	// reports built in OnSkip are bit-identical at any worker count. The
 	// error passed is the full skip error (unwrap for the cause).
 	OnSkip func(i int, err error)
+	// Start is the first index to evaluate: the run covers [Start, n).
+	// A checkpoint-resumed run sets Start to the snapshot's prefix cut and
+	// re-evaluates only the remainder; because every per-index contract
+	// (RNG streams, skip decisions, ordered delivery) is a pure function
+	// of the index, the combined run is bit-identical to an uninterrupted
+	// one. Negative values are treated as 0.
+	Start int
+	// OnCheckpoint, when non-nil, is called from the same single goroutine
+	// that runs sink and OnSkip — the ordered-delivery drain — with the
+	// current prefix cut: every index < next has been delivered (to sink)
+	// or skipped (to OnSkip), and no index >= next has. Anything the sink
+	// accumulated is therefore a prefix-consistent snapshot at that
+	// instant, safe to serialize without locking. Calls follow the
+	// CheckpointEvery / CheckpointInterval cadence, whichever fires first.
+	OnCheckpoint func(next int)
+	// CheckpointEvery is the number of ordered deliveries between
+	// OnCheckpoint calls (default 64).
+	CheckpointEvery int
+	// CheckpointInterval is the wall-clock bound between OnCheckpoint
+	// calls: when it elapses, the next ordered delivery triggers a flush
+	// even if CheckpointEvery has not been reached (default 30s).
+	CheckpointInterval time.Duration
 }
 
 // ResolveWorkers maps the Workers convention (0 = serial, negative =
@@ -132,6 +155,66 @@ func (o Options) progressEvery(n int) int {
 		e = 1
 	}
 	return e
+}
+
+func (o Options) start() int {
+	if o.Start < 0 {
+		return 0
+	}
+	return o.Start
+}
+
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 64
+}
+
+func (o Options) checkpointInterval() time.Duration {
+	if o.CheckpointInterval > 0 {
+		return o.CheckpointInterval
+	}
+	return 30 * time.Second
+}
+
+// ckptCadence tracks the every-K-deliveries / every-T-seconds checkpoint
+// cadence for one drain goroutine (no locking: it is only touched from
+// the ordered-delivery goroutine).
+type ckptCadence struct {
+	fn       func(next int)
+	every    int
+	interval time.Duration
+	since    int       // ordered deliveries since the last flush
+	last     time.Time // wall time of the last flush
+}
+
+func newCkptCadence(o Options) *ckptCadence {
+	if o.OnCheckpoint == nil {
+		return nil
+	}
+	return &ckptCadence{
+		fn:       o.OnCheckpoint,
+		every:    o.checkpointEvery(),
+		interval: o.checkpointInterval(),
+		last:     time.Now(),
+	}
+}
+
+// delivered notes one ordered delivery (value or skip) and flushes the
+// hook when either cadence bound is reached. next is the prefix cut
+// after the delivery.
+func (c *ckptCadence) delivered(next int) {
+	if c == nil {
+		return
+	}
+	c.since++
+	if c.since < c.every && time.Since(c.last) < c.interval {
+		return
+	}
+	c.since = 0
+	c.last = time.Now()
+	c.fn(next)
 }
 
 // result carries one evaluation outcome to the collector.
@@ -180,17 +263,18 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 // depend on its worker's state history (states are caches, not
 // accumulators).
 func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (T, error), sink func(i int, v T)) error {
-	if n <= 0 {
+	start := opts.start()
+	if n <= 0 || start >= n {
 		return nil
 	}
 	workers := ResolveWorkers(opts.Workers)
-	if workers > n {
-		workers = n
+	if workers > n-start {
+		workers = n - start
 	}
 	if workers == 1 {
 		return mapSerial(ctx, n, opts, newState, fn, sink)
 	}
-	chunk := opts.chunkSize(n, workers)
+	chunk := opts.chunkSize(n-start, workers)
 	every := opts.progressEvery(n)
 
 	var (
@@ -198,6 +282,7 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 		minErr atomic.Int64 // lowest index that has errored (n = none)
 		wg     sync.WaitGroup
 	)
+	next.Store(int64(start))
 	minErr.Store(int64(n))
 	results := make(chan result[T], workers*2)
 	for w := 0; w < workers; w++ {
@@ -206,15 +291,15 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 			defer wg.Done()
 			state := newState()
 			for {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
 					return
 				}
-				end := start + chunk
+				end := lo + chunk
 				if end > n {
 					end = n
 				}
-				for i := start; i < end; i++ {
+				for i := lo; i < end; i++ {
 					if ctx.Err() != nil {
 						return
 					}
@@ -240,9 +325,12 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 	// Collector: reorder results to strict index order for sink/OnSkip,
 	// track the lowest-index error and progress. Skipped samples (errors
 	// wrapping ErrSkip) flow through the same ordered drain as values, so
-	// OnSkip observes exclusions in strict index order too.
+	// OnSkip observes exclusions in strict index order too. The checkpoint
+	// cadence also lives here: OnCheckpoint fires between ordered
+	// deliveries, so every flush sees a prefix-consistent cut.
+	ckpt := newCkptCadence(opts)
 	pending := make(map[int]result[T])
-	nextOut := 0
+	nextOut := start
 	done := 0
 	firstErrIdx := n
 	var firstErr error
@@ -271,14 +359,15 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 					sink(p.i, p.v)
 				}
 				nextOut++
+				ckpt.delivered(nextOut)
 			}
 		}
 		if opts.Progress != nil && done%every == 0 {
-			opts.Progress(done, n)
+			opts.Progress(start+done, n)
 		}
 	}
 	if opts.Progress != nil {
-		opts.Progress(done, n)
+		opts.Progress(start+done, n)
 	}
 	if firstErr != nil {
 		return fmt.Errorf("sample %d: %w", firstErrIdx, firstErr)
@@ -293,8 +382,9 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 // one state value for the whole run.
 func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (T, error), sink func(i int, v T)) error {
 	every := opts.progressEvery(n)
+	ckpt := newCkptCadence(opts)
 	state := newState()
-	for i := 0; i < n; i++ {
+	for i := opts.start(); i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("runner: canceled at sample %d: %w", i, err)
 		}
@@ -308,6 +398,7 @@ func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func
 			if opts.OnSkip != nil {
 				opts.OnSkip(i, err)
 			}
+			ckpt.delivered(i + 1)
 			if opts.Progress != nil && ((i+1)%every == 0 || i == n-1) {
 				opts.Progress(i+1, n)
 			}
@@ -317,6 +408,7 @@ func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func
 		if sink != nil {
 			sink(i, v)
 		}
+		ckpt.delivered(i + 1)
 		if opts.Progress != nil && ((i+1)%every == 0 || i == n-1) {
 			opts.Progress(i+1, n)
 		}

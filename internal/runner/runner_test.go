@@ -327,3 +327,141 @@ func TestMapWorkerSerialSingleState(t *testing.T) {
 		t.Fatalf("serial state saw %d calls, want 5", len(seen))
 	}
 }
+
+// TestMapStartOffset checks Options.Start resumes a run mid-range: only
+// [Start, n) is evaluated, delivery stays in strict index order, and the
+// value stream matches the tail of a full run at any worker count.
+func TestMapStartOffset(t *testing.T) {
+	const n, start = 120, 47
+	full := make([]int, 0, n)
+	err := Map(context.Background(), n, Options{},
+		func(_ context.Context, i int) (int, error) { return i * 3, nil },
+		func(_ int, v int) { full = append(full, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 5} {
+		var evaluated atomic.Int64
+		got := make([]int, 0, n-start)
+		idx := make([]int, 0, n-start)
+		err := Map(context.Background(), n, Options{Workers: workers, Start: start},
+			func(_ context.Context, i int) (int, error) {
+				evaluated.Add(1)
+				if i < start {
+					t.Errorf("workers=%d: evaluated index %d below Start=%d", workers, i, start)
+				}
+				return i * 3, nil
+			},
+			func(i, v int) { got = append(got, v); idx = append(idx, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(evaluated.Load()) != n-start {
+			t.Fatalf("workers=%d: evaluated %d samples, want %d", workers, evaluated.Load(), n-start)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(full[start:]) {
+			t.Fatalf("workers=%d: resumed value stream differs from the tail of a full run", workers)
+		}
+		for k, i := range idx {
+			if i != start+k {
+				t.Fatalf("workers=%d: delivery order broken at %d: index %d", workers, k, i)
+			}
+		}
+	}
+	// Start at or past n is a completed run: nothing to do, no error.
+	if err := Map(context.Background(), n, Options{Start: n},
+		func(_ context.Context, i int) (int, error) {
+			t.Error("no sample should be evaluated")
+			return 0, nil
+		}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapOnCheckpointPrefixCut checks the OnCheckpoint hook: every call
+// reports a cut no larger than the number of in-order deliveries the sink
+// has seen, cuts are monotonic, and the every-K cadence fires throughout
+// the run at any worker count.
+func TestMapOnCheckpointPrefixCut(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{0, 4} {
+		delivered := 0
+		var cuts []int
+		err := Map(context.Background(), n,
+			Options{
+				Workers:         workers,
+				CheckpointEvery: 10,
+				OnCheckpoint: func(next int) {
+					// Runs on the same goroutine as the sink: next must equal
+					// the deliveries seen so far (a prefix-consistent cut).
+					if next != delivered {
+						t.Errorf("workers=%d: cut %d but %d deliveries", workers, next, delivered)
+					}
+					cuts = append(cuts, next)
+				},
+			},
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(int, int) { delivered++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cuts) < n/10 {
+			t.Fatalf("workers=%d: only %d checkpoint flushes for %d samples at every=10", workers, len(cuts), n)
+		}
+		for k := 1; k < len(cuts); k++ {
+			if cuts[k] < cuts[k-1] {
+				t.Fatalf("workers=%d: cuts not monotonic: %v", workers, cuts)
+			}
+		}
+	}
+}
+
+// TestMapOnCheckpointCountsSkips checks skipped samples advance the
+// prefix cut too — a checkpoint taken after a skip must not re-evaluate
+// the skipped index on resume.
+func TestMapOnCheckpointCountsSkips(t *testing.T) {
+	const n = 40
+	last := 0
+	err := Map(context.Background(), n,
+		Options{CheckpointEvery: 1, OnCheckpoint: func(next int) { last = next }},
+		func(_ context.Context, i int) (int, error) {
+			if i%3 == 0 {
+				return 0, SkipSample(errors.New("boom"))
+			}
+			return i, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != n {
+		t.Fatalf("final cut %d, want %d (skips must advance the cut)", last, n)
+	}
+}
+
+// TestMetricsMerge checks restoring a checkpointed snapshot folds every
+// counter, including the per-class failure map.
+func TestMetricsMerge(t *testing.T) {
+	var a Metrics
+	a.AddSC(5)
+	a.AddTimeout(2)
+	a.AddResumed(3)
+	a.AddFailure("timeout")
+	a.AddFailure("timeout")
+	a.AddFailure("sc-diverged")
+	var b Metrics
+	b.AddSC(7)
+	b.AddFailure("timeout")
+	b.Merge(a.Snapshot())
+	s := b.Snapshot()
+	if s.SCIterations != 12 || s.TimedOut != 2 || s.Resumed != 3 {
+		t.Fatalf("merged counters wrong: %+v", s)
+	}
+	if s.Failures["timeout"] != 3 || s.Failures["sc-diverged"] != 1 {
+		t.Fatalf("merged failure classes wrong: %v", s.Failures)
+	}
+	// Nil receivers stay safe.
+	var nilM *Metrics
+	nilM.Merge(s)
+	nilM.AddTimeout(1)
+	nilM.AddResumed(1)
+}

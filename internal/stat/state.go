@@ -1,0 +1,119 @@
+package stat
+
+// Checkpoint state round-trips for the streaming accumulators.
+//
+// A crash-safe Monte-Carlo run (internal/checkpoint) periodically
+// serializes its streaming statistics and restores them on resume. The
+// contract is bit-identity: Restore(State()) followed by Add(xs...) must
+// produce exactly the same accumulator — bit for bit — as an accumulator
+// that was never snapshotted. Every field that influences a future Add or
+// a final readout is therefore captured verbatim; nothing is recomputed
+// from summaries. The state types marshal to JSON with encoding/json,
+// whose shortest-round-trip float encoding reproduces every finite
+// float64 exactly.
+
+// WelfordState is the serializable state of a Welford accumulator.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State captures the accumulator for a checkpoint.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// Restore overwrites the accumulator with a captured state.
+func (w *Welford) Restore(s WelfordState) {
+	w.n, w.mean, w.m2, w.min, w.max = s.N, s.Mean, s.M2, s.Min, s.Max
+}
+
+// P2State is the serializable state of a P2Quantile estimator: the five
+// marker heights/positions, the (cumulatively accumulated) desired
+// positions, and the pre-warmup sample buffer for the n < 5 regime. The
+// desired-position increments are a pure function of P and are recomputed
+// on Restore.
+type P2State struct {
+	P    float64    `json:"p"`
+	N    int        `json:"n"`
+	Q    [5]float64 `json:"q"`
+	Pos  [5]float64 `json:"pos"`
+	Want [5]float64 `json:"want"`
+	Init [5]float64 `json:"init"`
+}
+
+// State captures the estimator for a checkpoint.
+func (e *P2Quantile) State() P2State {
+	return P2State{P: e.p, N: e.n, Q: e.q, Pos: e.pos, Want: e.want, Init: e.init}
+}
+
+// Restore overwrites the estimator with a captured state.
+func (e *P2Quantile) Restore(s P2State) {
+	e.p, e.n, e.q, e.pos, e.want, e.init = s.P, s.N, s.Q, s.Pos, s.Want, s.Init
+	e.dn = [5]float64{0, s.P / 2, s.P, (1 + s.P) / 2, 1}
+}
+
+// StreamSummaryState is the serializable state of a StreamSummary: the
+// Welford moments, the three P² quantile estimators and the non-finite
+// rejection counter.
+type StreamSummaryState struct {
+	W        WelfordState `json:"welford"`
+	Med      P2State      `json:"median"`
+	Lo       P2State      `json:"p05"`
+	Hi       P2State      `json:"p95"`
+	Rejected int          `json:"rejected"`
+}
+
+// State captures the summary sink for a checkpoint.
+func (s *StreamSummary) State() StreamSummaryState {
+	return StreamSummaryState{
+		W:        s.w.State(),
+		Med:      s.med.State(),
+		Lo:       s.lo.State(),
+		Hi:       s.hi.State(),
+		Rejected: s.rejected,
+	}
+}
+
+// Restore overwrites the summary sink with a captured state.
+func (s *StreamSummary) Restore(st StreamSummaryState) {
+	s.w.Restore(st.W)
+	if s.med == nil {
+		s.med = NewP2Quantile(st.Med.P)
+	}
+	if s.lo == nil {
+		s.lo = NewP2Quantile(st.Lo.P)
+	}
+	if s.hi == nil {
+		s.hi = NewP2Quantile(st.Hi.P)
+	}
+	s.med.Restore(st.Med)
+	s.lo.Restore(st.Lo)
+	s.hi.Restore(st.Hi)
+	s.rejected = st.Rejected
+}
+
+// HistogramState is the serializable state of a Histogram.
+type HistogramState struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int   `json:"counts"`
+	Total  int     `json:"total"`
+}
+
+// State captures the histogram for a checkpoint.
+func (h *Histogram) State() HistogramState {
+	counts := make([]int, len(h.Counts))
+	copy(counts, h.Counts)
+	return HistogramState{Lo: h.Lo, Hi: h.Hi, Counts: counts, Total: h.Total}
+}
+
+// Restore overwrites the histogram with a captured state.
+func (h *Histogram) Restore(s HistogramState) {
+	h.Lo, h.Hi, h.Total = s.Lo, s.Hi, s.Total
+	h.Counts = make([]int, len(s.Counts))
+	copy(h.Counts, s.Counts)
+}
