@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-json checkpoint-resume fmt
+.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke fmt
 
 # Full CI gate: vet, build, race-enabled tests (full + short modes),
-# paper benchmarks, crash-safety kill/resume gate. Run before every merge
-# (see README "Failure policy" / pre-merge gate).
-check: vet build race race-short bench checkpoint-resume
+# paper benchmarks, crash-safety kill/resume gate, multi-core scaling
+# smoke. Run before every merge (see README "Failure policy" /
+# pre-merge gate).
+check: vet build race race-short bench checkpoint-resume scaling-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,9 +30,11 @@ race-short:
 bench:
 	$(GO) test -run Bench -bench . -benchtime 1x -count=1 .
 
-# Machine-readable Monte-Carlo perf snapshot (ns/sample, allocs/sample,
-# samples/sec at 1 and N workers, plus skipped/degraded/per-class failure
-# counters) for tracking the perf trajectory.
+# Machine-readable Monte-Carlo perf snapshot: the worker scaling curve
+# over {1,2,4,NumCPU} (ns/sample, samples/sec, utilization and
+# channel-wait fraction per point) plus allocs/sample and
+# skipped/degraded/per-class failure counters, for tracking the perf
+# trajectory. See README "The measured scaling curve" for the schema.
 bench-json:
 	$(GO) run ./cmd/lcsim bench -samples 100 -out BENCH_mc.json
 
@@ -40,6 +43,11 @@ bench-json:
 # uninterrupted reference run bit for bit.
 checkpoint-resume:
 	sh scripts/checkpoint_resume.sh
+
+# Multi-core scaling gate: asserts the 4-worker bench row beats the
+# 1-worker row by >= 1.5x; skips itself (exit 0) on hosts with < 4 CPUs.
+scaling-smoke:
+	sh scripts/scaling_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -393,7 +393,7 @@ func BenchmarkGAvsMCPathCost(b *testing.B) {
 	})
 	b.Run("MC20", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := p.MonteCarloCtx(context.Background(), core.MCConfig{N: 20, Seed: 3, Sources: sources}); err != nil {
+			if _, err := p.MonteCarloCtx(context.Background(), core.MCConfig{N: 20, Sources: sources, RunConfig: core.RunConfig{Seed: 3}}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -415,7 +415,8 @@ func BenchmarkMCWorkers(b *testing.B) {
 	sources := core.DeviceSources(device.Tech180, 0.33, 0.33)
 	run := func(b *testing.B, workers int) *core.MCResult {
 		res, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
-			N: 1000, Seed: 3, Sources: sources, Workers: workers,
+			N: 1000, Sources: sources,
+			RunConfig: core.RunConfig{Seed: 3, Workers: workers},
 		})
 		if err != nil {
 			b.Fatal(err)

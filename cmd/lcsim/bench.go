@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"lcsim/internal/checkpoint"
@@ -22,9 +23,17 @@ type benchRow struct {
 	// (a core engine-registry name: teta-fast, teta-exact, ...).
 	Engine          string  `json:"engine"`
 	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch"` // requested batch size (0 = automatic)
 	NsPerSample     float64 `json:"ns_per_sample"`
 	AllocsPerSample float64 `json:"allocs_per_sample"`
 	SamplesPerSec   float64 `json:"samples_per_sec"`
+	// Utilization is BusyNs / (workers × elapsed): the fraction of the
+	// measured wall time workers spent inside sample evaluations.
+	// ChanWaitFrac is SendWaitNs / (workers × elapsed): the fraction lost
+	// blocked handing finished batches to the ordered collector — a high
+	// value means delivery, not evaluation, limits throughput.
+	Utilization  float64 `json:"utilization"`
+	ChanWaitFrac float64 `json:"chan_wait_frac"`
 	// Skipped/Degraded/TimedOut/Failures record the fault-handling counters
 	// of the measured sweep (all zero on a healthy configuration; a non-zero
 	// entry flags that the timing above excludes or degrades part of the
@@ -54,6 +63,12 @@ type benchReport struct {
 	// sweep through an arbitrary registered backend (e.g. spice-golden).
 	EngineRow *benchRow `json:"engine_row,omitempty"`
 
+	// Scaling is the measured worker-scaling curve of the var path:
+	// workers ∈ {1, 2, 4, NumCPU} (deduplicated, ascending), each point
+	// with its utilization and channel-wait fractions so a flattening
+	// curve also shows why it flattened.
+	Scaling []scalingRow `json:"scaling"`
+
 	// SpeedupCharOnce is exact_1w / var_1w: the single-worker gain from
 	// evaluating the characterize-once macromodel instead of re-extracting
 	// poles/residues per sample.
@@ -73,6 +88,14 @@ type benchReport struct {
 	TimedOutSamples int64   `json:"timed_out_samples"`
 }
 
+// scalingRow is one point of the worker-scaling curve: the var-path
+// measurement at that worker count plus its speedup over the curve's
+// 1-worker point.
+type scalingRow struct {
+	benchRow
+	Speedup float64 `json:"speedup"`
+}
+
 // runBench measures per-sample Monte-Carlo evaluation cost on the
 // paper's Example-2 coupled-line stage and writes BENCH_mc.json:
 //
@@ -80,14 +103,13 @@ type benchReport struct {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	samples := fs.Int("samples", 100, "Monte-Carlo samples per measurement")
-	workers := fs.Int("workers", -1, "worker count for the N-worker row (-1 = all cores)")
 	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
 	engine := fs.String("engine", "", "measure an extra single-worker row with this engine (e.g. spice-golden; keep -samples small for slow backends)")
 	out := fs.String("out", "BENCH_mc.json", "output JSON path")
-	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per sample evaluation (0 = none); timed-out samples are skipped and counted")
-	ckptOf := checkpointFlags(fs)
+	minSpeedup := fs.Float64("min-speedup", 0, "exit non-zero unless the 4-worker point of the scaling curve reaches this speedup over 1 worker (0 = no assertion)")
+	sf := registerSweepFlags(fs, sweepOpts{watchdog: true, ckpt: true})
 	fail(fs.Parse(args))
-	ckpt := ckptOf()
+	ckpt := sf.checkpoint()
 	if ckpt != nil && *engine == "" {
 		fail(fmt.Errorf("bench: -checkpoint journals the slow -engine row; pass -engine (e.g. spice-golden)"))
 	}
@@ -107,17 +129,39 @@ func runBench(args []string) {
 		Samples:   *samples,
 		WireUm:    *wire,
 	}
-	rep.Var1W = benchStage(fastSt, specs, 1, core.EngineTetaFast, *sampleTimeout)
-	rep.VarNW = benchStage(fastSt, specs, *workers, core.EngineTetaFast, *sampleTimeout)
-	rep.Exact1W = benchStage(exactSt, specs, 1, core.EngineTetaExact, *sampleTimeout)
+	// Scaling curve first: the var path at workers ∈ {1, 2, 4, NumCPU}
+	// (deduplicated, ascending). The legacy var_1w/var_nw rows reuse curve
+	// points where the worker counts coincide rather than re-measuring.
+	nw := runner.ResolveWorkers(sf.Workers)
+	counts := []int{1, 2, 4, runtime.NumCPU(), nw}
+	sort.Ints(counts)
+	for _, w := range counts {
+		if n := len(rep.Scaling); n > 0 && rep.Scaling[n-1].Workers == w {
+			continue
+		}
+		row := benchStage(fastSt, specs, w, sf.Batch, core.EngineTetaFast, sf.SampleTimeout)
+		sr := scalingRow{benchRow: row, Speedup: 1}
+		if len(rep.Scaling) > 0 {
+			sr.Speedup = rep.Scaling[0].NsPerSample / row.NsPerSample
+		}
+		rep.Scaling = append(rep.Scaling, sr)
+	}
+	rep.Var1W = rep.Scaling[0].benchRow
+	for _, r := range rep.Scaling {
+		if r.Workers == nw {
+			rep.VarNW = r.benchRow
+		}
+		rep.TimedOutSamples += r.TimedOut
+	}
+	rep.Exact1W = benchStage(exactSt, specs, 1, sf.Batch, core.EngineTetaExact, sf.SampleTimeout)
 	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
 	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
 	if *engine != "" {
-		row, resumed := benchEngine(o, *wire, *engine, specs, *sampleTimeout, ckpt)
+		row, resumed := benchEngine(o, *wire, *engine, specs, sf.SampleTimeout, ckpt)
 		rep.EngineRow = &row
 		rep.ResumedSamples = resumed
 	}
-	rep.TimedOutSamples = rep.Var1W.TimedOut + rep.VarNW.TimedOut + rep.Exact1W.TimedOut
+	rep.TimedOutSamples += rep.Exact1W.TimedOut
 	if rep.EngineRow != nil {
 		rep.TimedOutSamples += rep.EngineRow.TimedOut
 	}
@@ -130,7 +174,7 @@ func runBench(args []string) {
 	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
 		rep.Var1W.NsPerSample, rep.Var1W.AllocsPerSample, rep.Var1W.SamplesPerSec)
 	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (%d workers)\n",
-		rep.VarNW.NsPerSample, rep.VarNW.AllocsPerSample, rep.VarNW.SamplesPerSec, runner.ResolveWorkers(*workers))
+		rep.VarNW.NsPerSample, rep.VarNW.AllocsPerSample, rep.VarNW.SamplesPerSec, nw)
 	fmt.Printf("exact path : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
 		rep.Exact1W.NsPerSample, rep.Exact1W.AllocsPerSample, rep.Exact1W.SamplesPerSec)
 	if rep.EngineRow != nil {
@@ -139,7 +183,24 @@ func runBench(args []string) {
 	}
 	fmt.Printf("speedup    : %.2fx characterize-once (1 worker), %.2fx parallel\n",
 		rep.SpeedupCharOnce, rep.SpeedupParallel)
+	fmt.Println("scaling    :")
+	for _, r := range rep.Scaling {
+		fmt.Printf("  %3d workers: %8.0f ns/sample, %5.2fx speedup, %3.0f%% busy, %3.0f%% chan-wait\n",
+			r.Workers, r.NsPerSample, r.Speedup, r.Utilization*100, r.ChanWaitFrac*100)
+	}
 	fmt.Printf("wrote %s\n", *out)
+	if *minSpeedup > 0 {
+		got := 0.0
+		for _, r := range rep.Scaling {
+			if r.Workers == 4 {
+				got = r.Speedup
+			}
+		}
+		if got < *minSpeedup {
+			fail(fmt.Errorf("bench: 4-worker speedup %.2fx is below the -min-speedup floor %.2fx (gomaxprocs %d)",
+				got, *minSpeedup, rep.GoMaxProc))
+		}
+	}
 }
 
 // evalDeadline bounds one synchronous benchmark evaluation by the
@@ -174,10 +235,11 @@ func evalDeadline(d time.Duration, m *runner.Metrics, abandoned func(), eval fun
 type benchBox struct{ sc *teta.Scratch }
 
 // benchStage times one MC-style sweep over the sample specs with the
-// given worker count, reporting per-sample wall time and allocations.
-// engineName labels the row (the backend the teta.Stage was built for);
-// deadline, when positive, bounds each sample evaluation.
-func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName string, deadline time.Duration) benchRow {
+// given worker count and dispatch batch size, reporting per-sample wall
+// time, allocations and the worker-utilization split. engineName labels
+// the row (the backend the teta.Stage was built for); deadline, when
+// positive, bounds each sample evaluation.
+func benchStage(st *teta.Stage, specs []teta.RunSpec, workers, batch int, engineName string, deadline time.Duration) benchRow {
 	// The sweep skips failing samples (instead of aborting the whole
 	// benchmark) and records them in the row's fault counters, so a partly
 	// sick configuration still produces a measurement — visibly flagged.
@@ -189,7 +251,7 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName st
 		t0 := time.Now()
 		err := runner.MapWorker(context.Background(), len(specs),
 			runner.Options{
-				Workers: workers, Metrics: metrics,
+				Workers: workers, BatchSize: batch, Metrics: metrics,
 				OnSkip: func(_ int, err error) {
 					metrics.AddFailure(string(core.ClassifyFailure(err)))
 				},
@@ -222,12 +284,17 @@ func benchStage(st *teta.Stage, specs []teta.RunSpec, workers int, engineName st
 	runtime.ReadMemStats(&m1)
 	n := float64(len(specs))
 	snap := metrics.Snapshot()
+	w := runner.ResolveWorkers(workers)
+	capacity := float64(w) * float64(el.Nanoseconds())
 	return benchRow{
 		Engine:          engineName,
-		Workers:         runner.ResolveWorkers(workers),
+		Workers:         w,
+		Batch:           batch,
 		NsPerSample:     float64(el.Nanoseconds()) / n,
 		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
 		SamplesPerSec:   n / el.Seconds(),
+		Utilization:     float64(snap.BusyNs) / capacity,
+		ChanWaitFrac:    float64(snap.SendWaitNs) / capacity,
 		Skipped:         snap.Skipped,
 		Degraded:        snap.Degraded,
 		TimedOut:        snap.TimedOut,

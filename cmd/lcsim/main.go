@@ -367,23 +367,15 @@ func runPath(args []string) {
 	stdVT := fs.Float64("std-vt", 0.33, "threshold variation (fraction of 3σ class)")
 	wires := fs.Bool("wires", false, "include wire-parameter variations")
 	seed := fs.Int64("seed", 1, "sampling seed")
-	workers := fs.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
-	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
-	progress := fs.Bool("progress", false, "report MC progress on stderr")
-	samplerName := fs.String("sampler", "lhs", "sampling plan: lhs, halton or pseudo")
-	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
-	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
-	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per sample evaluation (0 = none)")
-	ckptOf := checkpointFlags(fs)
+	sf := registerSweepFlags(fs, sweepOpts{
+		sampler: true, engine: true, policy: true,
+		run: true, watchdog: true, ckpt: true,
+	})
 	fail(fs.Parse(args))
 	if *cells == "" {
 		fail(fmt.Errorf("path needs -cells"))
 	}
-	ckpt := ckptOf()
-	sampler, err := core.ParseSampler(*samplerName)
-	fail(err)
-	onFailure, err := core.ParseFailurePolicy(*onFailureName)
-	fail(err)
+	sampler := sf.samplerPlan()
 	var names []string
 	for _, c := range strings.Split(*cells, ",") {
 		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
@@ -407,19 +399,19 @@ func runPath(args []string) {
 	// Resolve the engine up front: a bad -engine fails before any
 	// analysis, and the nominal evaluation runs on the same backend as
 	// the statistical drivers below.
-	eng, err := p.Engine(*engine)
+	eng, err := p.Engine(sf.Engine)
 	fail(err)
 	nom, err := eng.EvalPath(nil, teta.RunSpec{})
 	fail(err)
 	fmt.Printf("path: %d stages (%s engine), nominal delay %.2f ps, final slew %.2f ps\n",
 		len(names), eng.Name(), nom.Delay*1e12, nom.FinalSlew*1e12)
-	ctx, cancel := runCtx(*timeout)
+	ctx, cancel := runCtx(sf.Timeout)
 	defer cancel()
 	metrics := &runner.Metrics{}
 	var gaRes *core.GAResult
 	var mcRes *core.MCResult
 	if *ga || *budget != "" || *worst {
-		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics, Engine: *engine})
+		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics, Engine: sf.Engine})
 		fail(err)
 		fmt.Printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
 			gaRes.Mean*1e12, gaRes.Std*1e12, gaRes.Simulations)
@@ -429,11 +421,9 @@ func runPath(args []string) {
 	}
 	if *mcN > 0 {
 		mcRes, err = p.MonteCarloCtx(ctx, core.MCConfig{
-			N: *mcN, Seed: *seed, Sources: sources,
-			Sampler: sampler, Workers: *workers, KeepSamples: true,
-			Metrics: metrics, Progress: progressFn(*progress, "mc"),
-			OnFailure: onFailure, Engine: *engine,
-			Checkpoint: ckpt, SampleTimeout: *sampleTimeout,
+			N: *mcN, Sources: sources,
+			Sampler: sampler, KeepSamples: true,
+			RunConfig: sf.runConfig(*seed, "mc", metrics),
 		})
 		fail(err)
 		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
@@ -444,7 +434,7 @@ func runPath(args []string) {
 		printFailures(&mcRes.Failures)
 	}
 	if *worst {
-		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: *engine})
+		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: sf.Engine})
 		fail(err)
 		fmt.Printf("worst: slow corner %.2f ps (+%.2f ps vs nominal) at", wc.Delay*1e12, (wc.Delay-wc.Nominal)*1e12)
 		for _, s := range sources {
@@ -484,17 +474,11 @@ func runSkew(args []string) {
 	wireB := fs.Float64("wire-b", 100, "per-stage wire length on branch B, um")
 	mcN := fs.Int("mc", 60, "Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "sampling seed")
-	workers := fs.Int("workers", -1, "MC evaluation workers (0 = serial, -1 = all cores)")
-	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
-	progress := fs.Bool("progress", false, "report MC progress on stderr")
-	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
-	engine := fs.String("engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
-	sampleTimeout := fs.Duration("sample-timeout", 0, "watchdog deadline per branch evaluation (0 = none)")
-	ckptOf := checkpointFlags(fs)
+	sf := registerSweepFlags(fs, sweepOpts{
+		engine: true, policy: true,
+		run: true, watchdog: true, ckpt: true,
+	})
 	fail(fs.Parse(args))
-	ckpt := ckptOf()
-	onFailure, err := core.ParseFailurePolicy(*onFailureName)
-	fail(err)
 	build := func(stages int, wireUm float64) *core.Path {
 		cells := make([]string, stages)
 		for i := range cells {
@@ -515,14 +499,12 @@ func runSkew(args []string) {
 		IndependentA: core.DeviceSources(device.Tech180, 0.33, 0.33),
 		IndependentB: core.DeviceSources(device.Tech180, 0.33, 0.33),
 	}
-	ctx, cancel := runCtx(*timeout)
+	ctx, cancel := runCtx(sf.Timeout)
 	defer cancel()
 	metrics := &runner.Metrics{}
 	res, err := pair.MonteCarloSkewCtx(ctx, core.SkewConfig{
-		N: *mcN, Seed: *seed, Workers: *workers,
-		Metrics: metrics, Progress: progressFn(*progress, "skew"),
-		OnFailure: onFailure, Engine: *engine,
-		Checkpoint: ckpt, SampleTimeout: *sampleTimeout,
+		N:         *mcN,
+		RunConfig: sf.runConfig(*seed, "skew", metrics),
 	})
 	fail(err)
 	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)

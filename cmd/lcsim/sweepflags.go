@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"lcsim/internal/checkpoint"
+	"lcsim/internal/core"
+	"lcsim/internal/runner"
+)
+
+// sweepOpts selects which optional members of the shared sweep flag
+// block a subcommand registers; the -workers/-batch pair is always
+// included. validate keeps engine off (it has its own -engines list)
+// and bench keeps run/policy off (it measures, it does not analyze).
+type sweepOpts struct {
+	sampler  bool // -sampler: the MC plan choice
+	engine   bool // -engine: single-backend sweeps
+	policy   bool // -on-failure
+	run      bool // -timeout and -progress
+	watchdog bool // -sample-timeout
+	ckpt     bool // -checkpoint / -checkpoint-every / -resume
+}
+
+// sweepFlags is the execution-policy flag block shared by the
+// statistical subcommands (path, skew, bench, validate). Every knob of
+// core.RunConfig registers here exactly once, so a new knob — like
+// -batch — lands in all sweeps at the same time instead of being
+// copy-pasted per subcommand.
+type sweepFlags struct {
+	Workers       int
+	Batch         int
+	Timeout       time.Duration
+	Progress      bool
+	SamplerName   string
+	Engine        string
+	OnFailureName string
+	SampleTimeout time.Duration
+
+	ckptOf func() *checkpoint.Config
+}
+
+// registerSweepFlags registers the shared sweep flags selected by opts
+// on fs. Read the resolved values (and call the resolver methods) only
+// after fs.Parse.
+func registerSweepFlags(fs *flag.FlagSet, opts sweepOpts) *sweepFlags {
+	sf := &sweepFlags{OnFailureName: "fail-fast", SamplerName: "lhs"}
+	fs.IntVar(&sf.Workers, "workers", -1, "evaluation workers (0 = serial, -1 = all cores)")
+	fs.IntVar(&sf.Batch, "batch", 0, "samples per worker dispatch batch (0 = automatic; results are identical at any batch size)")
+	if opts.run {
+		fs.DurationVar(&sf.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
+		fs.BoolVar(&sf.Progress, "progress", false, "report sweep progress on stderr")
+	}
+	if opts.sampler {
+		fs.StringVar(&sf.SamplerName, "sampler", "lhs", "sampling plan: lhs, halton or pseudo")
+	}
+	if opts.policy {
+		fs.StringVar(&sf.OnFailureName, "on-failure", "fail-fast", "per-sample failure policy: fail-fast, skip or degrade")
+	}
+	if opts.engine {
+		fs.StringVar(&sf.Engine, "engine", "", "stage-evaluation engine (teta-fast, teta-exact, teta-direct, spice-golden; default teta-fast)")
+	}
+	if opts.watchdog {
+		fs.DurationVar(&sf.SampleTimeout, "sample-timeout", 0, "watchdog deadline per sample evaluation (0 = none)")
+	}
+	if opts.ckpt {
+		sf.ckptOf = checkpointFlags(fs)
+	} else {
+		sf.ckptOf = func() *checkpoint.Config { return nil }
+	}
+	return sf
+}
+
+// policy resolves -on-failure (exits on an unknown name).
+func (sf *sweepFlags) policy() core.FailurePolicy {
+	p, err := core.ParseFailurePolicy(sf.OnFailureName)
+	fail(err)
+	return p
+}
+
+// samplerPlan resolves -sampler (exits on an unknown name).
+func (sf *sweepFlags) samplerPlan() core.Sampler {
+	s, err := core.ParseSampler(sf.SamplerName)
+	fail(err)
+	return s
+}
+
+// checkpoint resolves the -checkpoint flag family (nil = journaling off).
+func (sf *sweepFlags) checkpoint() *checkpoint.Config {
+	return sf.ckptOf()
+}
+
+// runConfig assembles the parsed flags into the shared execution-policy
+// block of MCConfig/SkewConfig. label names the sweep in -progress
+// output.
+func (sf *sweepFlags) runConfig(seed int64, label string, metrics *runner.Metrics) core.RunConfig {
+	return core.RunConfig{
+		Seed:          seed,
+		Workers:       sf.Workers,
+		BatchSize:     sf.Batch,
+		Metrics:       metrics,
+		Progress:      progressFn(sf.Progress, label),
+		OnFailure:     sf.policy(),
+		Engine:        sf.Engine,
+		Checkpoint:    sf.checkpoint(),
+		SampleTimeout: sf.SampleTimeout,
+	}
+}

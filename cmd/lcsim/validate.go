@@ -32,11 +32,9 @@ func runValidate(args []string) {
 	elems := fs.Int("elems", 10, "linear elements between chain stages (-cells mode)")
 	drive := fs.Float64("drive", 2, "cell drive strength (-cells mode)")
 	seed := fs.Int64("seed", 1, "sampling seed")
-	workers := fs.Int("workers", -1, "evaluation workers (0 = serial, -1 = all cores)")
-	onFailureName := fs.String("on-failure", "fail-fast", "per-sample failure policy: fail-fast or skip (-cells mode also accepts degrade)")
+	sf := registerSweepFlags(fs, sweepOpts{policy: true})
 	fail(fs.Parse(args))
-	onFailure, err := core.ParseFailurePolicy(*onFailureName)
-	fail(err)
+	onFailure := sf.policy()
 	var engines []string
 	for _, e := range strings.Split(*enginesFlag, ",") {
 		if e = strings.TrimSpace(e); e != "" {
@@ -48,13 +46,16 @@ func runValidate(args []string) {
 	}
 	var cols []experiments.EngineValidation
 	if *cells == "" {
-		o := experiments.Ex2Options{Samples: *samples, Seed: *seed, Workers: *workers, OnFailure: onFailure}
+		o := experiments.Ex2Options{
+			Samples: *samples, Seed: *seed,
+			Workers: sf.Workers, BatchSize: sf.Batch, OnFailure: onFailure,
+		}
 		res, err := experiments.ValidateExample2(o, *wire, engines)
 		fail(err)
 		cols = res
 		fmt.Printf("validate: example-2 coupled stage, %g um, %d samples\n", *wire, *samples)
 	} else {
-		cols = validateChain(*cells, *elems, *wire, *drive, *samples, *seed, *workers, onFailure, engines)
+		cols = validateChain(*cells, *elems, *wire, *drive, *samples, engines, sf.runConfig(*seed, "", nil))
 		fmt.Printf("validate: chain %s, %g um wires, %d samples\n", *cells, *wire, *samples)
 	}
 	fmt.Printf("%-14s %-11s %-10s %-9s %-9s %s\n", "engine", "mean(ps)", "sigma(ps)", "dmean%", "dsigma%", "max|d|(ps)")
@@ -78,12 +79,13 @@ func runValidate(args []string) {
 
 // validateChain runs the same Monte-Carlo sample set through each named
 // engine on a BuildChain path and folds the results into the shared
-// validation-column shape. The MC configuration (seed, sampler, worker
-// count, failure policy) is identical per engine, so per-sample delays
-// align; under the skip policy each engine's compacted delay list is
-// re-expanded to its original indices with NaN holes first, because
-// different engines may skip different samples.
-func validateChain(cells string, elems int, wireUm, drive float64, n int, seed int64, workers int, onFailure core.FailurePolicy, engines []string) []experiments.EngineValidation {
+// validation-column shape. The execution policy rc (seed, worker count,
+// batch size, failure policy) is identical per engine — only the Engine
+// name changes — so per-sample delays align; under the skip policy each
+// engine's compacted delay list is re-expanded to its original indices
+// with NaN holes first, because different engines may skip different
+// samples.
+func validateChain(cells string, elems int, wireUm, drive float64, n int, engines []string, rc core.RunConfig) []experiments.EngineValidation {
 	var names []string
 	for _, c := range strings.Split(cells, ",") {
 		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
@@ -98,10 +100,11 @@ func validateChain(cells string, elems int, wireUm, drive float64, n int, seed i
 	sources := append(core.DeviceSources(device.Tech180, 0.33, 0.33), core.WireSources(0.33)...)
 	cols := make([]experiments.EngineValidation, len(engines))
 	for ei, name := range engines {
+		erc := rc
+		erc.Engine = name
 		mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
-			N: n, Seed: seed, Sources: sources,
-			Workers: workers, KeepSamples: true, Engine: name,
-			OnFailure: onFailure,
+			N: n, Sources: sources, KeepSamples: true,
+			RunConfig: erc,
 		})
 		fail(err)
 		cols[ei] = experiments.EngineValidation{

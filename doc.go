@@ -10,23 +10,41 @@
 // inventory) and is exercised by the cmd/ report tools and the runnable
 // examples/ programs.
 //
-// # Context-first API convention
+// # Context-first API and the shared RunConfig
 //
-// Long-running entry points come in pairs: a context-first form that is
-// the real implementation, and a legacy form kept as a deprecated alias
-// that delegates to context.Background():
+// Every long-running entry point is context-first — there is exactly one
+// form of each driver, and it takes a context:
 //
-//	core.Path.MonteCarloCtx(ctx, cfg)      / core.Path.MonteCarlo(cfg)
-//	core.PathPair.MonteCarloSkewCtx(...)   / core.PathPair.MonteCarloSkew(...)
-//	core.Path.MonteCarloCorrelatedCtx(...) / core.Path.MonteCarloCorrelated(...)
-//	stat.MapSamplesCtx(...)                / stat.MapSamples(...)
+//	core.Path.MonteCarloCtx(ctx, cfg)
+//	core.Path.MonteCarloCorrelatedCtx(ctx, cfg)
+//	core.PathPair.MonteCarloSkewCtx(ctx, cfg)
+//	stat.MapSamplesCtx(ctx, ...)
 //
-// The Ctx forms honor cancellation and deadlines: a canceled context
-// aborts the run promptly and returns ctx.Err() wrapped with the sample
-// index reached (errors.Is against context.Canceled/DeadlineExceeded
-// works). They run on the internal/runner worker pool: Workers = 0 means
-// serial, negative means GOMAXPROCS, positive is an exact count — and at
-// a fixed seed the results are bit-identical at any worker count.
+// (The historical non-Ctx aliases, the boolean sampler toggles
+// MCConfig.UseLHS/UseHalton, and the Parallel/Direct switches have been
+// removed; use Sampler, Workers and Engine instead.)
+//
+// A canceled context aborts the run promptly and returns ctx.Err()
+// wrapped with the sample index reached (errors.Is against
+// context.Canceled/DeadlineExceeded works).
+//
+// Everything that describes how a statistical run executes — as opposed
+// to what it computes — lives in one embedded struct, core.RunConfig,
+// shared by MCConfig and SkewConfig: Seed, Workers, BatchSize, Engine,
+// Ladder, OnFailure, SampleTimeout, Checkpoint, Metrics, Progress. Field
+// promotion keeps call sites flat (cfg.Seed, cfg.Workers), and a policy
+// configured once can be reused across drivers verbatim.
+//
+// Runs execute on the internal/runner worker pool: Workers = 0 means
+// serial, negative means GOMAXPROCS, positive is an exact count.
+// BatchSize groups that many samples per dispatch to cut channel
+// round-trips on fast kernels (0 picks a sensible default). Both are
+// pure throughput knobs: at a fixed seed the per-sample results, the
+// aggregate statistics, the skip-set and the FailureReport are
+// bit-identical at any (Workers, BatchSize) combination. Aggregation
+// uses exact compensated accumulators (stat.ExactSum) sharded per
+// worker and merged deterministically, so even the floating-point bits
+// of mean and sigma are partition-invariant.
 //
 // # Per-sample failure taxonomy
 //

@@ -60,7 +60,7 @@ func main() {
 		IndependentB: core.DeviceSources(tech, 0.33, 0.33),
 	}
 	res, err := pair.MonteCarloSkewCtx(context.Background(), core.SkewConfig{
-		N: 60, Seed: 2026, Workers: -1,
+		N: 60, RunConfig: core.RunConfig{Seed: 2026, Workers: -1},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -57,9 +57,9 @@ func main() {
 	// and the result is bit-identical to a serial run at the same seed.
 	metrics := &runner.Metrics{}
 	mc, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
-		N: 80, Seed: 11, Sources: sources,
-		Sampler: core.SamplerLHS, Workers: -1, KeepSamples: true,
-		Metrics: metrics,
+		N: 80, Sources: sources,
+		Sampler: core.SamplerLHS, KeepSamples: true,
+		RunConfig: core.RunConfig{Seed: 11, Workers: -1, Metrics: metrics},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,7 +79,8 @@ func main() {
 	// replace the per-sample arrays, so N can scale to millions. The
 	// streamed mean/σ match the materialized ones to ~1e-9 relative.
 	stream, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
-		N: 80, Seed: 11, Sources: sources, Sampler: core.SamplerLHS, Workers: -1,
+		N: 80, Sources: sources, Sampler: core.SamplerLHS,
+		RunConfig: core.RunConfig{Seed: 11, Workers: -1},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,8 +94,8 @@ func main() {
 	// transistor-level Newton transient per sample).
 	fmt.Printf("engines: %v\n", core.EngineNames())
 	exact, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
-		N: 20, Seed: 11, Sources: sources, Sampler: core.SamplerLHS, Workers: -1,
-		Engine: core.EngineTetaExact,
+		N: 20, Sources: sources, Sampler: core.SamplerLHS,
+		RunConfig: core.RunConfig{Seed: 11, Workers: -1, Engine: core.EngineTetaExact},
 	})
 	if err != nil {
 		log.Fatal(err)

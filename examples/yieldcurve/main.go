@@ -39,7 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 	mc, err := path.MonteCarloCtx(context.Background(), core.MCConfig{
-		N: 100, Seed: 7, Sources: sources, Workers: -1, KeepSamples: true,
+		N: 100, Sources: sources, KeepSamples: true,
+		RunConfig: core.RunConfig{Seed: 7, Workers: -1},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lcsim/internal/checkpoint"
+	"lcsim/internal/teta"
+)
+
+// batchMatrixCfg is the shared run of the worker×batch matrix: a skip
+// policy with injected faults, so the invariance claim covers the
+// skip-set and the failure report, not just the happy path.
+func batchMatrixCfg(p *Path, workers, batch int) MCConfig {
+	return MCConfig{
+		N: 40, Sources: DeviceSources(p.Tech, 0.33, 0.33), KeepSamples: true,
+		RunConfig: RunConfig{Seed: 17, Workers: workers, BatchSize: batch, OnFailure: Skip},
+		injectFault: func(i int) error {
+			if i%11 == 5 {
+				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
+			}
+			return nil
+		},
+	}
+}
+
+// TestMonteCarloWorkerBatchMatrix is the batched-dispatch acceptance
+// matrix: every (workers, batch) combination delivers bit-identical
+// delays, summary, skip-set and failure report — batching is a pure
+// throughput knob, invisible in the results.
+func TestMonteCarloWorkerBatchMatrix(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 6, false)
+	ref, err := p.MonteCarloCtx(context.Background(), batchMatrixCfg(p, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Failures.Skipped == 0 {
+		t.Fatal("matrix run must exercise the skip path")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 8, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				got, err := p.MonteCarloCtx(context.Background(), batchMatrixCfg(p, workers, batch))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Delays) != len(ref.Delays) {
+					t.Fatalf("%d delays, want %d", len(got.Delays), len(ref.Delays))
+				}
+				for i := range ref.Delays {
+					if math.Float64bits(got.Delays[i]) != math.Float64bits(ref.Delays[i]) {
+						t.Fatalf("delay %d differs: %g vs %g", i, got.Delays[i], ref.Delays[i])
+					}
+				}
+				if got.Summary != ref.Summary {
+					t.Fatalf("summary differs:\n got %+v\nwant %+v", got.Summary, ref.Summary)
+				}
+				if !reflect.DeepEqual(got.Failures, ref.Failures) {
+					t.Fatalf("failure report differs:\n got %+v\nwant %+v", got.Failures, ref.Failures)
+				}
+			})
+		}
+	}
+}
+
+// TestMonteCarloShardedMatchesCheckpointedStream pins the two summary
+// paths to each other: a checkpointed run feeds the stream in delivery
+// order (no sharding), a plain run merges per-worker moment shards —
+// the exact accumulators make both bit-identical.
+func TestMonteCarloShardedMatchesCheckpointedStream(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 6, false)
+	sharded, err := p.MonteCarloCtx(context.Background(), batchMatrixCfg(p, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := batchMatrixCfg(p, 4, 8)
+	cfg.Checkpoint = &checkpoint.Config{Path: filepath.Join(t.TempDir(), "mc.ckpt"), Every: 7}
+	ordered, err := p.MonteCarloCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSummaryBits(sharded.Summary, ordered.Summary) {
+		t.Fatalf("sharded summary differs from ordered-stream summary:\n got %+v\nwant %+v",
+			sharded.Summary, ordered.Summary)
+	}
+}
+
+// TestMCCheckpointResumeAcrossBatchSizes checks the prefix-consistency
+// invariant survives batching: a run interrupted at one batch size and
+// resumed at another still finishes bit-identical to an uninterrupted
+// run (the journal cut is a delivered prefix regardless of batch shape).
+func TestMCCheckpointResumeAcrossBatchSizes(t *testing.T) {
+	p := quickChain(t, []string{"INV", "INV"}, 6, false)
+	ref, err := p.MonteCarloCtx(context.Background(), batchMatrixCfg(p, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mc.ckpt")
+	interruptedRun(t, p, batchMatrixCfg(p, 4, 4), path, 15)
+
+	cfg := batchMatrixCfg(p, 2, 16) // resume at a different worker count AND batch size
+	cfg.Checkpoint = &checkpoint.Config{Path: path, Every: 5, Resume: true}
+	got, err := p.MonteCarloCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSummaryBits(got.Summary, ref.Summary) {
+		t.Fatalf("resume across batch sizes diverged:\n got %+v\nwant %+v", got.Summary, ref.Summary)
+	}
+	if !reflect.DeepEqual(got.Failures, ref.Failures) {
+		t.Fatalf("failure report differs after batched resume:\n got %+v\nwant %+v", got.Failures, ref.Failures)
+	}
+	for i := range ref.Delays {
+		if math.Float64bits(got.Delays[i]) != math.Float64bits(ref.Delays[i]) {
+			t.Fatalf("delay %d differs after batched resume", i)
+		}
+	}
+}
+
+// TestSkewWorkerBatchInvariance extends the matrix to the skew kernel:
+// paired-branch results are batch-size independent too.
+func TestSkewWorkerBatchInvariance(t *testing.T) {
+	a := quickChain(t, []string{"BUF"}, 8, true)
+	b := quickChain(t, []string{"BUF"}, 8, true)
+	pp := &PathPair{
+		A: a, B: b,
+		Shared:       UniformWireSources(),
+		IndependentA: DeviceSources(a.Tech, 0.33, 0),
+		IndependentB: DeviceSources(b.Tech, 0.33, 0),
+	}
+	run := func(workers, batch int) *SkewResult {
+		res, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{
+			N: 12, RunConfig: RunConfig{Seed: 6, Workers: workers, BatchSize: batch},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(0, 0)
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{1, 5} {
+			got := run(workers, batch)
+			if !reflect.DeepEqual(got.Skews, ref.Skews) {
+				t.Fatalf("workers=%d batch=%d: skews differ", workers, batch)
+			}
+			if got.Skew != ref.Skew {
+				t.Fatalf("workers=%d batch=%d: skew summary differs", workers, batch)
+			}
+		}
+	}
+}

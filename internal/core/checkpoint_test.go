@@ -31,8 +31,9 @@ func sameSummaryBits(a, b stat.Summary) bool {
 // to carry the failure report and skip-set across the kill.
 func mcCheckpointCfg(p *Path, workers int, keep bool) MCConfig {
 	return MCConfig{
-		N: 40, Seed: 11, Sources: DeviceSources(p.Tech, 0.33, 0.33),
-		Workers: workers, KeepSamples: keep, OnFailure: Skip,
+		N: 40, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		KeepSamples: keep,
+		RunConfig:   RunConfig{Seed: 11, Workers: workers, OnFailure: Skip},
 		injectFault: func(i int) error {
 			if i%9 == 3 {
 				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
@@ -139,8 +140,8 @@ func TestMCCheckpointFingerprintMismatch(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 6, false)
 	path := filepath.Join(t.TempDir(), "mc.ckpt")
 	base := MCConfig{
-		N: 6, Seed: 3, Sources: DeviceSources(p.Tech, 0.33, 0.33),
-		Checkpoint: &checkpoint.Config{Path: path},
+		N: 6, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{Seed: 3, Checkpoint: &checkpoint.Config{Path: path}},
 	}
 	if _, err := p.MonteCarloCtx(context.Background(), base); err != nil {
 		t.Fatal(err)
@@ -205,8 +206,8 @@ func TestMCCheckpointResumeCompletedRun(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 6, false)
 	path := filepath.Join(t.TempDir(), "mc.ckpt")
 	cfg := MCConfig{
-		N: 5, Seed: 9, Sources: DeviceSources(p.Tech, 0.33, 0.33),
-		Checkpoint: &checkpoint.Config{Path: path},
+		N: 5, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{Seed: 9, Checkpoint: &checkpoint.Config{Path: path}},
 	}
 	ref, err := p.MonteCarloCtx(context.Background(), cfg)
 	if err != nil {
@@ -239,14 +240,18 @@ func TestMCCheckpointResumeWithoutSnapshot(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 6, false)
 	path := filepath.Join(t.TempDir(), "never-written.ckpt")
 	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 4, Seed: 2, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		N: 4, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{Seed: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 4, Seed: 2, Sources: DeviceSources(p.Tech, 0.33, 0.33),
-		Checkpoint: &checkpoint.Config{Path: path, Resume: true},
+		N: 4, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{
+			Seed:       2,
+			Checkpoint: &checkpoint.Config{Path: path, Resume: true},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +272,9 @@ func TestSkewCheckpointResumeBitIdentical(t *testing.T) {
 		IndependentA: DeviceSources(device.Tech180, 0.33, 0),
 		IndependentB: DeviceSources(device.Tech180, 0.33, 0),
 	}
-	cfg := func() SkewConfig { return SkewConfig{N: 16, Seed: 5, Workers: 4} }
+	cfg := func() SkewConfig {
+		return SkewConfig{N: 16, RunConfig: RunConfig{Seed: 5, Workers: 4}}
+	}
 	ref, err := pp.MonteCarloSkewCtx(context.Background(), cfg())
 	if err != nil {
 		t.Fatal(err)

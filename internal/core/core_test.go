@@ -91,9 +91,10 @@ func TestEvaluateMonotoneInDVT(t *testing.T) {
 
 func TestMonteCarloBasics(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 10, false)
-	res, err := p.MonteCarlo(MCConfig{
-		N: 12, Seed: 1,
-		Sources: DeviceSources(device.Tech180, 0.33, 0.33),
+	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N:         12,
+		Sources:   DeviceSources(device.Tech180, 0.33, 0.33),
+		RunConfig: RunConfig{Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,11 +117,11 @@ func TestMonteCarloBasics(t *testing.T) {
 func TestMonteCarloDeterministicSeeding(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 10, false)
 	src := DeviceSources(device.Tech180, 0.33, 0)
-	a, err := p.MonteCarlo(MCConfig{N: 6, Seed: 42, Sources: src})
+	a, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 6, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 42}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.MonteCarlo(MCConfig{N: 6, Seed: 42, Sources: src})
+	b, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 6, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 42}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestMonteCarloDeterministicSeeding(t *testing.T) {
 func TestMonteCarloParallelMatchesSequential(t *testing.T) {
 	p := quickChain(t, []string{"INV", "NOR2"}, 10, false)
 	src := DeviceSources(device.Tech180, 0.33, 0.33)
-	seq, err := p.MonteCarlo(MCConfig{N: 8, Seed: 5, Sources: src})
+	seq, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 8, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := p.MonteCarlo(MCConfig{N: 8, Seed: 5, Sources: src, Parallel: true})
+	par, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 8, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 5, Workers: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,9 +152,10 @@ func TestMonteCarloParallelMatchesSequential(t *testing.T) {
 
 func TestMonteCarloWithWireVariations(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 20, true)
-	res, err := p.MonteCarlo(MCConfig{
-		N: 10, Seed: 3,
-		Sources: UniformWireSources(),
+	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
+		N:         10,
+		Sources:   UniformWireSources(),
+		RunConfig: RunConfig{Seed: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +184,7 @@ func TestGradientAnalysisAgainstMC(t *testing.T) {
 	if !almostEq(ga.Mean, nom.Delay, 0.02*nom.Delay) {
 		t.Fatalf("GA mean %g vs nominal delay %g", ga.Mean, nom.Delay)
 	}
-	mc, err := p.MonteCarlo(MCConfig{N: 40, Seed: 9, Sources: sources, Parallel: true})
+	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 40, Sources: sources, RunConfig: RunConfig{Seed: 9, Workers: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,11 +315,11 @@ func TestMCDirectVsLibraryAgree(t *testing.T) {
 	// claim: means/σ agree at numerical-noise level).
 	p := quickChain(t, []string{"INV"}, 20, true)
 	src := UniformWireSources()
-	lib, err := p.MonteCarlo(MCConfig{N: 8, Seed: 11, Sources: src, Parallel: true})
+	lib, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 8, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 11, Workers: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir, err := p.MonteCarlo(MCConfig{N: 8, Seed: 11, Sources: src, Direct: true, Parallel: true})
+	dir, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 8, Sources: src, KeepSamples: true, RunConfig: RunConfig{Seed: 11, Workers: -1, Engine: EngineTetaDirect}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +335,7 @@ func TestMCDirectVsLibraryAgree(t *testing.T) {
 func TestMCCorrelations(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 10, false)
 	sources := DeviceSources(device.Tech180, 0.33, 0.33)
-	mc, err := p.MonteCarlo(MCConfig{N: 24, Seed: 2, Sources: sources, Parallel: true})
+	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 24, Sources: sources, KeepSamples: true, RunConfig: RunConfig{Seed: 2, Workers: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +358,7 @@ func TestMCCorrelationsStreamingErrors(t *testing.T) {
 	// empty map.
 	p := quickChain(t, []string{"INV"}, 10, false)
 	sources := DeviceSources(device.Tech180, 0.33, 0.33)
-	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 4, Seed: 2, Sources: sources})
+	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 4, Sources: sources, RunConfig: RunConfig{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,10 +396,10 @@ func TestEvaluateEmptyPath(t *testing.T) {
 
 func TestMonteCarloRejectsBadConfig(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 10, false)
-	if _, err := p.MonteCarlo(MCConfig{N: 0}); err == nil {
+	if _, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 0}); err == nil {
 		t.Fatal("N=0 must error")
 	}
-	if _, err := p.MonteCarlo(MCConfig{N: 2, Sources: []Source{{Name: "x", Sigma: 1}}}); err == nil {
+	if _, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 2, Sources: []Source{{Name: "x", Sigma: 1}}}); err == nil {
 		t.Fatal("invalid source must error")
 	}
 }
@@ -405,11 +407,11 @@ func TestMonteCarloRejectsBadConfig(t *testing.T) {
 func TestMonteCarloHaltonSampling(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 10, false)
 	src := DeviceSources(device.Tech180, 0.33, 0.33)
-	a, err := p.MonteCarlo(MCConfig{N: 10, Seed: 1, Sources: src, UseHalton: true})
+	a, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 10, Sources: src, Sampler: SamplerHalton, KeepSamples: true, RunConfig: RunConfig{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.MonteCarlo(MCConfig{N: 10, Seed: 999, Sources: src, UseHalton: true})
+	b, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 10, Sources: src, Sampler: SamplerHalton, KeepSamples: true, RunConfig: RunConfig{Seed: 999}})
 	if err != nil {
 		t.Fatal(err)
 	}

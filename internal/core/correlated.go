@@ -82,19 +82,3 @@ func (p *Path) MonteCarloCorrelatedCtx(ctx context.Context, cs *CorrelatedSource
 		fmt.Sprintf("%s/f%d", sourcesHash(cs.Sources), cs.factors))
 	return p.runMonteCarlo(ctx, cfg, fp, row, cs.RunSpecFromFactors)
 }
-
-// MonteCarloCorrelated runs path Monte-Carlo sampling in factor space.
-//
-// Deprecated: use MonteCarloCorrelatedCtx, which takes the full MCConfig
-// (failure policies, engines, streaming). This signature delegates with
-// context.Background(), KeepSamples set (its pre-redesign behavior) and
-// parallel ⇒ GOMAXPROCS workers.
-func (p *Path) MonteCarloCorrelated(cs *CorrelatedSources, n int, seed int64, parallel bool) (*MCResult, error) {
-	workers := 0
-	if parallel {
-		workers = -1
-	}
-	return p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
-		N: n, Seed: seed, Workers: workers, KeepSamples: true,
-	})
-}

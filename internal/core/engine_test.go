@@ -61,7 +61,8 @@ func TestEngineUnknownName(t *testing.T) {
 		t.Fatal("expected an error for an unknown engine name")
 	}
 	if _, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 2, Seed: 1, Sources: DeviceSources(p.Tech, 0.33, 0.33), Engine: "no-such-engine",
+		N: 2, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{Seed: 1, Engine: "no-such-engine"},
 	}); err == nil {
 		t.Fatal("expected MonteCarloCtx to surface the unknown engine")
 	}
@@ -226,8 +227,11 @@ func TestEngineLadderWalk(t *testing.T) {
 	faulty := map[int]bool{1: true, 3: true}
 	run := func(workers int) *MCResult {
 		mc, err := p.MonteCarloCtx(context.Background(), MCConfig{
-			N: 5, Seed: 7, Sources: sources, Workers: workers, KeepSamples: true,
-			OnFailure: Degrade, Ladder: []string{"test-rung-fail", "test-rung-ok"},
+			N: 5, Sources: sources, KeepSamples: true,
+			RunConfig: RunConfig{
+				Seed: 7, Workers: workers,
+				OnFailure: Degrade, Ladder: []string{"test-rung-fail", "test-rung-ok"},
+			},
 			injectFault: func(i int) error {
 				if faulty[i] {
 					return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
@@ -275,8 +279,10 @@ func TestLadderExhaustedChainsCauses(t *testing.T) {
 		return &fakeRung{name: "test-rung-fail2", fail: true, mu: &mu, log: &log}, nil
 	})
 	mc, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 3, Seed: 2, Sources: DeviceSources(p.Tech, 0.33, 0.33), KeepSamples: true,
-		OnFailure: Degrade, Ladder: []string{"test-rung-fail2"},
+		N: 3, Sources: DeviceSources(p.Tech, 0.33, 0.33), KeepSamples: true,
+		RunConfig: RunConfig{
+			Seed: 2, OnFailure: Degrade, Ladder: []string{"test-rung-fail2"},
+		},
 		injectFault: func(i int) error {
 			if i == 1 {
 				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
@@ -298,16 +304,16 @@ func TestLadderExhaustedChainsCauses(t *testing.T) {
 	}
 }
 
-// TestCorrelatedThroughKernel checks MonteCarloCorrelatedCtx now honors
-// the shared sample kernel: failure policies produce a FailureReport, the
-// deprecated wrapper reproduces the cfg-based call, and results are
-// worker-count invariant.
+// TestCorrelatedThroughKernel checks MonteCarloCorrelatedCtx honors the
+// shared sample kernel: failure policies produce a FailureReport and
+// results are worker-count invariant.
 func TestCorrelatedThroughKernel(t *testing.T) {
 	p := quickChain(t, []string{"INV", "NAND2"}, 6, false)
 	cs := testCorrelatedSources(t, p)
 
 	base, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
-		N: 10, Seed: 3, KeepSamples: true, Workers: 0,
+		N: 10, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 3, Workers: 0},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -319,20 +325,10 @@ func TestCorrelatedThroughKernel(t *testing.T) {
 		t.Fatalf("sample rows carry %d factor scores, want %d", got, cs.NumFactors())
 	}
 
-	// Deprecated wrapper delegates to the same kernel.
-	old, err := p.MonteCarloCorrelated(cs, 10, 3, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range base.Delays {
-		if base.Delays[i] != old.Delays[i] {
-			t.Fatalf("deprecated wrapper diverges at %d: %g vs %g", i, old.Delays[i], base.Delays[i])
-		}
-	}
-
 	// Worker invariance.
 	par, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
-		N: 10, Seed: 3, KeepSamples: true, Workers: 4,
+		N: 10, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 3, Workers: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -346,7 +342,8 @@ func TestCorrelatedThroughKernel(t *testing.T) {
 	// Skip policy: correlated runs now classify and report failures
 	// instead of aborting (pre-refactor they bypassed OnFailure).
 	skip, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
-		N: 10, Seed: 3, KeepSamples: true, Workers: 3, OnFailure: Skip,
+		N: 10, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 3, Workers: 3, OnFailure: Skip},
 		injectFault: func(i int) error {
 			if i == 2 || i == 7 {
 				return fmt.Errorf("injected: %w", ErrWaveformNaN)
@@ -370,8 +367,10 @@ func TestCorrelatedThroughKernel(t *testing.T) {
 	// Degrade policy: the ladder rescues the injected failures (the fault
 	// hook intercepts only the primary evaluation).
 	deg, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
-		N: 10, Seed: 3, KeepSamples: true, OnFailure: Degrade,
-		Ladder: []string{EngineTetaExact},
+		N: 10, KeepSamples: true,
+		RunConfig: RunConfig{
+			Seed: 3, OnFailure: Degrade, Ladder: []string{EngineTetaExact},
+		},
 		injectFault: func(i int) error {
 			if i == 4 {
 				return fmt.Errorf("injected: %w", teta.ErrSCDiverged)
@@ -402,13 +401,13 @@ func TestSkewEngineSelection(t *testing.T) {
 		IndependentB: DeviceSources(b.Tech, 0.33, 0.33),
 	}
 	serial, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
-		N: 6, Seed: 5, Workers: 0, Engine: EngineTetaExact,
+		N: 6, RunConfig: RunConfig{Seed: 5, Workers: 0, Engine: EngineTetaExact},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	par, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
-		N: 6, Seed: 5, Workers: 3, Engine: EngineTetaExact,
+		N: 6, RunConfig: RunConfig{Seed: 5, Workers: 3, Engine: EngineTetaExact},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -419,7 +418,7 @@ func TestSkewEngineSelection(t *testing.T) {
 		}
 	}
 	if _, err := pair.MonteCarloSkewCtx(context.Background(), SkewConfig{
-		N: 2, Seed: 1, Engine: "bogus",
+		N: 2, RunConfig: RunConfig{Seed: 1, Engine: "bogus"},
 	}); err == nil {
 		t.Fatal("expected an unknown-engine error from skew")
 	}

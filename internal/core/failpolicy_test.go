@@ -30,7 +30,8 @@ func TestFailurePolicyFailFastAbortsDeterministically(t *testing.T) {
 	cause := fmt.Errorf("stage s0: %w at t=1e-10", teta.ErrSCDiverged)
 	for _, workers := range []int{0, 4} {
 		_, err := p.MonteCarloCtx(context.Background(), MCConfig{
-			N: 12, Seed: 7, Sources: sources, Workers: workers,
+			N: 12, Sources: sources,
+			RunConfig:   RunConfig{Seed: 7, Workers: workers},
 			injectFault: faultEvery(map[int]bool{3: true, 8: true}, cause),
 		})
 		if err == nil {
@@ -61,8 +62,8 @@ func TestFailurePolicySkipIsWorkerCountInvariant(t *testing.T) {
 	run := func(workers int) *MCResult {
 		m := &runner.Metrics{}
 		res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-			N: 14, Seed: 7, Sources: sources, Workers: workers,
-			KeepSamples: true, OnFailure: Skip, Metrics: m,
+			N: 14, Sources: sources, KeepSamples: true,
+			RunConfig:   RunConfig{Seed: 7, Workers: workers, OnFailure: Skip, Metrics: m},
 			injectFault: faultEvery(bad, cause),
 		})
 		if err != nil {
@@ -108,15 +109,16 @@ func TestFailurePolicyDegradeRecoversThroughExactExtraction(t *testing.T) {
 	sources := DeviceSources(p.Tech, 0.33, 0.33)
 	// Reference: the same seed with no faults at all.
 	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 10, Seed: 7, Sources: sources, KeepSamples: true,
+		N: 10, Sources: sources, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 7},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := &runner.Metrics{}
 	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 10, Seed: 7, Sources: sources, Workers: 4,
-		KeepSamples: true, OnFailure: Degrade, Metrics: m,
+		N: 10, Sources: sources, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 7, Workers: 4, OnFailure: Degrade, Metrics: m},
 		injectFault: faultEvery(map[int]bool{2: true, 6: true},
 			fmt.Errorf("synthetic: %w", poleres.ErrSingularGr)),
 	})
@@ -164,7 +166,8 @@ func TestFailurePolicyDegradeSkipsWhenRetryAlsoFails(t *testing.T) {
 	}
 	sources := DeviceSources(p.Tech, 0.33, 0.33)
 	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 4, Seed: 3, Sources: sources, OnFailure: Degrade, KeepSamples: true,
+		N: 4, Sources: sources, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 3, OnFailure: Degrade},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
+	"sync"
 
 	"lcsim/internal/checkpoint"
 	"lcsim/internal/runner"
@@ -55,75 +55,22 @@ func ParseSampler(name string) (Sampler, error) {
 	return SamplerDefault, fmt.Errorf("core: unknown sampler %q (want lhs, halton or pseudo)", name)
 }
 
-// MCConfig configures Monte-Carlo path-delay analysis (§4.3.1).
+// MCConfig configures Monte-Carlo path-delay analysis (§4.3.1). The
+// embedded RunConfig carries the execution policy shared by every
+// statistical driver — Seed, Workers, BatchSize, Metrics, Progress,
+// OnFailure, Engine, Ladder, Checkpoint, SampleTimeout.
 type MCConfig struct {
+	RunConfig
+
 	N       int
-	Seed    int64
 	Sources []Source
 	// Sampler selects the sampling plan; the zero value means LHS.
 	Sampler Sampler
-	// Workers selects evaluation parallelism: 0 = serial, -1 (or any
-	// negative value) = GOMAXPROCS, positive = exactly that many workers.
-	// Results are bit-identical at any worker count for a fixed Seed.
-	Workers int
 	// KeepSamples materializes per-sample rows: MCResult.Delays and
 	// MCResult.Samples are only populated when it is set. When false the
-	// run streams — Summary comes from online accumulators (Welford +
-	// P² quantiles) and memory stays O(1) in N.
+	// run streams — Summary comes from online accumulators (exact
+	// moments + P² quantiles) and memory stays O(1) in N.
 	KeepSamples bool
-	// Deprecated: Direct selects exact per-sample re-reduction instead of
-	// the library; honored only when Engine is empty (Direct ⇒ the
-	// teta-direct engine). Use Engine.
-	Direct bool
-	// Metrics, when non-nil, accumulates evaluation-cost counters
-	// (samples, SC iterations, linear solves, stage evaluations, per-class
-	// failures) across the run; safe to share between concurrent analyses.
-	Metrics *runner.Metrics
-	// Progress, when non-nil, is called periodically with the number of
-	// completed samples (from a single goroutine).
-	Progress func(done, total int)
-	// OnFailure selects how the run responds to per-sample evaluation
-	// failures: FailFast (zero value) aborts with the lowest failing
-	// index's error; Skip excludes failing samples from the aggregate and
-	// reports them in MCResult.Failures; Degrade walks the engine ladder
-	// (by default every ladder-eligible engine costlier than the primary,
-	// ascending: fast → exact → spice) before skipping. Skip-sets and
-	// results are bit-identical at any worker count.
-	OnFailure FailurePolicy
-	// Engine names the stage-evaluation backend for the primary
-	// per-sample evaluation ("" resolves to teta-fast, or teta-direct
-	// when the deprecated Direct flag is set). See RegisterEngine and
-	// EngineNames for the available backends.
-	Engine string
-	// Ladder optionally overrides the Degrade retry ladder with an
-	// ordered list of engine names; nil selects the default ladder (see
-	// Path.EngineLadder).
-	Ladder []string
-	// Checkpoint, when non-nil, journals the run durably: a
-	// prefix-consistent snapshot (streaming statistics, failure report,
-	// cost counters, and — for KeepSamples runs — the per-sample rows) is
-	// written to Checkpoint.Path on the Every/Interval cadence and once
-	// after the sweep. With Checkpoint.Resume set, a matching snapshot on
-	// disk restores the accumulators and the run re-evaluates only
-	// [snapshot.Next, N); the combined result is bit-identical to an
-	// uninterrupted run at any worker count. A snapshot whose fingerprint
-	// (seed, N, sampler, engine/ladder, policy, source list) differs from
-	// this config refuses to resume with checkpoint.ErrMismatch.
-	Checkpoint *checkpoint.Config
-	// SampleTimeout, when positive, bounds every engine invocation with a
-	// watchdog deadline: an evaluation that has not returned after this
-	// long is abandoned, classified as FailTimeout, and handled by the
-	// OnFailure policy (Degrade retries each ladder rung with a fresh
-	// deadline), so one pathological sample cannot wedge the sweep.
-	SampleTimeout time.Duration
-
-	// Deprecated: UseLHS/UseHalton are the pre-Sampler selection booleans,
-	// honored only when Sampler is SamplerDefault. Use Sampler.
-	UseLHS    bool
-	UseHalton bool
-	// Deprecated: Parallel is the pre-Workers switch, honored only when
-	// Workers is 0 (Parallel ⇒ GOMAXPROCS). Use Workers.
-	Parallel bool
 
 	// injectFault, when non-nil, can fail sample i's primary evaluation
 	// with the returned error (nil → evaluate normally). It intercepts
@@ -132,42 +79,13 @@ type MCConfig struct {
 	injectFault func(i int) error
 }
 
-// sampler resolves the Sampler field against the deprecated booleans.
-// An explicit Sampler wins; otherwise UseHalton, then UseLHS; the default
-// is LHS (the redesign promotes the paper's plan to the default — the old
-// both-false case meant plain pseudo-random sampling).
+// sampler resolves the Sampler field (the zero value means LHS, the
+// paper's Example-2 plan).
 func (cfg MCConfig) sampler() Sampler {
 	if cfg.Sampler != SamplerDefault {
 		return cfg.Sampler
 	}
-	if cfg.UseHalton {
-		return SamplerHalton
-	}
 	return SamplerLHS
-}
-
-// workers resolves the Workers field against the deprecated Parallel flag.
-func (cfg MCConfig) workers() int {
-	if cfg.Workers != 0 {
-		return cfg.Workers
-	}
-	if cfg.Parallel {
-		return -1
-	}
-	return 0
-}
-
-// engineName resolves the Engine field against the deprecated Direct
-// flag. An explicit Engine wins; Direct maps to teta-direct; the default
-// is teta-fast.
-func (cfg MCConfig) engineName() string {
-	if cfg.Engine != "" {
-		return cfg.Engine
-	}
-	if cfg.Direct {
-		return EngineTetaDirect
-	}
-	return EngineTetaFast
 }
 
 // MCResult holds the Monte-Carlo outcome.
@@ -267,6 +185,14 @@ type mcEval struct {
 	degraded bool // recovered through a degrade-ladder rung
 }
 
+// mcWorkerState is the per-worker state of a Monte-Carlo sweep: the
+// boxed engine scratch (replaceable on watchdog abandonment) and, for
+// sharded runs, the worker's exact moment accumulator.
+type mcWorkerState struct {
+	box   scratchBox
+	shard *stat.Moments
+}
+
 // rowGen returns a deterministic per-index generator of transformed
 // sample rows. LHS precomputes its joint plan (the permutations couple
 // all N rows); Halton and pseudo are pure per-index functions, so no plan
@@ -347,17 +273,20 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 	if err != nil {
 		return nil, err
 	}
+	primaryPool := newScratchPool(engine)
 	var ladder []Engine
+	var ladderPools []*scratchPool
 	if cfg.OnFailure == Degrade {
 		if ladder, err = p.EngineLadder(engine, cfg.Ladder); err != nil {
 			return nil, err
 		}
+		ladderPools = make([]*scratchPool, len(ladder))
+		for i, rung := range ladder {
+			ladderPools[i] = newScratchPool(rung)
+		}
 	}
-	if err := cfg.Checkpoint.Validate(); err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
-	}
-	if cfg.SampleTimeout < 0 {
-		return nil, fmt.Errorf("core: SampleTimeout must be >= 0, got %v", cfg.SampleTimeout)
 	}
 
 	res := &MCResult{Failures: FailureReport{Policy: cfg.OnFailure}}
@@ -366,6 +295,16 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		res.Delays = make([]float64, cfg.N)
 		res.Samples = make([][]float64, cfg.N)
 	}
+
+	// Without a checkpoint the moment half of the stream is sharded: each
+	// worker accumulates its own exact stat.Moments and the shards merge
+	// after the sweep — bit-identical to drain-side accumulation because
+	// exact-sum merging is order-independent, and free of the per-value
+	// serialization the single drain-side accumulator imposes. Only the
+	// order-sensitive P² quantiles stay on the ordered drain. A
+	// checkpointed run keeps everything on the drain so every snapshot
+	// cut sees exactly the delivered prefix.
+	sharded := cfg.Checkpoint == nil
 
 	// Durable journal: restore a matching snapshot's prefix (Resume), and
 	// flush prefix-consistent cuts from the ordered-delivery goroutine.
@@ -406,8 +345,9 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 	}
 
 	// Primary per-sample evaluation through the selected engine. The
-	// worker state is a scratchBox so a watchdog timeout can replace the
-	// scratch the abandoned evaluation still owns.
+	// worker state carries a scratchBox — so a watchdog timeout can
+	// replace the scratch the abandoned evaluation still owns — plus the
+	// worker's moment shard for sharded runs.
 	evalPrimary := func(ctx context.Context, i int, sc any) (mcEval, error) {
 		sv := row(i)
 		rs, err := spec(sv)
@@ -419,7 +359,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 				return mcEval{}, err
 			}
 		}
-		ev, err := engineEvalDeadline(ctx, cfg.SampleTimeout, engine, sc.(*scratchBox), rs, cfg.Metrics)
+		ev, err := engineEvalDeadline(ctx, cfg.SampleTimeout, engine, primaryPool, &sc.(*mcWorkerState).box, rs, cfg.Metrics)
 		if err != nil {
 			return mcEval{}, err
 		}
@@ -451,8 +391,8 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 			// falls through to a skip carrying the whole cause chain.
 			// Each rung gets a fresh watchdog deadline, so a hung sample
 			// costs at most one SampleTimeout per rung.
-			for _, rung := range ladder {
-				ev, rerr := rungEvalDeadline(ctx, cfg.SampleTimeout, rung, rs, cfg.Metrics)
+			for ri, rung := range ladder {
+				ev, rerr := rungEvalDeadline(ctx, cfg.SampleTimeout, rung, ladderPools[ri], rs, cfg.Metrics)
 				if rerr != nil {
 					cause = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.Name(), rerr, cause)
 					continue
@@ -471,31 +411,62 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		}
 	}
 
-	opts := runner.Options{
-		Workers:  cfg.workers(),
-		Metrics:  cfg.Metrics,
-		Progress: cfg.Progress,
-		Start:    start,
-		OnSkip: func(i int, err error) {
-			res.Failures.record(i, err)
-			class := ClassOther
-			var se *SampleError
-			if errors.As(err, &se) {
-				class = se.Class
-			}
-			cfg.Metrics.AddFailure(string(class))
-		},
+	opts := cfg.runnerOptions()
+	opts.Start = start
+	opts.OnSkip = func(i int, err error) {
+		res.Failures.record(i, err)
+		class := ClassOther
+		var se *SampleError
+		if errors.As(err, &se) {
+			class = se.Class
+		}
+		cfg.Metrics.AddFailure(string(class))
 	}
 	if ckpt != nil {
 		opts.OnCheckpoint = ckpt.flush
 		opts.CheckpointEvery = cfg.Checkpoint.Every
 		opts.CheckpointInterval = cfg.Checkpoint.Interval
 	}
+
+	// Per-worker state; sharded runs register each worker's moment shard
+	// for the post-sweep merge.
+	var (
+		shardMu sync.Mutex
+		shards  []*stat.Moments
+	)
+	newState := func() any {
+		st := &mcWorkerState{box: scratchBox{sc: primaryPool.get()}}
+		if sharded {
+			st.shard = new(stat.Moments)
+			shardMu.Lock()
+			shards = append(shards, st.shard)
+			shardMu.Unlock()
+		}
+		return st
+	}
+	evalFn := runner.WithRecovery(evalPrimary, recoverFn)
+	if sharded {
+		// Fold every delivered delay into the evaluating worker's shard.
+		// A run that later fails discards its result wholesale, so shard
+		// adds for never-delivered values are harmless.
+		inner := evalFn
+		evalFn = func(ctx context.Context, i int, sc any) (mcEval, error) {
+			v, err := inner(ctx, i, sc)
+			if err == nil {
+				sc.(*mcWorkerState).shard.Add(v.delay)
+			}
+			return v, err
+		}
+	}
 	err = runner.MapWorker(ctx, cfg.N, opts,
-		func() any { return &scratchBox{sc: engine.NewScratch()} },
-		runner.WithRecovery(evalPrimary, recoverFn),
+		newState,
+		evalFn,
 		func(i int, v mcEval) {
-			stream.Add(v.delay)
+			if sharded {
+				stream.AddQuantiles(v.delay)
+			} else {
+				stream.Add(v.delay)
+			}
 			res.TotalSC += v.sc
 			if v.degraded {
 				res.Failures.Degraded++
@@ -507,6 +478,14 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		})
 	if err != nil {
 		return nil, err
+	}
+	if sharded {
+		// All workers have returned (MapWorker joins them before its
+		// collector drains), so the shards are quiescent; exact merging
+		// makes the fold order irrelevant to the resulting bits.
+		for _, sh := range shards {
+			stream.MergeMoments(sh)
+		}
 	}
 	if ckpt != nil {
 		// One unconditional snapshot after the sweep: resuming a completed
@@ -542,15 +521,4 @@ func compactSkipped[T any](rows []T, skipped []int) []T {
 		out = append(out, rows[i])
 	}
 	return out
-}
-
-// MonteCarlo runs Monte-Carlo analysis without cancellation support.
-//
-// Deprecated: use MonteCarloCtx, which adds context cancellation and
-// honors KeepSamples. This legacy entry point always materializes
-// Delays/Samples (its pre-redesign behavior) and delegates with
-// context.Background().
-func (p *Path) MonteCarlo(cfg MCConfig) (*MCResult, error) {
-	cfg.KeepSamples = true
-	return p.MonteCarloCtx(context.Background(), cfg)
 }

@@ -20,7 +20,8 @@ func TestMonteCarloWorkerInvariance(t *testing.T) {
 	src := DeviceSources(device.Tech180, 0.33, 0.33)
 	run := func(workers int) *MCResult {
 		res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-			N: 8, Seed: 5, Sources: src, Workers: workers, KeepSamples: true,
+			N: 8, Sources: src, KeepSamples: true,
+			RunConfig: RunConfig{Seed: 5, Workers: workers},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -48,13 +49,15 @@ func TestMonteCarloStreamingMatchesMaterialized(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 10, false)
 	src := DeviceSources(device.Tech180, 0.33, 0.33)
 	kept, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 10, Seed: 7, Sources: src, Workers: -1, KeepSamples: true,
+		N: 10, Sources: src, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 7, Workers: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	stream, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 10, Seed: 7, Sources: src, Workers: -1,
+		N: 10, Sources: src,
+		RunConfig: RunConfig{Seed: 7, Workers: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,47 +92,12 @@ func TestMonteCarloCtxCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{0, 4} {
-		_, err := p.MonteCarloCtx(ctx, MCConfig{N: 50, Seed: 1, Sources: src, Workers: workers})
+		_, err := p.MonteCarloCtx(ctx, MCConfig{N: 50, Sources: src, RunConfig: RunConfig{Seed: 1, Workers: workers}})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
 		}
 		if !strings.Contains(err.Error(), "canceled at sample") {
 			t.Fatalf("error must report the sample index reached: %v", err)
-		}
-	}
-}
-
-// TestMonteCarloDeprecatedAliases checks that the pre-redesign MCConfig
-// fields still select the same plans as their replacements.
-func TestMonteCarloDeprecatedAliases(t *testing.T) {
-	p := quickChain(t, []string{"INV", "INV"}, 10, false)
-	src := DeviceSources(device.Tech180, 0.33, 0)
-	oldStyle, err := p.MonteCarlo(MCConfig{N: 6, Seed: 3, Sources: src, UseHalton: true, Parallel: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	newStyle, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 6, Seed: 3, Sources: src, Sampler: SamplerHalton, Workers: -1, KeepSamples: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range oldStyle.Delays {
-		if oldStyle.Delays[i] != newStyle.Delays[i] {
-			t.Fatalf("UseHalton/Parallel aliases diverge at %d", i)
-		}
-	}
-	lhsOld, err := p.MonteCarlo(MCConfig{N: 6, Seed: 3, Sources: src, UseLHS: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	lhsNew, err := p.MonteCarlo(MCConfig{N: 6, Seed: 3, Sources: src, Sampler: SamplerLHS})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range lhsOld.Delays {
-		if lhsOld.Delays[i] != lhsNew.Delays[i] {
-			t.Fatalf("UseLHS alias diverges at %d", i)
 		}
 	}
 }
@@ -142,7 +110,8 @@ func TestMonteCarloSamplersDiffer(t *testing.T) {
 	delays := map[Sampler][]float64{}
 	for _, s := range []Sampler{SamplerLHS, SamplerHalton, SamplerPseudo} {
 		res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-			N: 6, Seed: 3, Sources: src, Sampler: s, KeepSamples: true,
+			N: 6, Sources: src, Sampler: s, KeepSamples: true,
+			RunConfig: RunConfig{Seed: 3},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -191,8 +160,11 @@ func TestMonteCarloMetrics(t *testing.T) {
 	m := &runner.Metrics{}
 	var calls int
 	res, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 6, Seed: 2, Sources: src, Workers: 2, Metrics: m,
-		Progress: func(done, total int) { calls++ },
+		N: 6, Sources: src,
+		RunConfig: RunConfig{
+			Seed: 2, Workers: 2, Metrics: m,
+			Progress: func(done, total int) { calls++ },
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -262,14 +234,14 @@ func TestMonteCarloSkewCtxWorkerInvariance(t *testing.T) {
 		IndependentB: DeviceSources(device.Tech180, 0.33, 0),
 	}
 	m := &runner.Metrics{}
-	ref, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: 6, Seed: 4, Workers: 0, Metrics: m})
+	ref, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: 6, RunConfig: RunConfig{Seed: 4, Workers: 0, Metrics: m}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s := m.Snapshot(); s.Samples != 6 || s.StageEvals != 12 || s.SCIterations <= 0 {
 		t.Fatalf("skew metrics not wired: %+v", s)
 	}
-	par, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: 6, Seed: 4, Workers: 4})
+	par, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: 6, RunConfig: RunConfig{Seed: 4, Workers: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"time"
 
 	"lcsim/internal/checkpoint"
 	"lcsim/internal/runner"
@@ -30,35 +29,16 @@ type PathPair struct {
 	IndependentB []Source
 }
 
-// SkewConfig configures Monte-Carlo skew analysis. The Workers,
-// Metrics, Progress and OnFailure fields follow the MCConfig
-// conventions.
+// SkewConfig configures Monte-Carlo skew analysis. The embedded
+// RunConfig carries the execution policy shared with MCConfig (Seed,
+// Workers, BatchSize, Metrics, Progress, OnFailure, Engine, Ladder,
+// Checkpoint, SampleTimeout); a skipped sample drops BOTH branch
+// arrivals, keeping the skew pairing aligned, and the Degrade ladder
+// walks engines both branches can build, paired by name.
 type SkewConfig struct {
-	N        int
-	Seed     int64
-	Workers  int // 0 = serial, negative = GOMAXPROCS, positive = exact
-	Metrics  *runner.Metrics
-	Progress func(done, total int)
-	// OnFailure selects the per-sample failure policy (FailFast, Skip,
-	// Degrade); a skipped sample drops BOTH branch arrivals, keeping the
-	// skew pairing aligned.
-	OnFailure FailurePolicy
-	// Engine names the stage-evaluation backend for both branches (""
-	// resolves to teta-fast). See RegisterEngine and EngineNames.
-	Engine string
-	// Ladder optionally overrides the Degrade retry ladder with an ordered
-	// list of engine names; nil selects the default ladder (engines both
-	// branches can build, paired by name — see Path.EngineLadder).
-	Ladder []string
-	// Checkpoint, when non-nil, journals the run durably and (with
-	// Checkpoint.Resume) continues a matching snapshot from its prefix
-	// cut; the combined result is bit-identical to an uninterrupted run
-	// at any worker count. See MCConfig.Checkpoint.
-	Checkpoint *checkpoint.Config
-	// SampleTimeout, when positive, bounds each branch-engine invocation
-	// with a watchdog deadline; a timed-out sample classifies as
-	// FailTimeout and follows OnFailure. See MCConfig.SampleTimeout.
-	SampleTimeout time.Duration
+	RunConfig
+
+	N int
 }
 
 // SkewResult holds the Monte-Carlo skew outcome.
@@ -91,11 +71,8 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: skew MC needs n > 0")
 	}
-	if err := cfg.Checkpoint.Validate(); err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
-	}
-	if cfg.SampleTimeout < 0 {
-		return nil, fmt.Errorf("core: SampleTimeout must be >= 0, got %v", cfg.SampleTimeout)
 	}
 	for _, group := range [][]Source{pp.Shared, pp.IndependentA, pp.IndependentB} {
 		for _, s := range group {
@@ -125,11 +102,15 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	if err != nil {
 		return nil, err
 	}
+	poolA, poolB := newScratchPool(eA), newScratchPool(eB)
 	// The Degrade ladder walks both branches in lockstep: rungs are paired
 	// by engine name so a recovered sample's arrivals come from the same
 	// backend. With default ladders an engine only one branch can build
 	// (e.g. spice-golden for a hand-assembled pair) drops out of the walk.
-	type rungPair struct{ a, b Engine }
+	type rungPair struct {
+		a, b   Engine
+		pa, pb *scratchPool
+	}
 	var ladder []rungPair
 	if cfg.OnFailure == Degrade {
 		ladA, err := pp.A.EngineLadder(eA, cfg.Ladder)
@@ -146,7 +127,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		}
 		for _, ea := range ladA {
 			if eb, ok := byName[ea.Name()]; ok {
-				ladder = append(ladder, rungPair{ea, eb})
+				ladder = append(ladder, rungPair{ea, eb, newScratchPool(ea), newScratchPool(eb)})
 			}
 		}
 	}
@@ -172,38 +153,46 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 
 	// branchEval runs one branch engine under the watchdog deadline. scp
 	// points at the worker's per-branch scratch slot (nil for ladder
-	// rungs, which evaluate scratch-free); a timed-out evaluation is
-	// abandoned with the scratch it owns and the slot gets a fresh one.
-	branchEval := func(ctx context.Context, eng Engine, scp *any, rs teta.RunSpec) (*PathEval, error) {
+	// rungs, which draw from the rung's pool per invocation); a timed-out
+	// evaluation is abandoned with the scratch it owns — it never
+	// re-enters the pool — and the slot gets a replacement.
+	branchEval := func(ctx context.Context, eng Engine, scp *any, pool *scratchPool, rs teta.RunSpec) (*PathEval, error) {
 		if scp == nil {
-			return evalPathDeadline(ctx, cfg.SampleTimeout, eng.Name(), cfg.Metrics, nil,
-				func() (*PathEval, error) { return eng.EvalPath(nil, rs) })
+			sc := pool.get()
+			abandoned := false
+			ev, err := evalPathDeadline(ctx, cfg.SampleTimeout, eng.Name(), cfg.Metrics,
+				func() { abandoned = true },
+				func() (*PathEval, error) { return eng.EvalPath(sc, rs) })
+			if !abandoned {
+				pool.put(sc)
+			}
+			return ev, err
 		}
 		sc := *scp
 		return evalPathDeadline(ctx, cfg.SampleTimeout, eng.Name(), cfg.Metrics,
-			func() { *scp = eng.NewScratch() },
+			func() { *scp = pool.get() },
 			func() (*PathEval, error) { return eng.EvalPath(sc, rs) })
 	}
 
 	// Per-worker scratch: one per branch engine, reused across samples.
 	type skewScratch struct{ a, b any }
 	newState := func() *skewScratch {
-		return &skewScratch{a: eA.NewScratch(), b: eB.NewScratch()}
+		return &skewScratch{a: poolA.get(), b: poolB.get()}
 	}
 
 	// evalOne evaluates both branches at sample i through one engine pair
 	// (sc == nil on the degrade-ladder path).
-	evalOne := func(ctx context.Context, i int, ea, eb Engine, sc *skewScratch) (pairDelay, error) {
+	evalOne := func(ctx context.Context, i int, ea, eb Engine, pla, plb *scratchPool, sc *skewScratch) (pairDelay, error) {
 		rsA, rsB := buildSpecs(i)
 		var pa, pb *any
 		if sc != nil {
 			pa, pb = &sc.a, &sc.b
 		}
-		da, err := branchEval(ctx, ea, pa, rsA)
+		da, err := branchEval(ctx, ea, pa, pla, rsA)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch A: %w", err)
 		}
-		db, err := branchEval(ctx, eb, pb, rsB)
+		db, err := branchEval(ctx, eb, pb, plb, rsB)
 		if err != nil {
 			return pairDelay{}, fmt.Errorf("branch B: %w", err)
 		}
@@ -217,7 +206,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	// only on (index, cause), so skip-sets and results are bit-identical
 	// at any worker count. Each ladder rung gets a fresh watchdog deadline.
 	evalFn := func(ctx context.Context, i int, sc *skewScratch) (pairDelay, error) {
-		d, err := evalOne(ctx, i, eA, eB, sc)
+		d, err := evalOne(ctx, i, eA, eB, poolA, poolB, sc)
 		if err == nil || cfg.OnFailure == FailFast {
 			if err != nil {
 				err = NewSampleError(i, err)
@@ -226,7 +215,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		}
 		if cfg.OnFailure == Degrade {
 			for _, rung := range ladder {
-				d2, err2 := evalOne(ctx, i, rung.a, rung.b, nil)
+				d2, err2 := evalOne(ctx, i, rung.a, rung.b, rung.pa, rung.pb, nil)
 				if err2 != nil {
 					err = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.a.Name(), err2, err)
 					continue
@@ -283,18 +272,16 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		}}
 	}
 
-	opts := runner.Options{
-		Workers: cfg.Workers, Metrics: cfg.Metrics, Progress: cfg.Progress,
-		Start: start,
-		OnSkip: func(i int, err error) {
-			res.Failures.record(i, err)
-			class := ClassOther
-			var se *SampleError
-			if errors.As(err, &se) {
-				class = se.Class
-			}
-			cfg.Metrics.AddFailure(string(class))
-		},
+	opts := cfg.runnerOptions()
+	opts.Start = start
+	opts.OnSkip = func(i int, err error) {
+		res.Failures.record(i, err)
+		class := ClassOther
+		var se *SampleError
+		if errors.As(err, &se) {
+			class = se.Class
+		}
+		cfg.Metrics.AddFailure(string(class))
 	}
 	if ckpt != nil {
 		opts.OnCheckpoint = ckpt.flush
@@ -326,19 +313,6 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	res.Skew = stat.Summarize(res.Skews)
 	res.RSS = rss(res.ArrivalA.Std, res.ArrivalB.Std)
 	return res, nil
-}
-
-// MonteCarloSkew samples the pair jointly.
-//
-// Deprecated: use MonteCarloSkewCtx, which adds cancellation, an explicit
-// worker count and metrics. This signature delegates with
-// context.Background() and parallel ⇒ GOMAXPROCS workers.
-func (pp *PathPair) MonteCarloSkew(n int, seed int64, parallel bool) (*SkewResult, error) {
-	workers := 0
-	if parallel {
-		workers = -1
-	}
-	return pp.MonteCarloSkewCtx(context.Background(), SkewConfig{N: n, Seed: seed, Workers: workers})
 }
 
 func rss(a, b float64) float64 {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"lcsim/internal/runner"
@@ -15,6 +16,32 @@ import (
 // given, and the box gets a fresh scratch for the worker's next sample —
 // the leaked evaluation can never race a live one.
 type scratchBox struct{ sc any }
+
+// scratchPool recycles one engine's scratch state across degrade-ladder
+// retries and watchdog replacements, so a burst of recoveries (or a
+// pathological sample timing out on every rung) does not allocate fresh
+// solver state per incident. A scratch goes back in the pool ONLY after
+// its evaluation returned cleanly: a watchdog-abandoned goroutine still
+// owns the scratch it was given, so that scratch is leaked to it and the
+// pool hands out a fresh one instead. Engines whose NewScratch returns
+// nil flow through untouched (sync.Pool drops nil on Put and New keeps
+// returning nil).
+type scratchPool struct {
+	pool sync.Pool
+}
+
+// newScratchPool builds a pool producing eng's scratch state on demand.
+func newScratchPool(eng Engine) *scratchPool {
+	p := &scratchPool{}
+	p.pool.New = func() any { return eng.NewScratch() }
+	return p
+}
+
+// get draws a pooled (or freshly allocated) scratch.
+func (p *scratchPool) get() any { return p.pool.Get() }
+
+// put returns a scratch whose evaluation completed cleanly.
+func (p *scratchPool) put(sc any) { p.pool.Put(sc) }
 
 // evalPathDeadline runs eval — one synchronous engine invocation — under
 // the per-sample watchdog deadline d (d <= 0 runs eval inline, no
@@ -59,24 +86,30 @@ func evalPathDeadline(ctx context.Context, d time.Duration, name string, m *runn
 
 // engineEvalDeadline evaluates one path sample through eng with the
 // worker's boxed scratch under the watchdog deadline. The scratch is read
-// out of the box before the evaluation starts; a timeout replaces it with
-// a fresh one.
-func engineEvalDeadline(ctx context.Context, d time.Duration, eng Engine, box *scratchBox, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
+// out of the box before the evaluation starts; a timeout abandons it to
+// the hung goroutine and the box gets a replacement from the pool.
+func engineEvalDeadline(ctx context.Context, d time.Duration, eng Engine, pool *scratchPool, box *scratchBox, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
 	if d <= 0 {
 		return eng.EvalPath(box.sc, rs)
 	}
 	sc := box.sc
 	return evalPathDeadline(ctx, d, eng.Name(), m,
-		func() { box.sc = eng.NewScratch() },
+		func() { box.sc = pool.get() },
 		func() (*PathEval, error) { return eng.EvalPath(sc, rs) })
 }
 
 // rungEvalDeadline evaluates one path sample through a degrade-ladder
-// rung under a fresh watchdog deadline. Rungs evaluate scratch-free
-// (recovery is rare; allocating is cheaper than keeping N engines' worth
-// of per-worker scratch alive), so there is nothing to replace on
-// abandonment.
-func rungEvalDeadline(ctx context.Context, d time.Duration, rung Engine, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
-	return evalPathDeadline(ctx, d, rung.Name(), m, nil,
-		func() (*PathEval, error) { return rung.EvalPath(nil, rs) })
+// rung under a fresh watchdog deadline, with scratch drawn from the
+// rung's pool. A cleanly returned scratch is recycled; an abandoned one
+// stays with the hung goroutine and never re-enters the pool.
+func rungEvalDeadline(ctx context.Context, d time.Duration, rung Engine, pool *scratchPool, rs teta.RunSpec, m *runner.Metrics) (*PathEval, error) {
+	sc := pool.get()
+	abandoned := false
+	ev, err := evalPathDeadline(ctx, d, rung.Name(), m,
+		func() { abandoned = true },
+		func() (*PathEval, error) { return rung.EvalPath(sc, rs) })
+	if !abandoned {
+		pool.put(sc)
+	}
+	return ev, err
 }

@@ -58,7 +58,8 @@ func TestSampleTimeoutDegradesToNextRung(t *testing.T) {
 	const n = 6
 	sources := DeviceSources(p.Tech, 0.33, 0.33)
 	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: n, Seed: 13, Sources: sources, Engine: EngineTetaExact, KeepSamples: true,
+		N: n, Sources: sources, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 13, Engine: EngineTetaExact},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,9 +69,12 @@ func TestSampleTimeoutDegradesToNextRung(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			m := &runner.Metrics{}
 			got, err := p.MonteCarloCtx(context.Background(), MCConfig{
-				N: n, Seed: 13, Sources: sources, Workers: workers, KeepSamples: true,
-				Engine: "test-hang-degrade", OnFailure: Degrade, Ladder: []string{EngineTetaExact},
-				SampleTimeout: 30 * time.Millisecond, Metrics: m,
+				N: n, Sources: sources, KeepSamples: true,
+				RunConfig: RunConfig{
+					Seed: 13, Workers: workers,
+					Engine: "test-hang-degrade", OnFailure: Degrade, Ladder: []string{EngineTetaExact},
+					SampleTimeout: 30 * time.Millisecond, Metrics: m,
+				},
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -104,8 +108,11 @@ func TestSampleTimeoutSkipCannotStallSweep(t *testing.T) {
 	const n = 8
 	start := time.Now()
 	got, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: n, Seed: 1, Sources: DeviceSources(p.Tech, 0.33, 0.33), Workers: 4,
-		Engine: "test-hang-skip", OnFailure: Skip, SampleTimeout: 25 * time.Millisecond,
+		N: n, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{
+			Seed: 1, Workers: 4,
+			Engine: "test-hang-skip", OnFailure: Skip, SampleTimeout: 25 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -132,8 +139,10 @@ func TestSampleTimeoutFailFastCauseChain(t *testing.T) {
 	registerHangEngine(t, "test-hang-failfast", p)
 
 	_, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 3, Seed: 1, Sources: DeviceSources(p.Tech, 0.33, 0.33),
-		Engine: "test-hang-failfast", SampleTimeout: 25 * time.Millisecond,
+		N: 3, Sources: DeviceSources(p.Tech, 0.33, 0.33),
+		RunConfig: RunConfig{
+			Seed: 1, Engine: "test-hang-failfast", SampleTimeout: 25 * time.Millisecond,
+		},
 	})
 	if err == nil || !errors.Is(err, ErrSampleTimeout) {
 		t.Fatalf("want ErrSampleTimeout in the chain, got %v", err)
@@ -150,13 +159,13 @@ func TestSampleTimeoutFailFastCauseChain(t *testing.T) {
 func TestSampleTimeoutUntriggered(t *testing.T) {
 	p := quickChain(t, []string{"INV", "INV"}, 6, false)
 	sources := DeviceSources(p.Tech, 0.33, 0.33)
-	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 6, Seed: 4, Sources: sources, KeepSamples: true})
+	ref, err := p.MonteCarloCtx(context.Background(), MCConfig{N: 6, Sources: sources, KeepSamples: true, RunConfig: RunConfig{Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got, err := p.MonteCarloCtx(context.Background(), MCConfig{
-		N: 6, Seed: 4, Sources: sources, KeepSamples: true, Workers: 3,
-		SampleTimeout: time.Minute,
+		N: 6, Sources: sources, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 4, Workers: 3, SampleTimeout: time.Minute},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -186,8 +195,11 @@ func TestSkewSampleTimeout(t *testing.T) {
 		Shared: UniformWireSources(),
 	}
 	res, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{
-		N: 4, Seed: 2, Workers: 2,
-		Engine: "test-hang-skew", OnFailure: Skip, SampleTimeout: 25 * time.Millisecond,
+		N: 4,
+		RunConfig: RunConfig{
+			Seed: 2, Workers: 2,
+			Engine: "test-hang-skew", OnFailure: Skip, SampleTimeout: 25 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -153,7 +154,10 @@ func TestMonteCarloCorrelated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.MonteCarloCorrelated(cs, 12, 5, true)
+	res, err := p.MonteCarloCorrelatedCtx(context.Background(), cs, MCConfig{
+		N: 12, KeepSamples: true,
+		RunConfig: RunConfig{Seed: 5, Workers: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +177,9 @@ func TestMonteCarloSkewSharedCancellation(t *testing.T) {
 		IndependentA: DeviceSources(device.Tech180, 0.1, 0.1),
 		IndependentB: DeviceSources(device.Tech180, 0.1, 0.1),
 	}
-	res, err := pp.MonteCarloSkew(16, 5, true)
+	res, err := pp.MonteCarloSkewCtx(context.Background(), SkewConfig{
+		N: 16, RunConfig: RunConfig{Seed: 5, Workers: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,15 +198,16 @@ func TestMonteCarloSkewSharedCancellation(t *testing.T) {
 func TestMonteCarloSkewValidation(t *testing.T) {
 	a := quickChain(t, []string{"INV"}, 10, false)
 	pp := &PathPair{A: a}
-	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+	skewCfg := SkewConfig{N: 4, RunConfig: RunConfig{Seed: 1}}
+	if _, err := pp.MonteCarloSkewCtx(context.Background(), skewCfg); err == nil {
 		t.Fatal("missing branch must error")
 	}
 	pp.B = a
-	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+	if _, err := pp.MonteCarloSkewCtx(context.Background(), skewCfg); err == nil {
 		t.Fatal("no sources must error")
 	}
 	pp.Shared = []Source{{Name: "bad", Sigma: 1}}
-	if _, err := pp.MonteCarloSkew(4, 1, false); err == nil {
+	if _, err := pp.MonteCarloSkewCtx(context.Background(), skewCfg); err == nil {
 		t.Fatal("invalid source must error")
 	}
 }

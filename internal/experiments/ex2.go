@@ -30,27 +30,16 @@ type Ex2Options struct {
 	Drive     float64 // driver strength
 	DT, TStop float64
 	Order     int
-	// Workers selects evaluation parallelism per the core.MCConfig
+	// Workers selects evaluation parallelism per the core.RunConfig
 	// convention: 0 = serial, negative = GOMAXPROCS, positive = exact.
 	Workers int
+	// BatchSize is the per-dispatch sample batch per the core.RunConfig
+	// convention (0 = automatic).
+	BatchSize int
 	// OnFailure picks the per-sample failure policy for the validation
 	// sweeps (FailFast or Skip; the Example-2 evaluators have no
 	// degradation ladder). Zero value = FailFast.
 	OnFailure core.FailurePolicy
-	// Deprecated: Parallel is honored only when Workers is 0
-	// (Parallel ⇒ GOMAXPROCS). Use Workers.
-	Parallel bool
-}
-
-// workers resolves Workers against the deprecated Parallel flag.
-func (o Ex2Options) workers() int {
-	if o.Workers != 0 {
-		return o.Workers
-	}
-	if o.Parallel {
-		return -1
-	}
-	return 0
 }
 
 func (o *Ex2Options) setDefaults() {
@@ -289,7 +278,7 @@ func RunFigure6(o Ex2Options, lengthUm float64) (*Figure6Result, error) {
 	fw := make([]float64, 0, len(specs))
 	ref := make([]float64, 0, len(specs))
 	err = runner.Map(context.Background(), len(specs),
-		runner.Options{Workers: o.workers()},
+		runner.Options{Workers: o.Workers, BatchSize: o.BatchSize},
 		func(_ context.Context, i int) (pair, error) {
 			rs := specs[i]
 			r1, err := st.Run(rs)

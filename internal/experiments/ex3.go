@@ -25,26 +25,12 @@ type Ex3Options struct {
 	Order    int
 	Samples  int // MC samples (paper: 100)
 	Seed     int64
-	// Workers selects MC evaluation parallelism per the core.MCConfig
+	// Workers selects MC evaluation parallelism per the core.RunConfig
 	// convention: 0 = serial, negative = GOMAXPROCS, positive = exact.
 	Workers int
-	// Deprecated: Parallel is honored only when Workers is 0
-	// (Parallel ⇒ GOMAXPROCS). Use Workers.
-	Parallel bool
 	// Progress, when non-nil, receives one line per completed Table-4 row
 	// (the baseline transients on the big circuits take minutes each).
 	Progress io.Writer
-}
-
-// workers resolves Workers against the deprecated Parallel flag.
-func (o Ex3Options) workers() int {
-	if o.Workers != 0 {
-		return o.Workers
-	}
-	if o.Parallel {
-		return -1
-	}
-	return 0
 }
 
 func (o *Ex3Options) setDefaults() {
@@ -177,7 +163,7 @@ func RunTable4(o Ex3Options, set []iscas.Benchmark, elemCounts []int, fwSamples,
 			}
 			// Framework timing: per-sample full path evaluation, serial so
 			// the per-sample ratio is a single-core quantity.
-			mcCfg := core.MCConfig{N: fwSamples, Seed: o.Seed + 1, Sources: sources, Workers: 0}
+			mcCfg := core.MCConfig{N: fwSamples, Sources: sources, RunConfig: core.RunConfig{Seed: o.Seed + 1}}
 			t0 := time.Now()
 			if _, err := p.MonteCarloCtx(context.Background(), mcCfg); err != nil {
 				return nil, fmt.Errorf("%s framework MC: %w", b.Name, err)
@@ -247,7 +233,8 @@ func RunTable5(o Ex3Options, set []iscas.Benchmark, elems int) ([]Table5Row, err
 				return nil, fmt.Errorf("%s GA: %w", b.Name, err)
 			}
 			mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
-				N: o.Samples, Seed: o.Seed, Sources: sources, Workers: o.workers(),
+				N: o.Samples, Sources: sources,
+				RunConfig: core.RunConfig{Seed: o.Seed, Workers: o.Workers},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s MC: %w", b.Name, err)
@@ -284,8 +271,8 @@ func RunFigure7(o Ex3Options, b iscas.Benchmark, elems int) (*Figure7Result, err
 	}
 	sources := core.DeviceSources(o.Tech, 0.33, 0.33)
 	mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
-		N: o.Samples, Seed: o.Seed, Sources: sources,
-		Workers: o.workers(), KeepSamples: true,
+		N: o.Samples, Sources: sources, KeepSamples: true,
+		RunConfig: core.RunConfig{Seed: o.Seed, Workers: o.Workers},
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func TestFrameworkOnlyBigRows(t *testing.T) {
 		}
 		const n = 10
 		t0 := time.Now()
-		if _, err := p.MonteCarlo(core.MCConfig{N: n, Seed: 2, Sources: sources}); err != nil {
+		if _, err := p.MonteCarloCtx(context.Background(), core.MCConfig{N: n, Sources: sources, RunConfig: core.RunConfig{Seed: 2}}); err != nil {
 			t.Fatal(err)
 		}
 		per := time.Since(t0).Seconds() / n

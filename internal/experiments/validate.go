@@ -115,8 +115,9 @@ func ValidateExample2(o Ex2Options, lengthUm float64, engines []string) ([]Engin
 			}
 			err = runner.MapWorker(context.Background(), len(specs),
 				runner.Options{
-					Workers: o.workers(),
-					OnSkip:  func(int, error) { skipped++ },
+					Workers:   o.Workers,
+					BatchSize: o.BatchSize,
+					OnSkip:    func(int, error) { skipped++ },
 				},
 				func() any { return nil },
 				runner.WithRecovery(
@@ -127,7 +128,7 @@ func ValidateExample2(o Ex2Options, lengthUm float64, engines []string) ([]Engin
 				func(i int, d float64) { delays[i] = d })
 		} else {
 			err = runner.Map(context.Background(), len(specs),
-				runner.Options{Workers: o.workers()},
+				runner.Options{Workers: o.Workers, BatchSize: o.BatchSize},
 				func(_ context.Context, i int) (float64, error) { return eval(specs[i]) },
 				func(i int, d float64) { delays[i] = d })
 		}

@@ -21,6 +21,8 @@ type Metrics struct {
 	degraded   atomic.Int64
 	timedOut   atomic.Int64
 	resumed    atomic.Int64
+	busyNs     atomic.Int64
+	sendWaitNs atomic.Int64
 	failures   sync.Map // failure class (string) → *atomic.Int64
 }
 
@@ -34,6 +36,14 @@ type Snapshot struct {
 	Degraded     int64 // samples recovered through a degradation retry
 	TimedOut     int64 // evaluations abandoned at a SampleTimeout deadline
 	Resumed      int64 // samples restored from a checkpoint, not evaluated
+	// BusyNs is wall-clock nanoseconds workers spent inside evaluation
+	// batches (summed across workers). BusyNs/(workers·elapsed) is the
+	// run's worker utilization.
+	BusyNs int64
+	// SendWaitNs is wall-clock nanoseconds workers spent blocked handing
+	// finished batches to the ordered-delivery collector — the channel
+	// contention a flat scaling curve is made of.
+	SendWaitNs int64
 	// Failures maps failure class name → occurrence count (nil when no
 	// failure was ever recorded).
 	Failures map[string]int64
@@ -48,6 +58,18 @@ func (m *Metrics) addSamples(n int) {
 func (m *Metrics) addSkipped(n int) {
 	if m != nil {
 		m.skipped.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addBusyNs(ns int64) {
+	if m != nil {
+		m.busyNs.Add(ns)
+	}
+}
+
+func (m *Metrics) addSendWaitNs(ns int64) {
+	if m != nil {
+		m.sendWaitNs.Add(ns)
 	}
 }
 
@@ -140,6 +162,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Degraded:     m.degraded.Load(),
 		TimedOut:     m.timedOut.Load(),
 		Resumed:      m.resumed.Load(),
+		BusyNs:       m.busyNs.Load(),
+		SendWaitNs:   m.sendWaitNs.Load(),
 	}
 	m.failures.Range(func(k, v any) bool {
 		if s.Failures == nil {
@@ -166,6 +190,8 @@ func (m *Metrics) Merge(s Snapshot) {
 	m.degraded.Add(s.Degraded)
 	m.timedOut.Add(s.TimedOut)
 	m.resumed.Add(s.Resumed)
+	m.busyNs.Add(s.BusyNs)
+	m.sendWaitNs.Add(s.SendWaitNs)
 	for class, n := range s.Failures {
 		c, ok := m.failures.Load(class)
 		if !ok {

@@ -77,10 +77,15 @@ type Options struct {
 	// calling goroutine, -1 (or any negative value) uses GOMAXPROCS, and
 	// a positive value runs exactly that many workers.
 	Workers int
-	// ChunkSize is how many consecutive indices a worker claims per
-	// dispatch (default: a size that yields ~8 chunks per worker, capped
-	// at 64). Larger chunks cut contention; smaller chunks balance load.
-	ChunkSize int
+	// BatchSize is how many consecutive indices a worker claims — and
+	// evaluates, and delivers to the collector as one message — per
+	// dispatch (default: a size that yields ~8 batches per worker, capped
+	// at 64). Larger batches amortize channel traffic; smaller batches
+	// balance load. Delivery order, skip-sets and everything the sink
+	// accumulates are bit-identical at any batch size: batching changes
+	// only how results travel to the single ordered-delivery goroutine,
+	// never the order they leave it.
+	BatchSize int
 	// Metrics, when non-nil, receives a Samples increment per completed
 	// evaluation (evaluation code adds its own counters).
 	Metrics *Metrics
@@ -132,9 +137,9 @@ func ResolveWorkers(w int) int {
 	return w
 }
 
-func (o Options) chunkSize(n, workers int) int {
-	if o.ChunkSize > 0 {
-		return o.ChunkSize
+func (o Options) batchSize(n, workers int) int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
 	}
 	c := n / (workers * 8)
 	if c < 1 {
@@ -274,7 +279,7 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 	if workers == 1 {
 		return mapSerial(ctx, n, opts, newState, fn, sink)
 	}
-	chunk := opts.chunkSize(n-start, workers)
+	batch := opts.batchSize(n-start, workers)
 	every := opts.progressEvery(n)
 
 	var (
@@ -284,24 +289,31 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 	)
 	next.Store(int64(start))
 	minErr.Store(int64(n))
-	results := make(chan result[T], workers*2)
+	// Each channel message is one worker's whole batch: K evaluations
+	// amortize a single send, so channel traffic no longer scales with the
+	// sample count. The collector unpacks batches item by item into the
+	// same ordered drain, so delivery stays bit-identical at any (workers,
+	// batch) combination.
+	results := make(chan []result[T], workers*2)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			state := newState()
 			for {
-				lo := int(next.Add(int64(chunk))) - chunk
+				lo := int(next.Add(int64(batch))) - batch
 				if lo >= n {
 					return
 				}
-				end := lo + chunk
+				end := lo + batch
 				if end > n {
 					end = n
 				}
+				out := make([]result[T], 0, end-lo)
+				t0 := time.Now()
 				for i := lo; i < end; i++ {
 					if ctx.Err() != nil {
-						return
+						break
 					}
 					// Nothing at or beyond the first error matters; work
 					// below it still runs so the lowest index wins.
@@ -312,7 +324,16 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 					if err != nil && !errors.Is(err, ErrSkip) {
 						storeMin(&minErr, int64(i))
 					}
-					results <- result[T]{i, v, err}
+					out = append(out, result[T]{i, v, err})
+				}
+				opts.Metrics.addBusyNs(time.Since(t0).Nanoseconds())
+				if len(out) > 0 {
+					t1 := time.Now()
+					results <- out
+					opts.Metrics.addSendWaitNs(time.Since(t1).Nanoseconds())
+				}
+				if ctx.Err() != nil {
+					return
 				}
 			}
 		}()
@@ -334,36 +355,38 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 	done := 0
 	firstErrIdx := n
 	var firstErr error
-	for r := range results {
-		done++
-		opts.Metrics.addSamples(1)
-		if r.err != nil && !errors.Is(r.err, ErrSkip) {
-			if r.i < firstErrIdx {
-				firstErrIdx = r.i
-				firstErr = r.err
-			}
-		} else {
-			pending[r.i] = r
-			for {
-				p, ok := pending[nextOut]
-				if !ok {
-					break
+	for rs := range results {
+		for _, r := range rs {
+			done++
+			opts.Metrics.addSamples(1)
+			if r.err != nil && !errors.Is(r.err, ErrSkip) {
+				if r.i < firstErrIdx {
+					firstErrIdx = r.i
+					firstErr = r.err
 				}
-				delete(pending, nextOut)
-				if p.err != nil {
-					opts.Metrics.addSkipped(1)
-					if opts.OnSkip != nil {
-						opts.OnSkip(p.i, p.err)
+			} else {
+				pending[r.i] = r
+				for {
+					p, ok := pending[nextOut]
+					if !ok {
+						break
 					}
-				} else if sink != nil {
-					sink(p.i, p.v)
+					delete(pending, nextOut)
+					if p.err != nil {
+						opts.Metrics.addSkipped(1)
+						if opts.OnSkip != nil {
+							opts.OnSkip(p.i, p.err)
+						}
+					} else if sink != nil {
+						sink(p.i, p.v)
+					}
+					nextOut++
+					ckpt.delivered(nextOut)
 				}
-				nextOut++
-				ckpt.delivered(nextOut)
 			}
-		}
-		if opts.Progress != nil && done%every == 0 {
-			opts.Progress(start+done, n)
+			if opts.Progress != nil && done%every == 0 {
+				opts.Progress(start+done, n)
+			}
 		}
 	}
 	if opts.Progress != nil {
@@ -383,6 +406,8 @@ func MapWorker[S, T any](ctx context.Context, n int, opts Options, newState func
 func mapSerial[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(ctx context.Context, i int, state S) (T, error), sink func(i int, v T)) error {
 	every := opts.progressEvery(n)
 	ckpt := newCkptCadence(opts)
+	t0 := time.Now()
+	defer func() { opts.Metrics.addBusyNs(time.Since(t0).Nanoseconds()) }()
 	state := newState()
 	for i := opts.start(); i < n; i++ {
 		if err := ctx.Err(); err != nil {

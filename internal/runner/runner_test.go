@@ -75,7 +75,7 @@ func TestMapErrorLowestIndexWins(t *testing.T) {
 	// worker count, because samples below a known error keep running.
 	for _, workers := range []int{0, 8} {
 		for trial := 0; trial < 5; trial++ {
-			err := Map(context.Background(), 300, Options{Workers: workers, ChunkSize: 1},
+			err := Map(context.Background(), 300, Options{Workers: workers, BatchSize: 1},
 				func(_ context.Context, i int) (int, error) {
 					if i == 211 || i == 37 {
 						return 0, fmt.Errorf("boom at %d", i)
@@ -255,6 +255,24 @@ func BenchmarkMapSpeedup(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := Map(context.Background(), 1000, Options{Workers: v.workers}, work, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMapBatch isolates the dispatch overhead batching removes: a
+// near-free per-sample kernel makes the per-result channel round-trip
+// the dominant cost, so ns/op tracks dispatch overhead almost directly.
+// Compare batch=1 (one send/receive per sample) against larger batches.
+func BenchmarkMapBatch(b *testing.B) {
+	work := func(_ context.Context, i int) (float64, error) { return float64(i) * 1.5, nil }
+	for _, batch := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := Map(context.Background(), 10000,
+					Options{Workers: 4, BatchSize: batch}, work, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

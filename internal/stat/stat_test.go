@@ -1,6 +1,7 @@
 package stat
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -297,11 +298,11 @@ func TestMapSamplesSequentialAndParallelAgree(t *testing.T) {
 	fn := func(i int, s []float64) (float64, error) {
 		return s[0]*100 + s[1]*10 + s[2] + float64(i), nil
 	}
-	seq, err := MapSamples(samples, false, fn)
+	seq, err := MapSamplesCtx(context.Background(), samples, 0, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := MapSamples(samples, true, fn)
+	par, err := MapSamplesCtx(context.Background(), samples, -1, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestMapSamplesSequentialAndParallelAgree(t *testing.T) {
 
 func TestMapSamplesError(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := MapSamples([][]float64{{1}, {2}}, true, func(i int, s []float64) (float64, error) {
+	_, err := MapSamplesCtx(context.Background(), [][]float64{{1}, {2}}, -1, func(i int, s []float64) (float64, error) {
 		if s[0] == 2 {
 			return 0, boom
 		}

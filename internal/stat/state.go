@@ -56,31 +56,61 @@ func (e *P2Quantile) Restore(s P2State) {
 	e.dn = [5]float64{0, s.P / 2, s.P, (1 + s.P) / 2, 1}
 }
 
+// MomentsState is the serializable state of a Moments accumulator. The
+// exact-sum partial lists are captured verbatim — JSON's shortest
+// round-trip float encoding reproduces each partial exactly, so the
+// restored accumulator is bit-identical.
+type MomentsState struct {
+	N         int       `json:"n"`
+	NonFinite int       `json:"nonfinite"`
+	Min       float64   `json:"min"`
+	Max       float64   `json:"max"`
+	Sum       []float64 `json:"sum"`
+	SumSq     []float64 `json:"sumsq"`
+}
+
+// State captures the accumulator for a checkpoint.
+func (m *Moments) State() MomentsState {
+	return MomentsState{
+		N:         m.n,
+		NonFinite: m.nonfinite,
+		Min:       m.min,
+		Max:       m.max,
+		Sum:       m.sum.Partials(),
+		SumSq:     m.sumsq.Partials(),
+	}
+}
+
+// Restore overwrites the accumulator with a captured state.
+func (m *Moments) Restore(s MomentsState) {
+	m.n, m.nonfinite, m.min, m.max = s.N, s.NonFinite, s.Min, s.Max
+	m.sum.SetPartials(s.Sum)
+	m.sumsq.SetPartials(s.SumSq)
+}
+
 // StreamSummaryState is the serializable state of a StreamSummary: the
-// Welford moments, the three P² quantile estimators and the non-finite
-// rejection counter.
+// exact moment accumulator (which carries the non-finite rejection
+// counter) and the three P² quantile estimators.
 type StreamSummaryState struct {
-	W        WelfordState `json:"welford"`
-	Med      P2State      `json:"median"`
-	Lo       P2State      `json:"p05"`
-	Hi       P2State      `json:"p95"`
-	Rejected int          `json:"rejected"`
+	M   MomentsState `json:"moments"`
+	Med P2State      `json:"median"`
+	Lo  P2State      `json:"p05"`
+	Hi  P2State      `json:"p95"`
 }
 
 // State captures the summary sink for a checkpoint.
 func (s *StreamSummary) State() StreamSummaryState {
 	return StreamSummaryState{
-		W:        s.w.State(),
-		Med:      s.med.State(),
-		Lo:       s.lo.State(),
-		Hi:       s.hi.State(),
-		Rejected: s.rejected,
+		M:   s.m.State(),
+		Med: s.med.State(),
+		Lo:  s.lo.State(),
+		Hi:  s.hi.State(),
 	}
 }
 
 // Restore overwrites the summary sink with a captured state.
 func (s *StreamSummary) Restore(st StreamSummaryState) {
-	s.w.Restore(st.W)
+	s.m.Restore(st.M)
 	if s.med == nil {
 		s.med = NewP2Quantile(st.Med.P)
 	}
@@ -93,7 +123,6 @@ func (s *StreamSummary) Restore(st StreamSummaryState) {
 	s.med.Restore(st.Med)
 	s.lo.Restore(st.Lo)
 	s.hi.Restore(st.Hi)
-	s.rejected = st.Rejected
 }
 
 // HistogramState is the serializable state of a Histogram.

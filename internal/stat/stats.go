@@ -253,16 +253,3 @@ func MapSamplesCtx(ctx context.Context, samples [][]float64, workers int, fn fun
 	}
 	return out, nil
 }
-
-// MapSamples evaluates fn over every sample row, optionally in parallel.
-//
-// Deprecated: use MapSamplesCtx, which adds cancellation and an explicit
-// worker count. This signature delegates with context.Background() and
-// parallel ⇒ GOMAXPROCS workers.
-func MapSamples(samples [][]float64, parallel bool, fn func(i int, s []float64) (float64, error)) ([]float64, error) {
-	workers := 0
-	if parallel {
-		workers = -1
-	}
-	return MapSamplesCtx(context.Background(), samples, workers, fn)
-}

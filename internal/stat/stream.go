@@ -163,19 +163,25 @@ func (e *P2Quantile) Value() float64 {
 }
 
 // StreamSummary is the streaming statistics sink used by the Monte-Carlo
-// runtime when samples are not materialized: Welford mean/variance plus
-// P² estimators for the median and the 5th/95th percentiles. Feed it in
-// a deterministic order (the runner's ordered sink) and the resulting
-// Summary is bit-identical at any worker count.
+// runtime when samples are not materialized: exact order-independent
+// moments (Moments: count, min/max, exact Σx/Σx²) plus P² estimators for
+// the median and the 5th/95th percentiles. Feed it in a deterministic
+// order (the runner's ordered sink) and the resulting Summary is
+// bit-identical at any worker count.
+//
+// The moment half is additionally order-INDEPENDENT: workers may shard
+// per-worker Moments accumulators and fold them in with MergeMoments,
+// and the moments read back bit-identical to drain-side accumulation.
+// Only the P² quantiles are order-sensitive, so a sharded run feeds them
+// alone at the ordered drain via AddQuantiles.
 //
 // Non-finite observations (NaN, ±Inf) are rejected and counted rather
-// than accumulated: a single NaN fed to Welford or a P² marker would
+// than accumulated: a single NaN fed to the moments or a P² marker would
 // silently poison the mean, the variance and every quantile estimate for
 // the rest of the run.
 type StreamSummary struct {
-	w           Welford
+	m           Moments
 	med, lo, hi *P2Quantile
-	rejected    int
 }
 
 // NewStreamSummary creates an empty streaming summary sink.
@@ -190,38 +196,55 @@ func NewStreamSummary() *StreamSummary {
 // Add folds one observation into every accumulator. A non-finite x is
 // rejected (counted in Rejected, excluded from the statistics).
 func (s *StreamSummary) Add(x float64) {
+	s.m.Add(x)
 	if math.IsNaN(x) || math.IsInf(x, 0) {
-		s.rejected++
 		return
 	}
-	s.w.Add(x)
 	s.med.Add(x)
 	s.lo.Add(x)
 	s.hi.Add(x)
 }
 
+// AddQuantiles folds one observation into the P² quantile estimators
+// only — the drain-side half of a sharded run, whose moments arrive
+// separately via per-worker Moments and MergeMoments. Non-finite x is
+// ignored without counting (the worker shard counts it).
+func (s *StreamSummary) AddQuantiles(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	s.med.Add(x)
+	s.lo.Add(x)
+	s.hi.Add(x)
+}
+
+// MergeMoments folds a worker-sharded Moments accumulator (including its
+// non-finite rejection count) into the sink's moment half. Because
+// Moments merging is exact, the result is bit-identical to having fed
+// the shard's observations through Add in delivery order.
+func (s *StreamSummary) MergeMoments(m *Moments) { s.m.Merge(m) }
+
 // N returns the accepted observation count.
-func (s *StreamSummary) N() int { return s.w.N() }
+func (s *StreamSummary) N() int { return s.m.N() }
 
 // Rejected returns the number of non-finite observations rejected by Add.
-func (s *StreamSummary) Rejected() int { return s.rejected }
+func (s *StreamSummary) Rejected() int { return s.m.NonFinite() }
 
 // Summary renders the streaming state as a Summary. Mean/Std/Min/Max are
-// exact (up to floating-point accumulation); Median/P05/P95 are P²
-// estimates.
+// exact (correctly-rounded exact sums); Median/P05/P95 are P² estimates.
 func (s *StreamSummary) Summary() Summary {
-	if s.w.N() == 0 {
-		return Summary{NonFinite: s.rejected}
+	if s.m.N() == 0 {
+		return Summary{NonFinite: s.m.NonFinite()}
 	}
 	return Summary{
-		N:         s.w.N(),
-		Mean:      s.w.Mean(),
-		Std:       s.w.Std(),
-		Min:       s.w.Min(),
-		Max:       s.w.Max(),
+		N:         s.m.N(),
+		Mean:      s.m.Mean(),
+		Std:       s.m.Std(),
+		Min:       s.m.Min(),
+		Max:       s.m.Max(),
 		Median:    s.med.Value(),
 		P05:       s.lo.Value(),
 		P95:       s.hi.Value(),
-		NonFinite: s.rejected,
+		NonFinite: s.m.NonFinite(),
 	}
 }

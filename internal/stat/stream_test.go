@@ -137,7 +137,7 @@ func TestMapSamplesFirstErrorByIndexStopsEarly(t *testing.T) {
 	var evaluated atomic.Int64
 	for trial := 0; trial < 3; trial++ {
 		evaluated.Store(0)
-		_, err := MapSamples(samples, true, func(i int, s []float64) (float64, error) {
+		_, err := MapSamplesCtx(context.Background(), samples, -1, func(i int, s []float64) (float64, error) {
 			evaluated.Add(1)
 			if i == 17 || i == 800 {
 				return 0, boom

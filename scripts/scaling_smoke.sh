@@ -1,0 +1,24 @@
+#!/bin/sh
+# scaling_smoke.sh — multi-core scaling gate (the `scaling-smoke` leg of
+# `make check`).
+#
+# Runs the `lcsim bench` worker sweep with -min-speedup, which fails the
+# benchmark unless the 4-worker row beats the 1-worker row by the given
+# factor. The assertion only means something on a host that can actually
+# run 4 workers in parallel, so on fewer than 4 CPUs the gate skips
+# itself explicitly (exit 0) instead of asserting what the hardware
+# cannot show — the curve itself is still measured and recorded by
+# `make bench-json` on every box.
+set -eu
+
+cpus=$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null || echo 1)
+if [ "$cpus" -lt 4 ]; then
+    echo "scaling-smoke: SKIP (only $cpus CPU(s); need >= 4 to assert parallel speedup)"
+    exit 0
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go run ./cmd/lcsim bench -samples 2000 -min-speedup 1.5 -out "$workdir/bench.json"
+echo "scaling-smoke: OK (4 workers >= 1.5x over 1 worker)"
