@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke fmt
+.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke fmt
 
 # Full CI gate: vet, build, race-enabled tests (full + short modes),
 # paper benchmarks, crash-safety kill/resume gate, multi-core scaling
-# smoke. Run before every merge (see README "Failure policy" /
-# pre-merge gate).
-check: vet build race race-short bench checkpoint-resume scaling-smoke
+# smoke, importance-sampling yield gate. Run before every merge (see
+# README "Failure policy" / pre-merge gate).
+check: vet build race race-short bench checkpoint-resume scaling-smoke yield-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +36,7 @@ bench:
 # skipped/degraded/per-class failure counters, for tracking the perf
 # trajectory. See README "The measured scaling curve" for the schema.
 bench-json:
-	$(GO) run ./cmd/lcsim bench -samples 100 -out BENCH_mc.json
+	$(GO) run ./cmd/lcsim bench -samples 100 -yield -min-eval-reduction 100 -out BENCH_mc.json
 
 # Crash-safety gate: 200-sample MC, SIGKILLed mid-sweep, resumed from
 # its checkpoint journal; the resumed summary must match an
@@ -48,6 +48,13 @@ checkpoint-resume:
 # 1-worker row by >= 1.5x; skips itself (exit 0) on hosts with < 4 CPUs.
 scaling-smoke:
 	sh scripts/scaling_smoke.sh
+
+# Importance-sampling yield gate: a small IS run at a 2.5σ budget must
+# agree with a 20k-sample plain-MC reference within the combined CI,
+# and a SIGKILLed + resumed IS run must reproduce the uninterrupted
+# estimate bit for bit.
+yield-smoke:
+	sh scripts/yield_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -12,6 +12,7 @@ import (
 
 	"lcsim/internal/checkpoint"
 	"lcsim/internal/core"
+	"lcsim/internal/device"
 	"lcsim/internal/experiments"
 	"lcsim/internal/runner"
 	"lcsim/internal/teta"
@@ -62,6 +63,10 @@ type benchReport struct {
 	// EngineRow is the optional extra row measured with -engine: the same
 	// sweep through an arbitrary registered backend (e.g. spice-golden).
 	EngineRow *benchRow `json:"engine_row,omitempty"`
+	// Yield is the optional importance-sampling section (-yield): the
+	// measured evaluation-count reduction over plain MC for a tail
+	// (-yield-sigma) delay budget on the Example-2 path.
+	Yield *yieldBenchRow `json:"yield,omitempty"`
 
 	// Scaling is the measured worker-scaling curve of the var path:
 	// workers ∈ {1, 2, 4, NumCPU} (deduplicated, ascending), each point
@@ -96,6 +101,28 @@ type scalingRow struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// yieldBenchRow is the optional importance-sampling yield section of
+// BENCH_mc.json (-yield): a tail failure-probability estimate on the
+// Example-2 path with its evaluations-to-CI accounting against plain
+// Monte Carlo. EvalReduction is the headline number: how many times
+// fewer full engine evaluations IS spent than the plain-MC count
+// (MCEvalsForCI = p(1−p)(1.96/ci_half)²) that reaches the same 95% CI
+// half-width.
+type yieldBenchRow struct {
+	BudgetSigma  float64 `json:"budget_sigma"`
+	BudgetSec    float64 `json:"budget_sec"`
+	FailProb     float64 `json:"fail_prob"`
+	CIHalf       float64 `json:"ci_half"`
+	ESS          float64 `json:"ess"`
+	FailESS      float64 `json:"fail_ess"`
+	ISEvals      float64 `json:"is_evals"` // IS samples + GA overhead, in path-eval equivalents
+	MCEvalsForCI float64 `json:"mc_evals_for_same_ci"`
+	// EvalReduction = MCEvalsForCI / ISEvals; VarReduction the
+	// per-sample variance-reduction factor.
+	EvalReduction float64 `json:"eval_reduction"`
+	VarReduction  float64 `json:"variance_reduction"`
+}
+
 // runBench measures per-sample Monte-Carlo evaluation cost on the
 // paper's Example-2 coupled-line stage and writes BENCH_mc.json:
 //
@@ -105,6 +132,10 @@ func runBench(args []string) {
 	samples := fs.Int("samples", 100, "Monte-Carlo samples per measurement")
 	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
 	engine := fs.String("engine", "", "measure an extra single-worker row with this engine (e.g. spice-golden; keep -samples small for slow backends)")
+	yield := fs.Bool("yield", false, "measure the importance-sampling yield section on the Example-2 path")
+	yieldSigma := fs.Float64("yield-sigma", 4, "delay-budget position for the -yield row, in GA sigmas above the mean")
+	yieldSamples := fs.Int("yield-samples", 1000, "IS samples for the -yield row")
+	minReduction := fs.Float64("min-eval-reduction", 0, "exit non-zero unless the -yield row's evaluation reduction over plain MC reaches this factor (0 = no assertion)")
 	out := fs.String("out", "BENCH_mc.json", "output JSON path")
 	minSpeedup := fs.Float64("min-speedup", 0, "exit non-zero unless the 4-worker point of the scaling curve reaches this speedup over 1 worker (0 = no assertion)")
 	sf := registerSweepFlags(fs, sweepOpts{watchdog: true, ckpt: true})
@@ -165,6 +196,10 @@ func runBench(args []string) {
 	if rep.EngineRow != nil {
 		rep.TimedOutSamples += rep.EngineRow.TimedOut
 	}
+	if *yield {
+		row := benchYield(*wire, *yieldSamples, *yieldSigma, sf.Workers)
+		rep.Yield = &row
+	}
 	rep.DurationSec = time.Since(t0).Seconds()
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -188,7 +223,22 @@ func runBench(args []string) {
 		fmt.Printf("  %3d workers: %8.0f ns/sample, %5.2fx speedup, %3.0f%% busy, %3.0f%% chan-wait\n",
 			r.Workers, r.NsPerSample, r.Speedup, r.Utilization*100, r.ChanWaitFrac*100)
 	}
+	if rep.Yield != nil {
+		fmt.Printf("yield      : %.1fσ budget, fail prob %.3e ± %.3e, ESS %.0f/%.0f\n",
+			rep.Yield.BudgetSigma, rep.Yield.FailProb, rep.Yield.CIHalf, rep.Yield.ESS, rep.Yield.FailESS)
+		fmt.Printf("             %8.0f IS eval-equivalents vs %.3g plain-MC evals for the same CI: %.0fx fewer evals\n",
+			rep.Yield.ISEvals, rep.Yield.MCEvalsForCI, rep.Yield.EvalReduction)
+	}
 	fmt.Printf("wrote %s\n", *out)
+	if *minReduction > 0 {
+		if rep.Yield == nil {
+			fail(fmt.Errorf("bench: -min-eval-reduction needs -yield"))
+		}
+		if rep.Yield.EvalReduction < *minReduction {
+			fail(fmt.Errorf("bench: IS evaluation reduction %.1fx is below the -min-eval-reduction floor %.1fx",
+				rep.Yield.EvalReduction, *minReduction))
+		}
+	}
 	if *minSpeedup > 0 {
 		got := 0.0
 		for _, r := range rep.Scaling {
@@ -200,6 +250,49 @@ func runBench(args []string) {
 			fail(fmt.Errorf("bench: 4-worker speedup %.2fx is below the -min-speedup floor %.2fx (gomaxprocs %d)",
 				got, *minSpeedup, rep.GoMaxProc))
 		}
+	}
+}
+
+// benchYield measures the importance-sampling yield row: the Example-2
+// path (library cells driving the coupled variational interconnect at
+// the bench wirelength, device and wire variations active) swept at a
+// tail delay budget. The comparison is analytic on the MC side — the
+// binomial sample count p(1−p)(1.96/ci)² that plain MC would need for
+// the IS run's CI half-width — because actually running plain MC to a
+// ppm-resolution CI costs ~10⁷ evaluations (the point of the IS
+// driver is not having to).
+func benchYield(wire float64, samples int, sigma float64, workers int) yieldBenchRow {
+	p, err := core.BuildChain(core.ChainSpec{
+		Cells:        []string{"INV", "NAND2", "INV"},
+		Drive:        2,
+		ElemsBetween: 2 * int(wire),
+		WireLengthUm: wire,
+		Variational:  true,
+		Tech:         device.Tech180,
+		DT:           4e-12,
+		TStop:        1.6e-9,
+		Order:        4,
+	})
+	fail(err)
+	sources := append(core.DeviceSources(device.Tech180, 0.33, 0.33), core.WireSources(0.33)...)
+	res, err := p.ImportanceYieldCtx(context.Background(), core.ISConfig{
+		N:           samples,
+		Sources:     sources,
+		BudgetSigma: sigma,
+		RunConfig:   core.RunConfig{Seed: 1, Workers: workers, Metrics: &runner.Metrics{}},
+	})
+	fail(err)
+	return yieldBenchRow{
+		BudgetSigma:   res.BudgetSigma,
+		BudgetSec:     res.Budget,
+		FailProb:      res.FailProb,
+		CIHalf:        res.CIHalf,
+		ESS:           res.ESS,
+		FailESS:       res.FailESS,
+		ISEvals:       res.EvalsTotal,
+		MCEvalsForCI:  res.MCEvalsForCI,
+		EvalReduction: res.EvalReduction,
+		VarReduction:  res.VarReduction,
 	}
 }
 

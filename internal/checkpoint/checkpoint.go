@@ -62,6 +62,13 @@ type Fingerprint struct {
 	// Sources is a hash of the variation-source list (names, sigmas,
 	// targets, distributions).
 	Sources string `json:"sources"`
+	// Proposal pins the importance-sampling proposal for IS drivers
+	// (delay budget, shift-vector hash, σ-inflation): resuming an IS run
+	// under a different proposal would mix likelihood ratios from two
+	// different densities, which is statistically meaningless even when
+	// every other field matches. Empty for plain drivers, so pre-IS
+	// snapshots (which omit the field) remain loadable.
+	Proposal string `json:"proposal,omitempty"`
 }
 
 // Equal reports whether two fingerprints describe the same run.
@@ -91,8 +98,10 @@ func (f Fingerprint) Check(g Fingerprint) error {
 		return diff("ladder", f.Ladder, g.Ladder)
 	case f.Policy != g.Policy:
 		return diff("failure policy", f.Policy, g.Policy)
-	default:
+	case f.Sources != g.Sources:
 		return diff("source list", f.Sources, g.Sources)
+	default:
+		return diff("IS proposal", f.Proposal, g.Proposal)
 	}
 }
 

@@ -162,11 +162,38 @@ func TestFingerprintCheck(t *testing.T) {
 		"engine":  {Kind: "mc", Seed: 7, N: 100, Sampler: "lhs", Engine: "teta-exact", Policy: "skip", Sources: "abc123"},
 		"sources": {Kind: "mc", Seed: 7, N: 100, Sampler: "lhs", Engine: "teta-fast", Policy: "skip", Sources: "zzz"},
 		"kind":    {Kind: "skew", Seed: 7, N: 100, Sampler: "lhs", Engine: "teta-fast", Policy: "skip", Sources: "abc123"},
+		"proposal": {Kind: "mc", Seed: 7, N: 100, Sampler: "lhs", Engine: "teta-fast", Policy: "skip", Sources: "abc123",
+			Proposal: "budget=1e-9 shift=cafe inflate=1.2"},
 	}
 	for name, snap := range cases {
 		if err := live.Check(snap); err == nil || !errors.Is(err, ErrMismatch) {
 			t.Fatalf("%s mismatch not refused: %v", name, err)
 		}
+	}
+}
+
+// TestFingerprintProposalNamed pins the refusal message for a changed IS
+// proposal: the existing ErrMismatch flow must name the proposal field so
+// the operator knows the budget/shift/inflation — not the sampling plan —
+// is what moved.
+func TestFingerprintProposalNamed(t *testing.T) {
+	live := testSnap(0).Fingerprint
+	live.Kind = "is-yield"
+	live.Proposal = "budget=1.00e-09 shift=0123abcd inflate=1.2"
+	snap := live
+	snap.Proposal = "budget=1.10e-09 shift=0123abcd inflate=1.2"
+	err := live.Check(snap)
+	if err == nil || !errors.Is(err, ErrMismatch) {
+		t.Fatalf("changed proposal not refused: %v", err)
+	}
+	if !strings.Contains(err.Error(), "IS proposal") {
+		t.Fatalf("refusal must name the IS proposal field, got: %v", err)
+	}
+	// An empty proposal on both sides (plain drivers, pre-IS snapshots)
+	// still matches.
+	live.Proposal, snap.Proposal = "", ""
+	if err := live.Check(snap); err != nil {
+		t.Fatalf("empty proposals must pass: %v", err)
 	}
 }
 

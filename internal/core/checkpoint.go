@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strings"
 
 	"lcsim/internal/checkpoint"
@@ -67,6 +69,55 @@ type mcPayload struct {
 	Metrics  runner.Snapshot         `json:"metrics"`
 	Delays   []float64               `json:"delays,omitempty"`
 	Samples  [][]float64             `json:"samples,omitempty"`
+}
+
+// isFingerprint pins an importance-sampling yield run: the base plan
+// (seed, base N, sampler, engine/ladder, policy, sources) exactly like a
+// plain MC run, plus the Proposal field — the delay budget, a hash of
+// the mean-shift vector, the σ-inflation and the adaptive-growth knobs.
+// Resuming under a different proposal would mix likelihood ratios from
+// two different densities, so the checkpoint layer refuses it with
+// ErrMismatch naming the "IS proposal" field.
+func isFingerprint(cfg ISConfig, sampler Sampler, sources, proposal string) checkpoint.Fingerprint {
+	return checkpoint.Fingerprint{
+		Kind:     "is-yield",
+		Seed:     cfg.Seed,
+		N:        cfg.N,
+		Sampler:  sampler.String(),
+		Engine:   cfg.engineName(),
+		Ladder:   strings.Join(cfg.Ladder, ","),
+		Policy:   cfg.OnFailure.String(),
+		Sources:  sources,
+		Proposal: proposal,
+	}
+}
+
+// isProposal renders the proposal parameters for the fingerprint: the
+// absolute budget, an order-sensitive hash of the shift vector's exact
+// bits, the σ-inflation/shift-scale/defensive-mixture knobs and the
+// adaptive-growth plan (round-doubling is part of the deterministic
+// sampling schedule, so a changed target CI or cap also refuses to
+// resume).
+func isProposal(budget, inflate, scale, mix, targetCI float64, maxN int, shift []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range shift {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("budget=%.17g shift=%016x inflate=%.17g scale=%.17g mix=%.17g targetci=%.17g maxn=%d",
+		budget, h.Sum64(), inflate, scale, mix, targetCI, maxN)
+}
+
+// isPayload is the driver-specific state inside an importance-sampling
+// snapshot: the self-normalized estimator, the weighted delay summary,
+// the failure report and the cost counters.
+type isPayload struct {
+	Est      stat.ISEstimatorState     `json:"est"`
+	Weighted stat.WeightedSummaryState `json:"weighted"`
+	TotalSC  int                       `json:"total_sc"`
+	Failures FailureReport             `json:"failures"`
+	Metrics  runner.Snapshot           `json:"metrics"`
 }
 
 // skewPayload is the driver-specific state inside a skew snapshot: the

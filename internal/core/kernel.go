@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"lcsim/internal/runner"
+	"lcsim/internal/teta"
+)
+
+// pathKernel bundles the per-sample evaluation machinery shared by every
+// sampling driver over a path — plain MC (MonteCarloCtx), correlated MC
+// (MonteCarloCorrelatedCtx) and the importance-sampling yield driver
+// (ImportanceYieldCtx): the resolved primary engine with its scratch
+// pool, the Degrade engine ladder with per-rung pools, the watchdog
+// deadline, the fault-injection test hook, and the recovery hook
+// implementing the OnFailure policy. Drivers differ only in how sample
+// rows are generated and how delivered evaluations are aggregated; the
+// kernel guarantees they all share one failure/degradation/watchdog
+// semantics and the bit-identical-at-any-worker-count contract (recovery
+// is a pure function of (index, cause), never of worker identity).
+type pathKernel struct {
+	p    *Path
+	cfg  RunConfig
+	row  func(i int) []float64
+	spec func(sv []float64) (teta.RunSpec, error)
+	// injectFault, when non-nil, can fail sample i's primary evaluation
+	// (test hook; a Degrade retry still exercises the real ladder rungs).
+	injectFault func(i int) error
+
+	engine      Engine
+	primaryPool *scratchPool
+	ladder      []Engine
+	ladderPools []*scratchPool
+}
+
+// newPathKernel resolves the engine (and, under Degrade, the ladder) and
+// validates the execution policy. The error order matches the historical
+// runMonteCarlo behaviour: engine resolution first, then ladder
+// composition, then policy validation.
+func (p *Path) newPathKernel(cfg RunConfig, row func(i int) []float64, spec func(sv []float64) (teta.RunSpec, error), injectFault func(i int) error) (*pathKernel, error) {
+	engine, err := p.Engine(cfg.engineName())
+	if err != nil {
+		return nil, err
+	}
+	k := &pathKernel{
+		p: p, cfg: cfg, row: row, spec: spec, injectFault: injectFault,
+		engine: engine, primaryPool: newScratchPool(engine),
+	}
+	if cfg.OnFailure == Degrade {
+		if k.ladder, err = p.EngineLadder(engine, cfg.Ladder); err != nil {
+			return nil, err
+		}
+		k.ladderPools = make([]*scratchPool, len(k.ladder))
+		for i, rung := range k.ladder {
+			k.ladderPools[i] = newScratchPool(rung)
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// newBox issues a fresh scratch box from the primary pool for a new
+// worker. The box indirection lets a watchdog timeout replace the
+// scratch an abandoned evaluation still owns.
+func (k *pathKernel) newBox() scratchBox {
+	return scratchBox{sc: k.primaryPool.get()}
+}
+
+// evalPrimary evaluates sample i through the primary engine under the
+// watchdog deadline, charging the shared cost counters.
+func (k *pathKernel) evalPrimary(ctx context.Context, i int, box *scratchBox) (mcEval, error) {
+	sv := k.row(i)
+	rs, err := k.spec(sv)
+	if err != nil {
+		return mcEval{}, err
+	}
+	if k.injectFault != nil {
+		if err := k.injectFault(i); err != nil {
+			return mcEval{}, err
+		}
+	}
+	ev, err := engineEvalDeadline(ctx, k.cfg.SampleTimeout, k.engine, k.primaryPool, box, rs, k.cfg.Metrics)
+	if err != nil {
+		return mcEval{}, err
+	}
+	k.cfg.Metrics.AddSC(ev.SCIters)
+	k.cfg.Metrics.AddSolves(ev.LinearSolves)
+	k.cfg.Metrics.AddStageEvals(len(k.p.Stages))
+	return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv}, nil
+}
+
+// recover implements the OnFailure policy for a failed sample. Recovery
+// is a pure function of (index, cause) — never of worker identity or
+// scheduling — so the skip-set and every recovered value are
+// bit-identical at any worker count.
+func (k *pathKernel) recover(ctx context.Context, i int, cause error) (mcEval, error) {
+	switch k.cfg.OnFailure {
+	case Skip:
+		return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
+	case Degrade:
+		sv := k.row(i)
+		rs, serr := k.spec(sv)
+		if serr != nil {
+			return mcEval{}, runner.SkipSample(NewSampleError(i, serr))
+		}
+		// Walk the engine ladder in ascending cost order; the first rung
+		// that evaluates the sample wins. Every rung failing falls
+		// through to a skip carrying the whole cause chain. Each rung
+		// gets a fresh watchdog deadline, so a hung sample costs at most
+		// one SampleTimeout per rung.
+		for ri, rung := range k.ladder {
+			ev, rerr := rungEvalDeadline(ctx, k.cfg.SampleTimeout, rung, k.ladderPools[ri], rs, k.cfg.Metrics)
+			if rerr != nil {
+				cause = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.Name(), rerr, cause)
+				continue
+			}
+			k.cfg.Metrics.AddDegraded(1)
+			k.cfg.Metrics.AddSC(ev.SCIters)
+			k.cfg.Metrics.AddSolves(ev.LinearSolves)
+			k.cfg.Metrics.AddStageEvals(len(k.p.Stages))
+			return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv, degraded: true}, nil
+		}
+		return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
+	default: // FailFast: wrap with the taxonomy so callers get a typed error.
+		return mcEval{}, NewSampleError(i, cause)
+	}
+}

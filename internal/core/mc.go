@@ -269,23 +269,8 @@ func (p *Path) MonteCarloCtx(ctx context.Context, cfg MCConfig) (*MCResult, erro
 // skip-compaction post-pass. row generates the (already transformed)
 // sample row for an index; spec maps a row to a RunSpec.
 func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fingerprint, row func(i int) []float64, spec func(sv []float64) (teta.RunSpec, error)) (*MCResult, error) {
-	engine, err := p.Engine(cfg.engineName())
+	kern, err := p.newPathKernel(cfg.RunConfig, row, spec, cfg.injectFault)
 	if err != nil {
-		return nil, err
-	}
-	primaryPool := newScratchPool(engine)
-	var ladder []Engine
-	var ladderPools []*scratchPool
-	if cfg.OnFailure == Degrade {
-		if ladder, err = p.EngineLadder(engine, cfg.Ladder); err != nil {
-			return nil, err
-		}
-		ladderPools = make([]*scratchPool, len(ladder))
-		for i, rung := range ladder {
-			ladderPools[i] = newScratchPool(rung)
-		}
-	}
-	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 
@@ -344,71 +329,14 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		}}
 	}
 
-	// Primary per-sample evaluation through the selected engine. The
-	// worker state carries a scratchBox — so a watchdog timeout can
-	// replace the scratch the abandoned evaluation still owns — plus the
-	// worker's moment shard for sharded runs.
+	// Primary evaluation and policy recovery both live on the shared
+	// pathKernel; the adapters below only unbox this driver's per-worker
+	// state (scratch box + optional moment shard).
 	evalPrimary := func(ctx context.Context, i int, sc any) (mcEval, error) {
-		sv := row(i)
-		rs, err := spec(sv)
-		if err != nil {
-			return mcEval{}, err
-		}
-		if cfg.injectFault != nil {
-			if err := cfg.injectFault(i); err != nil {
-				return mcEval{}, err
-			}
-		}
-		ev, err := engineEvalDeadline(ctx, cfg.SampleTimeout, engine, primaryPool, &sc.(*mcWorkerState).box, rs, cfg.Metrics)
-		if err != nil {
-			return mcEval{}, err
-		}
-		cfg.Metrics.AddSC(ev.SCIters)
-		cfg.Metrics.AddSolves(ev.LinearSolves)
-		cfg.Metrics.AddStageEvals(len(p.Stages))
-		return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv}, nil
+		return kern.evalPrimary(ctx, i, &sc.(*mcWorkerState).box)
 	}
-
-	// Per-index recovery hook implementing the failure policy. Recovery is
-	// a pure function of (index, cause) — never of worker identity or
-	// scheduling — so the skip-set and every recovered value are
-	// bit-identical at any worker count.
-	var recoverFn func(_ context.Context, i int, sc any, cause error) (mcEval, error)
-	switch cfg.OnFailure {
-	case Skip:
-		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
-			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
-		}
-	case Degrade:
-		recoverFn = func(ctx context.Context, i int, _ any, cause error) (mcEval, error) {
-			sv := row(i)
-			rs, serr := spec(sv)
-			if serr != nil {
-				return mcEval{}, runner.SkipSample(NewSampleError(i, serr))
-			}
-			// Walk the engine ladder in ascending cost order; the first
-			// rung that evaluates the sample wins. Every rung failing
-			// falls through to a skip carrying the whole cause chain.
-			// Each rung gets a fresh watchdog deadline, so a hung sample
-			// costs at most one SampleTimeout per rung.
-			for ri, rung := range ladder {
-				ev, rerr := rungEvalDeadline(ctx, cfg.SampleTimeout, rung, ladderPools[ri], rs, cfg.Metrics)
-				if rerr != nil {
-					cause = fmt.Errorf("%s rung also failed: %w (previous: %v)", rung.Name(), rerr, cause)
-					continue
-				}
-				cfg.Metrics.AddDegraded(1)
-				cfg.Metrics.AddSC(ev.SCIters)
-				cfg.Metrics.AddSolves(ev.LinearSolves)
-				cfg.Metrics.AddStageEvals(len(p.Stages))
-				return mcEval{delay: ev.Delay, sc: ev.SCIters, sample: sv, degraded: true}, nil
-			}
-			return mcEval{}, runner.SkipSample(NewSampleError(i, cause))
-		}
-	default: // FailFast: wrap with the taxonomy so callers get a typed error.
-		recoverFn = func(_ context.Context, i int, _ any, cause error) (mcEval, error) {
-			return mcEval{}, NewSampleError(i, cause)
-		}
+	recoverFn := func(ctx context.Context, i int, _ any, cause error) (mcEval, error) {
+		return kern.recover(ctx, i, cause)
 	}
 
 	opts := cfg.runnerOptions()
@@ -435,7 +363,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		shards  []*stat.Moments
 	)
 	newState := func() any {
-		st := &mcWorkerState{box: scratchBox{sc: primaryPool.get()}}
+		st := &mcWorkerState{box: kern.newBox()}
 		if sharded {
 			st.shard = new(stat.Moments)
 			shardMu.Lock()

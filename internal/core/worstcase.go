@@ -125,10 +125,21 @@ func (p *Path) WorstCase(cfg WorstCaseConfig) (*WorstCaseResult, error) {
 //
 //   - GA: Φ((budget − mean)/σ) under the first-order normal model;
 //   - MC: the empirical fraction of samples meeting the budget.
+//
+// The MC estimate carries its binomial sampling uncertainty: MCStdErr is
+// sqrt(p(1−p)/n) and MCCIHalf the 95% half-width 1.96·MCStdErr, so
+// callers comparing estimators (GA vs. MC vs. importance sampling) can
+// ask "within CI?" instead of treating the point estimate as exact. Both
+// are 0 when the MC side is absent or has no samples.
 type TimingYield struct {
 	Budget  float64
 	GAYield float64
 	MCYield float64
+	// MCN is the MC sample count behind MCYield; MCStdErr/MCCIHalf its
+	// binomial standard error and 95% CI half-width.
+	MCN      int
+	MCStdErr float64
+	MCCIHalf float64
 }
 
 // Yield evaluates the timing yield at a delay budget given previously
@@ -154,7 +165,11 @@ func Yield(budget float64, ga *GAResult, mc *MCResult) TimingYield {
 				pass++
 			}
 		}
-		out.MCYield = float64(pass) / float64(len(mc.Delays))
+		n := len(mc.Delays)
+		out.MCYield = float64(pass) / float64(n)
+		out.MCN = n
+		out.MCStdErr = math.Sqrt(out.MCYield * (1 - out.MCYield) / float64(n))
+		out.MCCIHalf = 1.96 * out.MCStdErr
 	}
 	return out
 }

@@ -73,6 +73,10 @@ func TestYield(t *testing.T) {
 	if !almostEq(y.MCYield, 0.5, 1e-12) {
 		t.Fatalf("MC yield = %g, want 0.5", y.MCYield)
 	}
+	// The MC estimate carries its binomial CI: n=4, p=0.5 → SE = 0.25.
+	if y.MCN != 4 || !almostEq(y.MCStdErr, 0.25, 1e-12) || !almostEq(y.MCCIHalf, 1.96*0.25, 1e-12) {
+		t.Fatalf("MC CI: n=%d se=%g ci=%g, want 4/0.25/%g", y.MCN, y.MCStdErr, y.MCCIHalf, 1.96*0.25)
+	}
 	// 3σ budget.
 	y3 := Yield(130e-12, ga, mc)
 	if y3.GAYield < 0.99 {
@@ -88,6 +92,9 @@ func TestYield(t *testing.T) {
 	}
 	if !math.IsNaN(y0.MCYield) {
 		t.Fatal("missing MC must be NaN")
+	}
+	if y0.MCN != 0 || y0.MCStdErr != 0 || y0.MCCIHalf != 0 {
+		t.Fatalf("missing MC must have zero CI fields, got n=%d se=%g", y0.MCN, y0.MCStdErr)
 	}
 }
 

@@ -1,0 +1,79 @@
+#!/bin/sh
+# yield_smoke.sh — importance-sampling yield gate (the `yield-smoke` leg
+# of `make check`).
+#
+# Three assertions on the `lcsim yield` driver:
+#   1. Statistical agreement: a small IS run at a 2.5σ delay budget must
+#      land within the combined 95% CI of a 20k-sample plain-MC
+#      reference of the same failure probability (`-check-mc` makes the
+#      driver itself exit non-zero on disagreement).
+#   2. Crash safety: an IS run with a checkpoint journal, SIGKILLed
+#      mid-sweep and resumed at a different worker count, must
+#      reproduce the uninterrupted run's estimate bit for bit.
+#   3. The resumed run must actually restore samples from the journal
+#      (otherwise assertion 2 just re-ran the sweep).
+# Only the cost-counter lines are excluded from the diff: worker-side
+# counters may include in-flight work beyond the checkpoint cut, and the
+# resumed run prints an extra "resumed:" note.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$workdir/lcsim"
+go build -o "$bin" ./cmd/lcsim
+
+args="yield -cells INV,NAND2,INV -elems 6 -budget-sigma 2.5 -n 800 -seed 42"
+ck="$workdir/is.ckpt"
+
+# strip_cost drops the evaluation-cost counter block, keeping the
+# statistical lines (the IS accounting line spells "cost :" and stays).
+strip_cost() {
+    grep -v -E '^cost: |^ +[0-9]+ skipped,|^ +resumed:' "$1"
+}
+
+# 1. IS vs plain MC: the driver exits 1 if the two estimates disagree
+# beyond the combined 95% CI.
+if ! $bin $args -check-mc 20000 > "$workdir/agree.out" 2>&1; then
+    echo "yield-smoke: IS disagrees with the 20k plain-MC reference:" >&2
+    cat "$workdir/agree.out" >&2
+    exit 1
+fi
+grep 'MC   :' "$workdir/agree.out"
+
+# 2. Uninterrupted IS reference run.
+$bin $args -workers 2 > "$workdir/ref.out"
+
+# Journaled run, killed hard once the journal exists (if the run managed
+# to finish first, the resume below restores a completed prefix and
+# evaluates nothing, which must still produce the same output).
+$bin $args -workers 2 -checkpoint "$ck" -checkpoint-every 50 > "$workdir/victim.out" 2>&1 &
+pid=$!
+i=0
+while [ ! -f "$ck" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 600 ]; then
+        echo "yield-smoke: journal never appeared; victim output:" >&2
+        cat "$workdir/victim.out" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Resume at a different worker count (the fingerprint excludes it) and
+# compare against the uninterrupted reference.
+$bin $args -workers 4 -checkpoint "$ck" -resume > "$workdir/resumed.out"
+
+if ! grep -q 'resumed:' "$workdir/resumed.out"; then
+    echo "yield-smoke: the resumed run restored no samples" >&2
+    exit 1
+fi
+strip_cost "$workdir/ref.out" > "$workdir/ref.cmp"
+strip_cost "$workdir/resumed.out" > "$workdir/resumed.cmp"
+if ! diff -u "$workdir/ref.cmp" "$workdir/resumed.cmp"; then
+    echo "yield-smoke: resumed estimate differs from the uninterrupted reference" >&2
+    exit 1
+fi
+echo "yield-smoke: OK (inside the plain-MC CI; killed mid-sweep, resumed bit-identical)"
