@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke fmt
+.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke ssta-smoke fmt
 
 # Full CI gate: vet, build, race-enabled tests (full + short modes),
 # paper benchmarks, crash-safety kill/resume gate, multi-core scaling
-# smoke, importance-sampling yield gate. Run before every merge (see
-# README "Failure policy" / pre-merge gate).
-check: vet build race race-short bench checkpoint-resume scaling-smoke yield-smoke
+# smoke, importance-sampling yield gate, full-chip SSTA gate. Run before
+# every merge (see README "Failure policy" / pre-merge gate).
+check: vet build race race-short bench checkpoint-resume scaling-smoke yield-smoke ssta-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,13 @@ scaling-smoke:
 # estimate bit for bit.
 yield-smoke:
 	sh scripts/yield_smoke.sh
+
+# Full-chip SSTA gate: block-level statistical STA on s27 must agree
+# with a 5k-sample brute-force MC reference within 5% on every sink's
+# mean and sigma, and must print bit-identical statistics at 1 and 4
+# workers.
+ssta-smoke:
+	sh scripts/ssta_smoke.sh
 
 fmt:
 	gofmt -l -w .

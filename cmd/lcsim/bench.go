@@ -15,6 +15,7 @@ import (
 	"lcsim/internal/device"
 	"lcsim/internal/experiments"
 	"lcsim/internal/runner"
+	"lcsim/internal/ssta"
 	"lcsim/internal/teta"
 )
 
@@ -67,6 +68,11 @@ type benchReport struct {
 	// measured evaluation-count reduction over plain MC for a tail
 	// (-yield-sigma) delay budget on the Example-2 path.
 	Yield *yieldBenchRow `json:"yield,omitempty"`
+	// SSTA is the optional full-chip statistical-STA section (-ssta):
+	// the block-partition economics of the -ssta-bench circuit —
+	// characterize-once cache hits are the number the section exists to
+	// track.
+	SSTA *sstaBenchRow `json:"ssta,omitempty"`
 
 	// Scaling is the measured worker-scaling curve of the var path:
 	// workers ∈ {1, 2, 4, NumCPU} (deduplicated, ascending), each point
@@ -123,6 +129,21 @@ type yieldBenchRow struct {
 	VarReduction  float64 `json:"variance_reduction"`
 }
 
+// sstaBenchRow is the optional full-chip SSTA section of BENCH_mc.json
+// (-ssta): how the block partition of a benchmark circuit amortizes
+// characterization (blocks vs distinct macromodels vs cache hits) and
+// what the whole analysis costs wall-clock.
+type sstaBenchRow struct {
+	Circuit     string `json:"circuit"`
+	Blocks      int    `json:"blocks"`
+	Distinct    int    `json:"distinct"`
+	CacheHits   int    `json:"cache_hits"`
+	Sinks       int    `json:"sinks"`
+	Simulations int    `json:"simulations"` // stage simulations spent characterizing
+	CharNs      int64  `json:"characterize_ns"`
+	TotalNs     int64  `json:"total_ns"` // partition + characterize + propagate
+}
+
 // runBench measures per-sample Monte-Carlo evaluation cost on the
 // paper's Example-2 coupled-line stage and writes BENCH_mc.json:
 //
@@ -133,6 +154,8 @@ func runBench(args []string) {
 	wire := fs.Float64("wire", 40, "Example-2 wirelength, um")
 	engine := fs.String("engine", "", "measure an extra single-worker row with this engine (e.g. spice-golden; keep -samples small for slow backends)")
 	yield := fs.Bool("yield", false, "measure the importance-sampling yield section on the Example-2 path")
+	sstaOn := fs.Bool("ssta", false, "measure the full-chip SSTA section on the -ssta-bench circuit")
+	sstaBench := fs.String("ssta-bench", "s27", "benchmark circuit for the -ssta section (name or .bench file)")
 	yieldSigma := fs.Float64("yield-sigma", 4, "delay-budget position for the -yield row, in GA sigmas above the mean")
 	yieldSamples := fs.Int("yield-samples", 1000, "IS samples for the -yield row")
 	minReduction := fs.Float64("min-eval-reduction", 0, "exit non-zero unless the -yield row's evaluation reduction over plain MC reaches this factor (0 = no assertion)")
@@ -200,6 +223,10 @@ func runBench(args []string) {
 		row := benchYield(*wire, *yieldSamples, *yieldSigma, sf.Workers)
 		rep.Yield = &row
 	}
+	if *sstaOn {
+		row := benchSSTA(*sstaBench, sf.Workers)
+		rep.SSTA = &row
+	}
 	rep.DurationSec = time.Since(t0).Seconds()
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -228,6 +255,11 @@ func runBench(args []string) {
 			rep.Yield.BudgetSigma, rep.Yield.FailProb, rep.Yield.CIHalf, rep.Yield.ESS, rep.Yield.FailESS)
 		fmt.Printf("             %8.0f IS eval-equivalents vs %.3g plain-MC evals for the same CI: %.0fx fewer evals\n",
 			rep.Yield.ISEvals, rep.Yield.MCEvalsForCI, rep.Yield.EvalReduction)
+	}
+	if rep.SSTA != nil {
+		fmt.Printf("ssta       : %s — %d blocks, %d distinct (%d cache hits), %d sinks, %.1f ms characterize / %.1f ms total\n",
+			rep.SSTA.Circuit, rep.SSTA.Blocks, rep.SSTA.Distinct, rep.SSTA.CacheHits, rep.SSTA.Sinks,
+			float64(rep.SSTA.CharNs)/1e6, float64(rep.SSTA.TotalNs)/1e6)
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if *minReduction > 0 {
@@ -293,6 +325,30 @@ func benchYield(wire float64, samples int, sigma float64, workers int) yieldBenc
 		MCEvalsForCI:  res.MCEvalsForCI,
 		EvalReduction: res.EvalReduction,
 		VarReduction:  res.VarReduction,
+	}
+}
+
+// benchSSTA measures the full-chip SSTA section: one ssta.Run over the
+// named benchmark at the Example-3 characterization defaults, reporting
+// the partition economics and wall-clock split.
+func benchSSTA(name string, workers int) sstaBenchRow {
+	c := loadBenchmark(name)
+	t0 := time.Now()
+	res, err := ssta.Run(context.Background(), c, ssta.Config{
+		RunConfig: core.RunConfig{Workers: workers, Metrics: &runner.Metrics{}},
+		Sources:   core.DeviceSources(device.Tech180, 0.33, 0.33),
+	})
+	fail(err)
+	total := time.Since(t0)
+	return sstaBenchRow{
+		Circuit:     c.Name,
+		Blocks:      res.Stats.Blocks,
+		Distinct:    res.Stats.Distinct,
+		CacheHits:   res.Stats.CacheHits,
+		Sinks:       len(res.Sinks),
+		Simulations: res.Stats.Simulations,
+		CharNs:      res.Stats.Wall.Nanoseconds(),
+		TotalNs:     total.Nanoseconds(),
 	}
 }
 

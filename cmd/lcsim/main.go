@@ -2,7 +2,7 @@
 //
 //	lcsim sim      -netlist f.sp -tstop 5n -dt 5p -probe out[,node2,...]
 //	lcsim reduce   -netlist f.sp -order 4 [-at p=0.1,...]
-//	lcsim sta      -bench f.bench
+//	lcsim sta      -bench s27 [-ssta -budget 300p -mc 5000 -check 0.05]
 //	lcsim yield    -cells INV,NAND2,INV -budget-sigma 4 -n 1000
 //	lcsim bench    -samples 100 -out BENCH_mc.json
 //	lcsim validate -engines teta-exact,spice-golden -samples 20
@@ -10,7 +10,10 @@
 // `sim` runs the Newton transient simulator on a SPICE-like netlist;
 // `reduce` builds the (variational) reduced-order model of the netlist's
 // linear part and prints its poles before and after stabilization;
-// `sta` parses an ISCAS-89 .bench file and reports the critical path;
+// `sta` parses an ISCAS-89 benchmark (builtin name or .bench file) and
+// reports the critical path; with -ssta it runs full-chip block-level
+// statistical STA (per-sink arrival distributions, chip yield, slack),
+// with -mc a brute-force Monte-Carlo cross-check of the same graph;
 // `yield` estimates tail timing yield at a delay budget by
 // importance sampling (a GA-aimed mean-shifted proposal — ppm-level
 // failure probabilities at orders of magnitude fewer evaluations than
@@ -40,7 +43,6 @@ import (
 	"lcsim/internal/circuit"
 	"lcsim/internal/core"
 	"lcsim/internal/device"
-	"lcsim/internal/iscas"
 	"lcsim/internal/mor"
 	"lcsim/internal/poleres"
 	"lcsim/internal/runner"
@@ -327,32 +329,6 @@ func runReduce(args []string) {
 			fmt.Printf(" %12.6g", st.DCZ().At(i, j))
 		}
 		fmt.Println()
-	}
-}
-
-func runSTA(args []string) {
-	fs := flag.NewFlagSet("sta", flag.ExitOnError)
-	bench := fs.String("bench", "", ".bench netlist file (or 's27' for the builtin)")
-	fail(fs.Parse(args))
-	var c *iscas.Circuit
-	if *bench == "" || *bench == "s27" {
-		c = iscas.S27()
-	} else {
-		f, err := os.Open(*bench)
-		fail(err)
-		defer f.Close()
-		c, err = iscas.ParseBench(*bench, f)
-		fail(err)
-	}
-	st := c.Stats()
-	fmt.Printf("%s: %d PIs, %d POs, %d DFFs, %d gates\n", c.Name, st.PIs, st.POs, st.DFFs, st.Gates)
-	mapped, err := c.TechMap()
-	fail(err)
-	path, err := mapped.LongestPath()
-	fail(err)
-	fmt.Printf("longest latch-to-latch path: %d stages\n", len(path))
-	for i, pg := range path {
-		fmt.Printf("  %2d. %-8s %-10s <- pin %d (%s)\n", i+1, pg.Gate.Type, pg.Gate.Output, pg.SignalPin, pg.Gate.Inputs[pg.SignalPin])
 	}
 }
 

@@ -114,4 +114,18 @@
 // GradientAnalysis, MonteCarloSkewCtx, WorstCase) takes an Engine name in
 // its config and runs unmodified against any registered backend; "lcsim
 // validate" cross-checks two or more engines on the same sample set.
+//
+// # Full-chip statistical STA
+//
+// internal/ssta lifts the path-level statistics to chip level: it
+// partitions a tech-mapped iscas.Circuit into fan-out-free blocks,
+// characterizes each distinct cell chain exactly once (content-keyed
+// macromodel cache, fanned across the runner pool), and propagates
+// canonical (mean, sensitivity, residual) arrival forms through the
+// block graph with Clark's statistical max at reconvergent fan-in.
+// ssta.Run is the analytical driver; ssta.RunMC is the brute-force
+// per-sample reference on the same graph, under the same RunConfig
+// (policies, watchdog, checkpoint journal). "lcsim sta -ssta" is the
+// CLI surface; the ssta-smoke leg of `make check` gates SSTA-vs-MC
+// agreement on s27.
 package lcsim

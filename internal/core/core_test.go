@@ -218,6 +218,36 @@ func TestGradientAnalysisSensitivities(t *testing.T) {
 	}
 }
 
+func TestGAStageCumulativeArrays(t *testing.T) {
+	p := quickChain(t, []string{"INV", "NAND2", "NOR2"}, 10, false)
+	sources := DeviceSources(device.Tech180, 0.33, 0.33)
+	ga, err := p.GradientAnalysis(GAConfig{Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ga.StageCumMean) != len(p.Stages) || len(ga.StageCumSens) != len(p.Stages) {
+		t.Fatalf("cumulative arrays cover %d/%d stages, want %d",
+			len(ga.StageCumMean), len(ga.StageCumSens), len(p.Stages))
+	}
+	last := len(p.Stages) - 1
+	if ga.StageCumMean[last] != ga.Mean {
+		t.Fatalf("final cumulative mean %g != Mean %g", ga.StageCumMean[last], ga.Mean)
+	}
+	prev := 0.0
+	for i, m := range ga.StageCumMean {
+		if m <= prev {
+			t.Fatalf("cumulative mean not increasing at stage %d: %g <= %g", i, m, prev)
+		}
+		prev = m
+	}
+	for l, s := range sources {
+		if ga.StageCumSens[last][l] != ga.Sensitivity[s.Name] {
+			t.Fatalf("final cumulative sensitivity for %s: %g != %g",
+				s.Name, ga.StageCumSens[last][l], ga.Sensitivity[s.Name])
+		}
+	}
+}
+
 func TestGACostScalesLinearlyInSources(t *testing.T) {
 	p := quickChain(t, []string{"INV"}, 10, true)
 	s2 := DeviceSources(device.Tech180, 0.33, 0.33)

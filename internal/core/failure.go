@@ -187,6 +187,12 @@ type FailureReport struct {
 // Any reports whether anything failed (skipped) or degraded.
 func (r *FailureReport) Any() bool { return r.Skipped > 0 || r.Degraded > 0 }
 
+// Record folds one skipped sample into the report. Call it in strict
+// index order (the runner's OnSkip contract), so FirstIndex/FirstErr are
+// the true minima and SkippedIndices stays sorted. Drivers outside this
+// package (internal/ssta) use it to build the same deterministic report.
+func (r *FailureReport) Record(index int, err error) { r.record(index, err) }
+
 // record folds one skipped sample into the report. Called in strict
 // index order (the runner's OnSkip contract), so FirstIndex/FirstErr are
 // the true minima and SkippedIndices stays sorted.

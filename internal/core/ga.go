@@ -34,6 +34,14 @@ type GAResult struct {
 	Sensitivity map[string]float64 // dD/dsource (natural units)
 	StageCount  int
 	Simulations int // stage simulations spent (the GA cost metric)
+	// StageCumMean[i] is the cumulative mean delay through stage i, and
+	// StageCumSens[i][l] the cumulative ∂D/∂w_l (same source order as
+	// GAConfig.Sources) at that point. The last entries equal Mean and the
+	// Sensitivity values. Block-level SSTA uses these to form suffix delay
+	// models — a path entered at stage j has mean Mean−StageCumMean[j-1]
+	// and sensitivities StageCumSens[last][l]−StageCumSens[j-1][l].
+	StageCumMean []float64
+	StageCumSens [][]float64
 }
 
 // stageDerivs holds the stage Γ-function linearization (eq. 30–31):
@@ -97,6 +105,8 @@ func (p *Path) GradientAnalysis(cfg GAConfig) (*GAResult, error) {
 		}
 		slew = sd.nom.Slew
 		rising = rising != p.Stages[i].Invert
+		res.StageCumMean = append(res.StageCumMean, mTot)
+		res.StageCumSens = append(res.StageCumSens, append([]float64(nil), dM...))
 	}
 	res.Mean = mTot
 	// eq. (24): σ² = Σ σ_l² (∂D/∂w_l)².

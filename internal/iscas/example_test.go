@@ -15,8 +15,10 @@ func ExampleCircuit_LongestPath() {
 	if err != nil {
 		panic(err)
 	}
+	// With sinks = POs ∪ DFF D pins, the depth-6 tie between G10 (a D pin)
+	// and G17 (a PO) breaks by gate name to G17, ending the path on an INV.
 	fmt.Println(iscas.PathCells(path))
-	// Output: [INV AND2 OR2 NAND2 NOR2 NOR2]
+	// Output: [INV AND2 OR2 NAND2 NOR2 INV]
 }
 
 func ExampleGenerate() {

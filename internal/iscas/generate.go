@@ -37,6 +37,19 @@ var Table5Set = []Benchmark{
 	{"s1423", 21, 14230},
 }
 
+// Lookup resolves a benchmark by name across Table4Set and Table5Set
+// (Table 4 wins where the sets disagree on stage count, e.g. s1423).
+func Lookup(name string) (Benchmark, bool) {
+	for _, set := range [][]Benchmark{Table4Set, Table5Set} {
+		for _, b := range set {
+			if b.Name == name {
+				return b, true
+			}
+		}
+	}
+	return Benchmark{}, false
+}
+
 // chainCellPool is the inverting/non-inverting gate mix the generator
 // draws from (weighted towards the simple gates real netlists are made
 // of). All are in the mapped-cell namespace already.

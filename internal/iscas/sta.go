@@ -12,29 +12,93 @@ type PathGate struct {
 	SignalPin int
 }
 
-// LongestPath runs a unit-delay static timing analysis over the
-// combinational logic (latch-to-latch: sources are primary inputs and DFF
-// Q pins; sinks are primary outputs and DFF D pins) and returns the
-// critical path in topological order. Ties break deterministically by
-// gate name.
-func (c *Circuit) LongestPath() ([]PathGate, error) {
-	// Net -> driving gate.
+// DuplicateDriverError reports a net with more than one driver: two gate
+// outputs, a gate output colliding with a primary input or a DFF Q pin,
+// or duplicated primary inputs / Q pins. Such a netlist has no
+// well-defined timing graph, so the analyses reject it instead of
+// silently picking one driver.
+type DuplicateDriverError struct {
+	Net    string
+	First  string // description of the driver seen first
+	Second string // description of the colliding driver
+}
+
+func (e *DuplicateDriverError) Error() string {
+	return fmt.Sprintf("iscas: net %s has two drivers (%s and %s)", e.Net, e.First, e.Second)
+}
+
+// Drivers maps every gate-driven net to the index of its driving gate,
+// rejecting duplicate drivers with a *DuplicateDriverError. A collision
+// between a gate output and a source net (primary input or DFF Q pin) —
+// or between two source nets — is a duplicate too: the timing graph
+// treats sources as zero-arrival drivers of their nets.
+func (c *Circuit) Drivers() (map[string]int, error) {
+	owner := map[string]string{}
+	claim := func(net, desc string) error {
+		if prev, dup := owner[net]; dup {
+			return &DuplicateDriverError{Net: net, First: prev, Second: desc}
+		}
+		owner[net] = desc
+		return nil
+	}
+	for _, pi := range c.PIs {
+		if err := claim(pi, "primary input "+pi); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range c.DFFs {
+		if err := claim(d.Q, "DFF "+d.Name+" Q pin"); err != nil {
+			return nil, err
+		}
+	}
 	driver := map[string]int{}
 	for i, g := range c.Gates {
-		if _, dup := driver[g.Output]; dup {
-			return nil, fmt.Errorf("iscas: net %s has two drivers", g.Output)
+		if err := claim(g.Output, "gate "+g.Name); err != nil {
+			return nil, err
 		}
 		driver[g.Output] = i
 	}
-	// Source nets (arrival 0).
-	isSource := map[string]bool{}
+	return driver, nil
+}
+
+// SourceNets returns the zero-arrival nets of the latch-to-latch timing
+// graph: primary inputs and DFF Q pins.
+func (c *Circuit) SourceNets() map[string]bool {
+	src := map[string]bool{}
 	for _, pi := range c.PIs {
-		isSource[pi] = true
+		src[pi] = true
 	}
 	for _, d := range c.DFFs {
-		isSource[d.Q] = true
+		src[d.Q] = true
 	}
-	// Kahn topological order over gates.
+	return src
+}
+
+// SinkNets returns the observable endpoints of the timing graph: the
+// union of primary outputs and DFF D pins. (Earlier versions dropped
+// primary outputs whenever the circuit was sequential, silently ignoring
+// any PO deeper than every D pin.)
+func (c *Circuit) SinkNets() map[string]bool {
+	sink := map[string]bool{}
+	for _, po := range c.POs {
+		sink[po] = true
+	}
+	for _, d := range c.DFFs {
+		sink[d.D] = true
+	}
+	return sink
+}
+
+// TopoOrder returns the gate indices in a topological order of the
+// combinational logic (Kahn's algorithm, zero-indegree ties by gate
+// name). It shares Drivers' duplicate detection and reports undriven
+// gate inputs and combinational cycles as errors.
+func (c *Circuit) TopoOrder() ([]int, error) {
+	driver, err := c.Drivers()
+	if err != nil {
+		return nil, err
+	}
+	isSource := c.SourceNets()
 	indeg := make([]int, len(c.Gates))
 	fanout := make([][]int, len(c.Gates))
 	for i, g := range c.Gates {
@@ -72,6 +136,47 @@ func (c *Circuit) LongestPath() ([]PathGate, error) {
 	if len(topo) != len(c.Gates) {
 		return nil, fmt.Errorf("iscas: combinational cycle detected (%d of %d gates ordered)", len(topo), len(c.Gates))
 	}
+	return topo, nil
+}
+
+// predLabel totally orders critical-predecessor candidates for the
+// deterministic tie-break (smaller label wins an arrival tie): gates
+// sort among themselves by gate name, DFF Q pins before primary inputs
+// (a zero-arrival tie between sources picks the latch, keeping extracted
+// paths latch-to-latch as the paper's Example 3 expects), and sources of
+// the same kind by net name. The prefixes make the namespaces
+// collision-free; gates never tie with sources on arrival (a gate output
+// arrives at ≥ 1, a source at 0), so their relative order is moot.
+func (c *Circuit) predLabel(src int, net string, isQ map[string]bool) string {
+	if src >= 0 {
+		return "g:" + c.Gates[src].Name
+	}
+	if isQ[net] {
+		return "q:" + net
+	}
+	return "s:" + net
+}
+
+// LongestPath runs a unit-delay static timing analysis over the
+// combinational logic (latch-to-latch: sources are primary inputs and DFF
+// Q pins; sinks are the union of primary outputs and DFF D pins) and
+// returns the critical path in topological order. All ties — critical
+// predecessor and critical sink — break deterministically by name, so
+// the extracted path is invariant under gate reordering.
+func (c *Circuit) LongestPath() ([]PathGate, error) {
+	driver, err := c.Drivers()
+	if err != nil {
+		return nil, err
+	}
+	isSource := c.SourceNets()
+	isQ := map[string]bool{}
+	for _, d := range c.DFFs {
+		isQ[d.Q] = true
+	}
+	topo, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	// Arrival times at gate outputs; predecessor bookkeeping.
 	arr := make([]int, len(c.Gates))
 	prevGate := make([]int, len(c.Gates)) // critical predecessor gate, -1 = source
@@ -82,6 +187,7 @@ func (c *Circuit) LongestPath() ([]PathGate, error) {
 		best := -1
 		bestPin := 0
 		bestArr := 0
+		bestLabel := ""
 		for pin, in := range g.Inputs {
 			a := 0
 			src := -1
@@ -89,33 +195,22 @@ func (c *Circuit) LongestPath() ([]PathGate, error) {
 				src = driver[in]
 				a = arr[src]
 			}
-			better := a > bestArr
-			if assigned && a == bestArr && best >= 0 && src >= 0 && c.Gates[src].Name < c.Gates[best].Name {
-				better = true
-			}
-			if !assigned || better {
+			label := c.predLabel(src, in, isQ)
+			if !assigned || a > bestArr || (a == bestArr && label < bestLabel) {
 				assigned = true
 				best = src
 				bestPin = pin
 				bestArr = a
+				bestLabel = label
 			}
 		}
 		arr[i] = bestArr + 1
 		prevGate[i] = best
 		prevPin[i] = bestPin
 	}
-	// Sink selection: latch-to-latch when the circuit is sequential (the
-	// paper extracts latch-to-latch paths), otherwise primary outputs.
-	isSink := map[string]bool{}
-	if len(c.DFFs) > 0 {
-		for _, d := range c.DFFs {
-			isSink[d.D] = true
-		}
-	} else {
-		for _, po := range c.POs {
-			isSink[po] = true
-		}
-	}
+	// Sink selection: the deepest gate driving a primary output or a DFF
+	// D pin, ties by gate name.
+	isSink := c.SinkNets()
 	end := -1
 	for i, g := range c.Gates {
 		if !isSink[g.Output] {
@@ -126,9 +221,10 @@ func (c *Circuit) LongestPath() ([]PathGate, error) {
 		}
 	}
 	if end == -1 {
-		// Fall back: deepest gate anywhere.
-		for i := range c.Gates {
-			if end == -1 || arr[i] > arr[end] {
+		// Fall back: deepest gate anywhere (no gate drives a sink net),
+		// with the same deterministic name tie-break.
+		for i, g := range c.Gates {
+			if end == -1 || arr[i] > arr[end] || (arr[i] == arr[end] && g.Name < c.Gates[end].Name) {
 				end = i
 			}
 		}

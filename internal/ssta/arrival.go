@@ -1,0 +1,102 @@
+package ssta
+
+import "math"
+
+// Arrival is a canonical first-order arrival-time form (the hierarchical
+// SSTA composition rule of Li/Chen/Schlichtmann): a mean, one
+// sigma-scaled sensitivity per global variation source (Sens[l] =
+// σ_l·∂A/∂x_l, so the variance contribution is Sens[l]² directly), and
+// an independent residual σ accumulated by Clark's max operator (the
+// moment-matched part of max's variance that no global source explains).
+type Arrival struct {
+	Mean float64
+	Sens []float64
+	Ind  float64
+}
+
+// zeroArrival returns the canonical zero (source-net) arrival.
+func zeroArrival(nsrc int) Arrival {
+	return Arrival{Sens: make([]float64, nsrc)}
+}
+
+// Var returns the arrival variance: Σ Sens² + Ind².
+func (a Arrival) Var() float64 {
+	v := a.Ind * a.Ind
+	for _, s := range a.Sens {
+		v += s * s
+	}
+	return v
+}
+
+// Std returns the arrival standard deviation.
+func (a Arrival) Std() float64 { return math.Sqrt(a.Var()) }
+
+// addDelay returns the arrival after a serial delay segment with the
+// given mean and sigma-scaled sensitivities: means add, and the global
+// sensitivities add because every block on a path sees the same
+// chip-wide source values (the paper's global-variation model).
+func (a Arrival) addDelay(mean float64, sens []float64) Arrival {
+	out := Arrival{Mean: a.Mean + mean, Ind: a.Ind, Sens: make([]float64, len(a.Sens))}
+	for l := range out.Sens {
+		out.Sens[l] = a.Sens[l] + sens[l]
+	}
+	return out
+}
+
+// cov returns the covariance between two arrivals: the dot product of
+// their global sensitivities (the independent residuals are, by
+// construction, uncorrelated with everything).
+func (a Arrival) cov(b Arrival) float64 {
+	c := 0.0
+	for l := range a.Sens {
+		c += a.Sens[l] * b.Sens[l]
+	}
+	return c
+}
+
+// normPhi is the standard normal CDF Φ.
+func normPhi(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// normPdf is the standard normal density φ.
+func normPdf(x float64) float64 { return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi) }
+
+// statMax is Clark's moment-matched maximum of two correlated Gaussian
+// arrivals. The result matches E[max] and Var[max] exactly (for jointly
+// Gaussian inputs); the new global sensitivities are the
+// tightness-weighted blend T·a + (1−T)·b, and whatever matched variance
+// the blend cannot explain lands in the independent residual — keeping
+// the canonical form closed under max so reconvergent fan-in composes.
+func statMax(a, b Arrival) Arrival {
+	va, vb := a.Var(), b.Var()
+	theta2 := va + vb - 2*a.cov(b)
+	if theta2 <= 1e-300 {
+		// Perfectly correlated (or both deterministic): max is whichever
+		// mean is larger; ties keep the first operand (callers fold in a
+		// deterministic order, so this is reproducible).
+		if b.Mean > a.Mean {
+			return b
+		}
+		return a
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (a.Mean - b.Mean) / theta
+	t := normPhi(alpha)
+	pdf := normPdf(alpha)
+	mean := a.Mean*t + b.Mean*(1-t) + theta*pdf
+	m2 := (a.Mean*a.Mean+va)*t + (b.Mean*b.Mean+vb)*(1-t) + (a.Mean+b.Mean)*theta*pdf
+	variance := m2 - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	out := Arrival{Mean: mean, Sens: make([]float64, len(a.Sens))}
+	explained := 0.0
+	for l := range out.Sens {
+		s := t*a.Sens[l] + (1-t)*b.Sens[l]
+		out.Sens[l] = s
+		explained += s * s
+	}
+	if rest := variance - explained; rest > 0 {
+		out.Ind = math.Sqrt(rest)
+	}
+	return out
+}
