@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke ssta-smoke fmt
+.PHONY: check vet staticcheck build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke fmt
 
-# Full CI gate: vet, build, race-enabled tests (full + short modes),
-# paper benchmarks, crash-safety kill/resume gate, multi-core scaling
-# smoke, importance-sampling yield gate, full-chip SSTA gate. Run before
-# every merge (see README "Failure policy" / pre-merge gate).
-check: vet build race race-short bench checkpoint-resume scaling-smoke yield-smoke ssta-smoke
+# Full CI gate: vet + staticcheck, build, race-enabled tests (full +
+# short modes), paper benchmarks, crash-safety kill/resume gate,
+# multi-core scaling smoke, importance-sampling yield gate, full-chip
+# SSTA gate, warm model-cache gate. Run before every merge (see README
+# "Failure policy" / pre-merge gate).
+check: vet staticcheck build race race-short bench checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Pinned staticcheck via `go run` (nothing installed); skips itself
+# (exit 0, with a notice) when the tool cannot be fetched — offline
+# containers still get the full rest of the gate.
+staticcheck:
+	sh scripts/staticcheck.sh
 
 build:
 	$(GO) build ./...
@@ -62,6 +69,13 @@ yield-smoke:
 # workers.
 ssta-smoke:
 	sh scripts/ssta_smoke.sh
+
+# Warm model-cache gate: a path sweep and the s27 SSTA driver each run
+# twice over one -model-cache directory; the second run must report
+# zero misses (no macromodel characterized twice) and print stdout
+# bit-identical to the first.
+cache-smoke:
+	sh scripts/cache_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -1,151 +1,14 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"os"
-	"runtime"
-	"sort"
-	"time"
 
-	"lcsim/internal/checkpoint"
-	"lcsim/internal/core"
-	"lcsim/internal/device"
-	"lcsim/internal/experiments"
-	"lcsim/internal/runner"
-	"lcsim/internal/ssta"
-	"lcsim/internal/teta"
+	"lcsim/internal/job"
 )
 
-// benchRow is one measured configuration in BENCH_mc.json.
-type benchRow struct {
-	// Engine names the stage-evaluation backend the row was measured with
-	// (a core engine-registry name: teta-fast, teta-exact, ...).
-	Engine          string  `json:"engine"`
-	Workers         int     `json:"workers"`
-	Batch           int     `json:"batch"` // requested batch size (0 = automatic)
-	NsPerSample     float64 `json:"ns_per_sample"`
-	AllocsPerSample float64 `json:"allocs_per_sample"`
-	SamplesPerSec   float64 `json:"samples_per_sec"`
-	// Utilization is BusyNs / (workers × elapsed): the fraction of the
-	// measured wall time workers spent inside sample evaluations.
-	// ChanWaitFrac is SendWaitNs / (workers × elapsed): the fraction lost
-	// blocked handing finished batches to the ordered collector — a high
-	// value means delivery, not evaluation, limits throughput.
-	Utilization  float64 `json:"utilization"`
-	ChanWaitFrac float64 `json:"chan_wait_frac"`
-	// Skipped/Degraded/TimedOut/Failures record the fault-handling counters
-	// of the measured sweep (all zero on a healthy configuration; a non-zero
-	// entry flags that the timing above excludes or degrades part of the
-	// population). TimedOut counts samples cut off by the -sample-timeout
-	// watchdog; they are a subset of Skipped.
-	Skipped  int64            `json:"skipped"`
-	Degraded int64            `json:"degraded"`
-	TimedOut int64            `json:"timed_out"`
-	Failures map[string]int64 `json:"failures,omitempty"`
-}
-
-// benchReport is the BENCH_mc.json schema: the per-sample Monte-Carlo
-// evaluation cost of the Example-2 coupled stage on the characterize-once
-// variational path (1 worker and N workers) and on the per-sample
-// exact-extraction path (1 worker), plus the derived speedups.
-type benchReport struct {
-	Benchmark string  `json:"benchmark"`
-	Date      string  `json:"date"`
-	GoMaxProc int     `json:"gomaxprocs"`
-	Samples   int     `json:"samples"`
-	WireUm    float64 `json:"wire_um"`
-
-	Var1W   benchRow `json:"var_1w"`
-	VarNW   benchRow `json:"var_nw"`
-	Exact1W benchRow `json:"exact_1w"`
-	// EngineRow is the optional extra row measured with -engine: the same
-	// sweep through an arbitrary registered backend (e.g. spice-golden).
-	EngineRow *benchRow `json:"engine_row,omitempty"`
-	// Yield is the optional importance-sampling section (-yield): the
-	// measured evaluation-count reduction over plain MC for a tail
-	// (-yield-sigma) delay budget on the Example-2 path.
-	Yield *yieldBenchRow `json:"yield,omitempty"`
-	// SSTA is the optional full-chip statistical-STA section (-ssta):
-	// the block-partition economics of the -ssta-bench circuit —
-	// characterize-once cache hits are the number the section exists to
-	// track.
-	SSTA *sstaBenchRow `json:"ssta,omitempty"`
-
-	// Scaling is the measured worker-scaling curve of the var path:
-	// workers ∈ {1, 2, 4, NumCPU} (deduplicated, ascending), each point
-	// with its utilization and channel-wait fractions so a flattening
-	// curve also shows why it flattened.
-	Scaling []scalingRow `json:"scaling"`
-
-	// SpeedupCharOnce is exact_1w / var_1w: the single-worker gain from
-	// evaluating the characterize-once macromodel instead of re-extracting
-	// poles/residues per sample.
-	SpeedupCharOnce float64 `json:"speedup_characterize_once_1w"`
-	// SpeedupParallel is var_1w / var_nw: the additional gain from the
-	// worker pool at the N-worker setting.
-	SpeedupParallel float64 `json:"speedup_parallel"`
-
-	// DurationSec / ResumedSamples / TimedOutSamples are recorded
-	// unconditionally (zero counts included) so downstream tooling can
-	// rely on their presence: the wall-clock duration of the whole bench
-	// run, the samples restored from a -resume'd checkpoint journal
-	// instead of re-evaluated, and the samples cut off by the
-	// -sample-timeout watchdog across all rows.
-	DurationSec     float64 `json:"duration_sec"`
-	ResumedSamples  int64   `json:"resumed_samples"`
-	TimedOutSamples int64   `json:"timed_out_samples"`
-}
-
-// scalingRow is one point of the worker-scaling curve: the var-path
-// measurement at that worker count plus its speedup over the curve's
-// 1-worker point.
-type scalingRow struct {
-	benchRow
-	Speedup float64 `json:"speedup"`
-}
-
-// yieldBenchRow is the optional importance-sampling yield section of
-// BENCH_mc.json (-yield): a tail failure-probability estimate on the
-// Example-2 path with its evaluations-to-CI accounting against plain
-// Monte Carlo. EvalReduction is the headline number: how many times
-// fewer full engine evaluations IS spent than the plain-MC count
-// (MCEvalsForCI = p(1−p)(1.96/ci_half)²) that reaches the same 95% CI
-// half-width.
-type yieldBenchRow struct {
-	BudgetSigma  float64 `json:"budget_sigma"`
-	BudgetSec    float64 `json:"budget_sec"`
-	FailProb     float64 `json:"fail_prob"`
-	CIHalf       float64 `json:"ci_half"`
-	ESS          float64 `json:"ess"`
-	FailESS      float64 `json:"fail_ess"`
-	ISEvals      float64 `json:"is_evals"` // IS samples + GA overhead, in path-eval equivalents
-	MCEvalsForCI float64 `json:"mc_evals_for_same_ci"`
-	// EvalReduction = MCEvalsForCI / ISEvals; VarReduction the
-	// per-sample variance-reduction factor.
-	EvalReduction float64 `json:"eval_reduction"`
-	VarReduction  float64 `json:"variance_reduction"`
-}
-
-// sstaBenchRow is the optional full-chip SSTA section of BENCH_mc.json
-// (-ssta): how the block partition of a benchmark circuit amortizes
-// characterization (blocks vs distinct macromodels vs cache hits) and
-// what the whole analysis costs wall-clock.
-type sstaBenchRow struct {
-	Circuit     string `json:"circuit"`
-	Blocks      int    `json:"blocks"`
-	Distinct    int    `json:"distinct"`
-	CacheHits   int    `json:"cache_hits"`
-	Sinks       int    `json:"sinks"`
-	Simulations int    `json:"simulations"` // stage simulations spent characterizing
-	CharNs      int64  `json:"characterize_ns"`
-	TotalNs     int64  `json:"total_ns"` // partition + characterize + propagate
-}
-
-// runBench measures per-sample Monte-Carlo evaluation cost on the
-// paper's Example-2 coupled-line stage and writes BENCH_mc.json:
+// runBench builds and executes a benchmark spec — the per-sample
+// Monte-Carlo evaluation cost of the paper's Example-2 coupled-line
+// stage, written to BENCH_mc.json:
 //
 //	lcsim bench -samples 100 -workers -1 -out BENCH_mc.json
 func runBench(args []string) {
@@ -163,419 +26,18 @@ func runBench(args []string) {
 	minSpeedup := fs.Float64("min-speedup", 0, "exit non-zero unless the 4-worker point of the scaling curve reaches this speedup over 1 worker (0 = no assertion)")
 	sf := registerSweepFlags(fs, sweepOpts{watchdog: true, ckpt: true})
 	fail(fs.Parse(args))
-	ckpt := sf.checkpoint()
-	if ckpt != nil && *engine == "" {
-		fail(fmt.Errorf("bench: -checkpoint journals the slow -engine row; pass -engine (e.g. spice-golden)"))
-	}
-	t0 := time.Now()
-
-	o := experiments.Ex2Options{Samples: *samples}
-	fastSt, err := experiments.BuildExample2Stage(o, *wire, false)
-	fail(err)
-	exactSt, err := experiments.BuildExample2Stage(o, *wire, true)
-	fail(err)
-	specs := experiments.Example2Samples(o)
-
-	rep := benchReport{
-		Benchmark: "example2_mc_per_sample",
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoMaxProc: runtime.GOMAXPROCS(0),
-		Samples:   *samples,
-		WireUm:    *wire,
-	}
-	// Scaling curve first: the var path at workers ∈ {1, 2, 4, NumCPU}
-	// (deduplicated, ascending). The legacy var_1w/var_nw rows reuse curve
-	// points where the worker counts coincide rather than re-measuring.
-	nw := runner.ResolveWorkers(sf.Workers)
-	counts := []int{1, 2, 4, runtime.NumCPU(), nw}
-	sort.Ints(counts)
-	for _, w := range counts {
-		if n := len(rep.Scaling); n > 0 && rep.Scaling[n-1].Workers == w {
-			continue
-		}
-		row := benchStage(fastSt, specs, w, sf.Batch, core.EngineTetaFast, sf.SampleTimeout)
-		sr := scalingRow{benchRow: row, Speedup: 1}
-		if len(rep.Scaling) > 0 {
-			sr.Speedup = rep.Scaling[0].NsPerSample / row.NsPerSample
-		}
-		rep.Scaling = append(rep.Scaling, sr)
-	}
-	rep.Var1W = rep.Scaling[0].benchRow
-	for _, r := range rep.Scaling {
-		if r.Workers == nw {
-			rep.VarNW = r.benchRow
-		}
-		rep.TimedOutSamples += r.TimedOut
-	}
-	rep.Exact1W = benchStage(exactSt, specs, 1, sf.Batch, core.EngineTetaExact, sf.SampleTimeout)
-	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
-	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
-	if *engine != "" {
-		row, resumed := benchEngine(o, *wire, *engine, specs, sf.SampleTimeout, ckpt)
-		rep.EngineRow = &row
-		rep.ResumedSamples = resumed
-	}
-	rep.TimedOutSamples += rep.Exact1W.TimedOut
-	if rep.EngineRow != nil {
-		rep.TimedOutSamples += rep.EngineRow.TimedOut
-	}
-	if *yield {
-		row := benchYield(*wire, *yieldSamples, *yieldSigma, sf.Workers)
-		rep.Yield = &row
-	}
-	if *sstaOn {
-		row := benchSSTA(*sstaBench, sf.Workers)
-		rep.SSTA = &row
-	}
-	rep.DurationSec = time.Since(t0).Seconds()
-
-	buf, err := json.MarshalIndent(&rep, "", "  ")
-	fail(err)
-	buf = append(buf, '\n')
-	fail(os.WriteFile(*out, buf, 0o644))
-	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
-		rep.Var1W.NsPerSample, rep.Var1W.AllocsPerSample, rep.Var1W.SamplesPerSec)
-	fmt.Printf("var path   : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (%d workers)\n",
-		rep.VarNW.NsPerSample, rep.VarNW.AllocsPerSample, rep.VarNW.SamplesPerSec, nw)
-	fmt.Printf("exact path : %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
-		rep.Exact1W.NsPerSample, rep.Exact1W.AllocsPerSample, rep.Exact1W.SamplesPerSec)
-	if rep.EngineRow != nil {
-		fmt.Printf("%-11s: %8.0f ns/sample, %6.1f allocs/sample, %7.1f samples/s (1 worker)\n",
-			rep.EngineRow.Engine, rep.EngineRow.NsPerSample, rep.EngineRow.AllocsPerSample, rep.EngineRow.SamplesPerSec)
-	}
-	fmt.Printf("speedup    : %.2fx characterize-once (1 worker), %.2fx parallel\n",
-		rep.SpeedupCharOnce, rep.SpeedupParallel)
-	fmt.Println("scaling    :")
-	for _, r := range rep.Scaling {
-		fmt.Printf("  %3d workers: %8.0f ns/sample, %5.2fx speedup, %3.0f%% busy, %3.0f%% chan-wait\n",
-			r.Workers, r.NsPerSample, r.Speedup, r.Utilization*100, r.ChanWaitFrac*100)
-	}
-	if rep.Yield != nil {
-		fmt.Printf("yield      : %.1fσ budget, fail prob %.3e ± %.3e, ESS %.0f/%.0f\n",
-			rep.Yield.BudgetSigma, rep.Yield.FailProb, rep.Yield.CIHalf, rep.Yield.ESS, rep.Yield.FailESS)
-		fmt.Printf("             %8.0f IS eval-equivalents vs %.3g plain-MC evals for the same CI: %.0fx fewer evals\n",
-			rep.Yield.ISEvals, rep.Yield.MCEvalsForCI, rep.Yield.EvalReduction)
-	}
-	if rep.SSTA != nil {
-		fmt.Printf("ssta       : %s — %d blocks, %d distinct (%d cache hits), %d sinks, %.1f ms characterize / %.1f ms total\n",
-			rep.SSTA.Circuit, rep.SSTA.Blocks, rep.SSTA.Distinct, rep.SSTA.CacheHits, rep.SSTA.Sinks,
-			float64(rep.SSTA.CharNs)/1e6, float64(rep.SSTA.TotalNs)/1e6)
-	}
-	fmt.Printf("wrote %s\n", *out)
-	if *minReduction > 0 {
-		if rep.Yield == nil {
-			fail(fmt.Errorf("bench: -min-eval-reduction needs -yield"))
-		}
-		if rep.Yield.EvalReduction < *minReduction {
-			fail(fmt.Errorf("bench: IS evaluation reduction %.1fx is below the -min-eval-reduction floor %.1fx",
-				rep.Yield.EvalReduction, *minReduction))
-		}
-	}
-	if *minSpeedup > 0 {
-		got := 0.0
-		for _, r := range rep.Scaling {
-			if r.Workers == 4 {
-				got = r.Speedup
-			}
-		}
-		if got < *minSpeedup {
-			fail(fmt.Errorf("bench: 4-worker speedup %.2fx is below the -min-speedup floor %.2fx (gomaxprocs %d)",
-				got, *minSpeedup, rep.GoMaxProc))
-		}
-	}
-}
-
-// benchYield measures the importance-sampling yield row: the Example-2
-// path (library cells driving the coupled variational interconnect at
-// the bench wirelength, device and wire variations active) swept at a
-// tail delay budget. The comparison is analytic on the MC side — the
-// binomial sample count p(1−p)(1.96/ci)² that plain MC would need for
-// the IS run's CI half-width — because actually running plain MC to a
-// ppm-resolution CI costs ~10⁷ evaluations (the point of the IS
-// driver is not having to).
-func benchYield(wire float64, samples int, sigma float64, workers int) yieldBenchRow {
-	p, err := core.BuildChain(core.ChainSpec{
-		Cells:        []string{"INV", "NAND2", "INV"},
-		Drive:        2,
-		ElemsBetween: 2 * int(wire),
-		WireLengthUm: wire,
-		Variational:  true,
-		Tech:         device.Tech180,
-		DT:           4e-12,
-		TStop:        1.6e-9,
-		Order:        4,
+	spec := mustSpec("bench", sf.runSpec(0), job.BenchParams{
+		Samples:          *samples,
+		Wire:             *wire,
+		Engine:           *engine,
+		Yield:            *yield,
+		SSTA:             *sstaOn,
+		SSTABench:        *sstaBench,
+		YieldSigma:       *yieldSigma,
+		YieldSamples:     *yieldSamples,
+		MinEvalReduction: *minReduction,
+		Out:              *out,
+		MinSpeedup:       *minSpeedup,
 	})
-	fail(err)
-	sources := append(core.DeviceSources(device.Tech180, 0.33, 0.33), core.WireSources(0.33)...)
-	res, err := p.ImportanceYieldCtx(context.Background(), core.ISConfig{
-		N:           samples,
-		Sources:     sources,
-		BudgetSigma: sigma,
-		RunConfig:   core.RunConfig{Seed: 1, Workers: workers, Metrics: &runner.Metrics{}},
-	})
-	fail(err)
-	return yieldBenchRow{
-		BudgetSigma:   res.BudgetSigma,
-		BudgetSec:     res.Budget,
-		FailProb:      res.FailProb,
-		CIHalf:        res.CIHalf,
-		ESS:           res.ESS,
-		FailESS:       res.FailESS,
-		ISEvals:       res.EvalsTotal,
-		MCEvalsForCI:  res.MCEvalsForCI,
-		EvalReduction: res.EvalReduction,
-		VarReduction:  res.VarReduction,
-	}
-}
-
-// benchSSTA measures the full-chip SSTA section: one ssta.Run over the
-// named benchmark at the Example-3 characterization defaults, reporting
-// the partition economics and wall-clock split.
-func benchSSTA(name string, workers int) sstaBenchRow {
-	c := loadBenchmark(name)
-	t0 := time.Now()
-	res, err := ssta.Run(context.Background(), c, ssta.Config{
-		RunConfig: core.RunConfig{Workers: workers, Metrics: &runner.Metrics{}},
-		Sources:   core.DeviceSources(device.Tech180, 0.33, 0.33),
-	})
-	fail(err)
-	total := time.Since(t0)
-	return sstaBenchRow{
-		Circuit:     c.Name,
-		Blocks:      res.Stats.Blocks,
-		Distinct:    res.Stats.Distinct,
-		CacheHits:   res.Stats.CacheHits,
-		Sinks:       len(res.Sinks),
-		Simulations: res.Stats.Simulations,
-		CharNs:      res.Stats.Wall.Nanoseconds(),
-		TotalNs:     total.Nanoseconds(),
-	}
-}
-
-// evalDeadline bounds one synchronous benchmark evaluation by the
-// watchdog deadline d (0 = no bound). On timeout the evaluation
-// goroutine is abandoned — abandoned (if non-nil) must retire any
-// scratch state the stray goroutine still owns — and the sample fails
-// with core.ErrSampleTimeout so the sweep's skip path classifies it as
-// a timeout.
-func evalDeadline(d time.Duration, m *runner.Metrics, abandoned func(), eval func() error) error {
-	if d <= 0 {
-		return eval()
-	}
-	done := make(chan error, 1)
-	go func() { done <- eval() }()
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case err := <-done:
-		return err
-	case <-t.C:
-		if abandoned != nil {
-			abandoned()
-		}
-		m.AddTimeout(1)
-		return fmt.Errorf("bench: no result after %v: %w", d, core.ErrSampleTimeout)
-	}
-}
-
-// benchBox holds one worker's stage scratch behind a replaceable slot:
-// when the watchdog abandons a hung evaluation, the stray goroutine
-// keeps the old scratch and the worker continues on a fresh one.
-type benchBox struct{ sc *teta.Scratch }
-
-// benchStage times one MC-style sweep over the sample specs with the
-// given worker count and dispatch batch size, reporting per-sample wall
-// time, allocations and the worker-utilization split. engineName labels
-// the row (the backend the teta.Stage was built for); deadline, when
-// positive, bounds each sample evaluation.
-func benchStage(st *teta.Stage, specs []teta.RunSpec, workers, batch int, engineName string, deadline time.Duration) benchRow {
-	// The sweep skips failing samples (instead of aborting the whole
-	// benchmark) and records them in the row's fault counters, so a partly
-	// sick configuration still produces a measurement — visibly flagged.
-	// Metrics are reset per pass so the reported counters cover exactly the
-	// measured sweep, not the warm-up.
-	var metrics *runner.Metrics
-	run := func() time.Duration {
-		metrics = &runner.Metrics{}
-		t0 := time.Now()
-		err := runner.MapWorker(context.Background(), len(specs),
-			runner.Options{
-				Workers: workers, BatchSize: batch, Metrics: metrics,
-				OnSkip: func(_ int, err error) {
-					metrics.AddFailure(string(core.ClassifyFailure(err)))
-				},
-			},
-			func() *benchBox { return &benchBox{sc: st.NewScratch()} },
-			runner.WithRecovery(
-				func(_ context.Context, i int, box *benchBox) (struct{}, error) {
-					sc := box.sc
-					err := evalDeadline(deadline, metrics,
-						func() { box.sc = st.NewScratch() },
-						func() error {
-							_, err := st.RunWith(sc, specs[i])
-							return err
-						})
-					return struct{}{}, err
-				},
-				func(_ context.Context, i int, _ *benchBox, cause error) (struct{}, error) {
-					return struct{}{}, runner.SkipSample(core.NewSampleError(i, cause))
-				}),
-			nil)
-		fail(err)
-		return time.Since(t0)
-	}
-	// Warm-up pass: DC warm start, convolver memo, scratch pools.
-	run()
-	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	el := run()
-	runtime.ReadMemStats(&m1)
-	n := float64(len(specs))
-	snap := metrics.Snapshot()
-	w := runner.ResolveWorkers(workers)
-	capacity := float64(w) * float64(el.Nanoseconds())
-	return benchRow{
-		Engine:          engineName,
-		Workers:         w,
-		Batch:           batch,
-		NsPerSample:     float64(el.Nanoseconds()) / n,
-		AllocsPerSample: float64(m1.Mallocs-m0.Mallocs) / n,
-		SamplesPerSec:   n / el.Seconds(),
-		Utilization:     float64(snap.BusyNs) / capacity,
-		ChanWaitFrac:    float64(snap.SendWaitNs) / capacity,
-		Skipped:         snap.Skipped,
-		Degraded:        snap.Degraded,
-		TimedOut:        snap.TimedOut,
-		Failures:        snap.Failures,
-	}
-}
-
-// benchState is the journal payload of a checkpointed engine-row sweep:
-// the wall time already spent on the completed prefix and its cost
-// counters. Per-sample timings are additive, so a resumed measurement
-// just keeps accumulating both.
-type benchState struct {
-	ElapsedNs int64           `json:"elapsed_ns"`
-	Metrics   runner.Snapshot `json:"metrics"`
-}
-
-// benchEngine times the same sweep through an arbitrary registered
-// backend via the experiments Example-2 evaluator (single worker),
-// returning the row and the number of samples restored from a resumed
-// journal. Without a journal the full warm-up pass matches benchStage,
-// so keep -samples small for slow backends like spice-golden. With
-// -checkpoint the warm-up is skipped — the row exists to survive crashes
-// of hour-long spice-golden sweeps, and a resume must not redo the full
-// population as a warm-up — so the measurement is cold-start inclusive.
-func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec, deadline time.Duration, ck *checkpoint.Config) (benchRow, int64) {
-	eval, err := experiments.Example2Evaluator(o, wire, name)
-	fail(err)
-
-	fp := checkpoint.Fingerprint{
-		Kind:    "bench-engine",
-		Seed:    o.Seed,
-		N:       len(specs),
-		Sampler: "lhs",
-		Engine:  name,
-		Policy:  "skip",
-		Sources: fmt.Sprintf("ex2/wire=%gum/samples=%d", wire, o.Samples),
-	}
-	start := 0
-	var prior benchState
-	if ck != nil && ck.Resume {
-		snap, _, err := checkpoint.Load(ck.Path)
-		if err != nil && !checkpoint.IsNotExist(err) {
-			fail(err)
-		}
-		if err == nil {
-			fail(fp.Check(snap.Fingerprint))
-			fail(json.Unmarshal(snap.State, &prior))
-			start = snap.Next
-		}
-	}
-
-	var metrics *runner.Metrics
-	var ckErr error
-	run := func(measured bool) time.Duration {
-		metrics = &runner.Metrics{}
-		opts := runner.Options{
-			Workers: 1, Metrics: metrics,
-			OnSkip: func(_ int, err error) {
-				metrics.AddFailure(string(core.ClassifyFailure(err)))
-			},
-		}
-		t0 := time.Now()
-		if measured && ck != nil {
-			s := prior.Metrics
-			s.Resumed = 0
-			metrics.Merge(s)
-			metrics.AddResumed(start)
-			flush := func(next int) {
-				if ckErr != nil {
-					return
-				}
-				s := metrics.Snapshot()
-				s.Resumed = 0
-				body, err := json.Marshal(benchState{
-					ElapsedNs: prior.ElapsedNs + time.Since(t0).Nanoseconds(),
-					Metrics:   s,
-				})
-				if err == nil {
-					err = checkpoint.Save(ck.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body})
-				}
-				ckErr = err
-			}
-			opts.Start = start
-			opts.OnCheckpoint = flush
-			opts.CheckpointEvery = ck.Every
-			opts.CheckpointInterval = ck.Interval
-			defer flush(len(specs))
-		}
-		err := runner.MapWorker(context.Background(), len(specs), opts,
-			func() any { return nil },
-			runner.WithRecovery(
-				func(_ context.Context, i int, _ any) (struct{}, error) {
-					err := evalDeadline(deadline, metrics, nil, func() error {
-						_, err := eval(specs[i])
-						return err
-					})
-					return struct{}{}, err
-				},
-				func(_ context.Context, i int, _ any, cause error) (struct{}, error) {
-					return struct{}{}, runner.SkipSample(core.NewSampleError(i, cause))
-				}),
-			nil)
-		fail(err)
-		return time.Since(t0)
-	}
-	if ck == nil {
-		run(false) // warm-up
-	}
-	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	el := run(true)
-	runtime.ReadMemStats(&m1)
-	fail(ckErr)
-	n := float64(len(specs))
-	// Wall time accumulates across the resume chain; allocations can only
-	// be measured for the samples this process actually evaluated.
-	total := time.Duration(prior.ElapsedNs) + el
-	allocs := 0.0
-	if evaluated := len(specs) - start; evaluated > 0 {
-		allocs = float64(m1.Mallocs-m0.Mallocs) / float64(evaluated)
-	}
-	snap := metrics.Snapshot()
-	return benchRow{
-		Engine:          name,
-		Workers:         1,
-		NsPerSample:     float64(total.Nanoseconds()) / n,
-		AllocsPerSample: allocs,
-		SamplesPerSec:   n / total.Seconds(),
-		Skipped:         snap.Skipped,
-		Degraded:        snap.Degraded,
-		TimedOut:        snap.TimedOut,
-		Failures:        snap.Failures,
-	}, snap.Resumed
+	execSpec(spec, sf.DumpSpec, sf.ModelCache, sf.Progress)
 }

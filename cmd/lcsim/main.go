@@ -6,6 +6,7 @@
 //	lcsim yield    -cells INV,NAND2,INV -budget-sigma 4 -n 1000
 //	lcsim bench    -samples 100 -out BENCH_mc.json
 //	lcsim validate -engines teta-exact,spice-golden -samples 20
+//	lcsim run      -spec job.json
 //
 // `sim` runs the Newton transient simulator on a SPICE-like netlist;
 // `reduce` builds the (variational) reduced-order model of the netlist's
@@ -24,12 +25,19 @@
 // path against the transistor-level spice-golden baseline) on a shared
 // sample set.
 //
+// Every subcommand is a thin spec builder over the internal/job driver
+// registry: its flags serialize into a job.Spec (printable with
+// -dump-spec), and `lcsim run -spec f.json` executes any such spec —
+// the classic invocation and the spec replay run the exact same driver
+// code and produce bit-identical output. All subcommands accept
+// -model-cache DIR, a content-addressed on-disk store that carries
+// characterized macromodels across runs (see internal/modelcache).
+//
 // Global flags (before the subcommand): -cpuprofile and -memprofile
 // write pprof profiles covering the subcommand's work.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,18 +45,8 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
-	"time"
 
 	"lcsim/internal/checkpoint"
-	"lcsim/internal/circuit"
-	"lcsim/internal/core"
-	"lcsim/internal/device"
-	"lcsim/internal/mor"
-	"lcsim/internal/poleres"
-	"lcsim/internal/runner"
-	"lcsim/internal/spice"
-	"lcsim/internal/stat"
-	"lcsim/internal/teta"
 )
 
 func main() {
@@ -79,6 +77,8 @@ func main() {
 		runBench(args[1:])
 	case "validate":
 		runValidate(args[1:])
+	case "run":
+		runRun(args[1:])
 	default:
 		usage()
 	}
@@ -86,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lcsim [-cpuprofile f] [-memprofile f] <sim|reduce|sta|path|skew|yield|bench|validate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lcsim [-cpuprofile f] [-memprofile f] <sim|reduce|sta|path|skew|yield|bench|validate|run> [flags]")
 	os.Exit(2)
 }
 
@@ -143,24 +143,6 @@ func fail(err error) {
 	}
 }
 
-func loadNetlist(path string) *circuit.Netlist {
-	f, err := os.Open(path)
-	fail(err)
-	defer f.Close()
-	nl, err := circuit.ParseNetlist(f)
-	fail(err)
-	return nl
-}
-
-// runCtx builds the evaluation context from a -timeout flag value
-// (0 = no deadline).
-func runCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout > 0 {
-		return context.WithTimeout(context.Background(), timeout)
-	}
-	return context.WithCancel(context.Background())
-}
-
 // checkpointFlags registers the crash-safe-run flags shared by the long
 // statistical subcommands. The returned resolver (call it after Parse)
 // turns them into a checkpoint config; nil means journaling is off.
@@ -195,27 +177,6 @@ func progressFn(enabled bool, label string) func(done, total int) {
 	}
 }
 
-// printMetrics reports the evaluation-cost counters of a run.
-func printMetrics(m *runner.Metrics) {
-	s := m.Snapshot()
-	fmt.Printf("cost: %d samples, %d stage evals, %d SC iterations, %d linear solves\n",
-		s.Samples, s.StageEvals, s.SCIterations, s.LinearSolves)
-	if s.Skipped > 0 || s.Degraded > 0 || s.TimedOut > 0 {
-		fmt.Printf("      %d skipped, %d degraded-recovered, %d timed out\n", s.Skipped, s.Degraded, s.TimedOut)
-	}
-	if s.Resumed > 0 {
-		fmt.Printf("      resumed: %d samples restored from the checkpoint journal\n", s.Resumed)
-	}
-}
-
-// printFailures renders the per-sample failure table of a run (no output
-// for a clean run).
-func printFailures(r *core.FailureReport) {
-	if r.Any() {
-		fmt.Print(r.Render())
-	}
-}
-
 func parseSample(spec string) map[string]float64 {
 	w := map[string]float64{}
 	if spec == "" {
@@ -231,272 +192,4 @@ func parseSample(spec string) map[string]float64 {
 		w[parts[0]] = v
 	}
 	return w
-}
-
-func runSim(args []string) {
-	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	netlist := fs.String("netlist", "", "SPICE-like netlist file")
-	tstop := fs.String("tstop", "5n", "simulation end time")
-	dt := fs.String("dt", "5p", "fixed timestep")
-	probe := fs.String("probe", "", "comma-separated nodes to record")
-	at := fs.String("at", "", "variation sample, e.g. p=0.1,W=0.5")
-	tech := fs.String("tech", "0.18um", "device technology (0.18um or 0.6um)")
-	fail(fs.Parse(args))
-	if *netlist == "" || *probe == "" {
-		fail(fmt.Errorf("sim needs -netlist and -probe"))
-	}
-	nl := loadNetlist(*netlist)
-	ts, err := circuit.ParseValue(*tstop)
-	fail(err)
-	h, err := circuit.ParseValue(*dt)
-	fail(err)
-	models := device.Tech180
-	if strings.Contains(*tech, "0.6") {
-		models = device.Tech600
-	}
-	sim, err := spice.NewSimulator(nl, spice.Options{
-		DT: h, TStop: ts, Models: models, W: parseSample(*at),
-	})
-	fail(err)
-	probes := strings.Split(*probe, ",")
-	res, err := sim.Run(probes)
-	fail(err)
-	fmt.Printf("# steps=%d newton=%d lu=%d\n", res.Stats.Steps, res.Stats.NewtonIterations, res.Stats.LUFactorizations)
-	fmt.Printf("# t %s\n", strings.Join(probes, " "))
-	for i, t := range res.T {
-		fmt.Printf("%.6e", t)
-		for _, p := range probes {
-			fmt.Printf(" %.6e", res.V[p][i])
-		}
-		fmt.Println()
-	}
-}
-
-func runReduce(args []string) {
-	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
-	netlist := fs.String("netlist", "", "SPICE-like netlist file with .PORT directives")
-	order := fs.Int("order", 4, "internal Krylov order")
-	at := fs.String("at", "", "variation sample for the variational library")
-	gout := fs.Float64("gout", 0, "port conductance folded into the load (per port)")
-	fail(fs.Parse(args))
-	if *netlist == "" {
-		fail(fmt.Errorf("reduce needs -netlist"))
-	}
-	nl := loadNetlist(*netlist)
-	sys, err := circuit.AssembleVariational(nl)
-	fail(err)
-	if *gout > 0 {
-		gs := make([]float64, sys.Np)
-		for i := range gs {
-			gs[i] = *gout
-		}
-		fail(sys.SetPortConductance(gs))
-	}
-	w := parseSample(*at)
-	var rom *mor.ROM
-	if len(sys.Params) > 0 {
-		vrom, err := mor.BuildVariational(sys, mor.BuildOptions{Order: *order})
-		fail(err)
-		rom = vrom.At(w)
-		fmt.Printf("variational library over %v, evaluated at %v\n", sys.Params, w)
-	} else {
-		rom, err = mor.Reduce(sys.GNominal(), sys.CNominal(), sys.Np, *order)
-		fail(err)
-	}
-	fmt.Printf("reduced order %d (%d ports, %d internal states)\n", rom.Q(), rom.Np, rom.Q()-rom.Np)
-	pr, err := poleres.Extract(rom)
-	if err != nil && *gout == 0 {
-		fail(fmt.Errorf("%w\n(hint: pass -gout to emulate the driver conductance G_SC)", err))
-	}
-	fail(err)
-	fmt.Println("poles:")
-	for _, p := range pr.Poles {
-		tag := ""
-		if real(p) > 0 {
-			tag = "   <-- UNSTABLE"
-		}
-		fmt.Printf("  %14.6g %+14.6gi%s\n", real(p), imag(p), tag)
-	}
-	st, rep := pr.StabilizeShift()
-	if len(rep.Removed) > 0 {
-		fmt.Printf("stabilization removed %d poles (DC shift %.4g)\n", len(rep.Removed), rep.DCErrBefore)
-	} else {
-		fmt.Println("model is stable; no correction needed")
-	}
-	fmt.Printf("Z(0) port matrix after stabilization:\n")
-	for i := 0; i < st.Np; i++ {
-		for j := 0; j < st.Np; j++ {
-			fmt.Printf(" %12.6g", st.DCZ().At(i, j))
-		}
-		fmt.Println()
-	}
-}
-
-// runPath performs statistical path-delay analysis on a chain of library
-// cells with interconnect between stages:
-//
-//	lcsim path -cells INV,NAND2,NOR2 -elems 50 -mc 100 -ga -worst -budget 400p
-func runPath(args []string) {
-	fs := flag.NewFlagSet("path", flag.ExitOnError)
-	cells := fs.String("cells", "", "comma-separated library cell names")
-	elems := fs.Int("elems", 10, "linear elements between stages")
-	wireUm := fs.Float64("wire", 0, "inter-stage wire length in um (default elems/2)")
-	drive := fs.Float64("drive", 2, "cell drive strength")
-	mcN := fs.Int("mc", 0, "Monte-Carlo samples (0 = skip)")
-	ga := fs.Bool("ga", false, "run Gradient Analysis")
-	worst := fs.Bool("worst", false, "run the worst-case corner search")
-	budget := fs.String("budget", "", "delay budget for yield (e.g. 400p)")
-	stdDL := fs.Float64("std-dl", 0.33, "channel-length variation (fraction of 3σ class)")
-	stdVT := fs.Float64("std-vt", 0.33, "threshold variation (fraction of 3σ class)")
-	wires := fs.Bool("wires", false, "include wire-parameter variations")
-	seed := fs.Int64("seed", 1, "sampling seed")
-	sf := registerSweepFlags(fs, sweepOpts{
-		sampler: true, engine: true, policy: true,
-		run: true, watchdog: true, ckpt: true,
-	})
-	fail(fs.Parse(args))
-	if *cells == "" {
-		fail(fmt.Errorf("path needs -cells"))
-	}
-	sampler := sf.samplerPlan()
-	var names []string
-	for _, c := range strings.Split(*cells, ",") {
-		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
-	}
-	p, err := core.BuildChain(core.ChainSpec{
-		Cells:        names,
-		Drive:        *drive,
-		ElemsBetween: *elems,
-		WireLengthUm: *wireUm,
-		Variational:  *wires,
-		Tech:         device.Tech180,
-		DT:           4e-12,
-		TStop:        1.6e-9,
-		Order:        4,
-	})
-	fail(err)
-	sources := core.DeviceSources(device.Tech180, *stdDL, *stdVT)
-	if *wires {
-		sources = append(sources, core.WireSources(0.33)...)
-	}
-	// Resolve the engine up front: a bad -engine fails before any
-	// analysis, and the nominal evaluation runs on the same backend as
-	// the statistical drivers below.
-	eng, err := p.Engine(sf.Engine)
-	fail(err)
-	nom, err := eng.EvalPath(nil, teta.RunSpec{})
-	fail(err)
-	fmt.Printf("path: %d stages (%s engine), nominal delay %.2f ps, final slew %.2f ps\n",
-		len(names), eng.Name(), nom.Delay*1e12, nom.FinalSlew*1e12)
-	ctx, cancel := runCtx(sf.Timeout)
-	defer cancel()
-	metrics := &runner.Metrics{}
-	var gaRes *core.GAResult
-	var mcRes *core.MCResult
-	if *ga || *budget != "" || *worst {
-		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: metrics, Engine: sf.Engine})
-		fail(err)
-		fmt.Printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
-			gaRes.Mean*1e12, gaRes.Std*1e12, gaRes.Simulations)
-		for _, s := range sources {
-			fmt.Printf("      %-10s contribution σ = %.3f ps\n", s.Name, absf(gaRes.Sensitivity[s.Name])*s.Sigma*1e12)
-		}
-	}
-	if *mcN > 0 {
-		mcRes, err = p.MonteCarloCtx(ctx, core.MCConfig{
-			N: *mcN, Sources: sources,
-			Sampler: sampler, KeepSamples: true,
-			RunConfig: sf.runConfig(*seed, "mc", metrics),
-		})
-		fail(err)
-		fmt.Printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
-			mcRes.Summary.Mean*1e12, mcRes.Summary.Std*1e12, mcRes.Summary.N, sampler)
-		fmt.Print(stat.NewHistogram(mcRes.Delays, 12).Render(40, func(v float64) string {
-			return fmt.Sprintf("%8.1f ps", v*1e12)
-		}))
-		printFailures(&mcRes.Failures)
-	}
-	if *worst {
-		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: sf.Engine})
-		fail(err)
-		fmt.Printf("worst: slow corner %.2f ps (+%.2f ps vs nominal) at", wc.Delay*1e12, (wc.Delay-wc.Nominal)*1e12)
-		for _, s := range sources {
-			fmt.Printf(" %s=%+.0fσ", s.Name, wc.CornerSigns[s.Name])
-		}
-		fmt.Println()
-	}
-	if *budget != "" {
-		b, err := circuit.ParseValue(*budget)
-		fail(err)
-		y := core.Yield(b, gaRes, mcRes)
-		fmt.Printf("yield at %.1f ps: GA %.4f", b*1e12, y.GAYield)
-		if mcRes != nil {
-			fmt.Printf(", MC %.4f ± %.4f (95%% CI, n=%d)", y.MCYield, y.MCCIHalf, y.MCN)
-		}
-		fmt.Println()
-	}
-	printMetrics(metrics)
-}
-
-func absf(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-// runSkew analyzes the arrival-time difference between two buffer-chain
-// branches with shared wire variations:
-//
-//	lcsim skew -stages-a 3 -wire-a 120 -stages-b 3 -wire-b 100 -mc 60
-func runSkew(args []string) {
-	fs := flag.NewFlagSet("skew", flag.ExitOnError)
-	stagesA := fs.Int("stages-a", 3, "buffers on branch A")
-	wireA := fs.Float64("wire-a", 120, "per-stage wire length on branch A, um")
-	stagesB := fs.Int("stages-b", 3, "buffers on branch B")
-	wireB := fs.Float64("wire-b", 100, "per-stage wire length on branch B, um")
-	mcN := fs.Int("mc", 60, "Monte-Carlo samples")
-	seed := fs.Int64("seed", 1, "sampling seed")
-	sf := registerSweepFlags(fs, sweepOpts{
-		engine: true, policy: true,
-		run: true, watchdog: true, ckpt: true,
-	})
-	fail(fs.Parse(args))
-	build := func(stages int, wireUm float64) *core.Path {
-		cells := make([]string, stages)
-		for i := range cells {
-			cells[i] = "BUF"
-		}
-		p, err := core.BuildChain(core.ChainSpec{
-			Cells: cells, Drive: 4,
-			ElemsBetween: int(2 * wireUm), WireLengthUm: wireUm,
-			Variational: true, Tech: device.Tech180,
-			DT: 4e-12, TStop: 2.5e-9, Order: 4,
-		})
-		fail(err)
-		return p
-	}
-	pair := &core.PathPair{
-		A: build(*stagesA, *wireA), B: build(*stagesB, *wireB),
-		Shared:       core.UniformWireSources(),
-		IndependentA: core.DeviceSources(device.Tech180, 0.33, 0.33),
-		IndependentB: core.DeviceSources(device.Tech180, 0.33, 0.33),
-	}
-	ctx, cancel := runCtx(sf.Timeout)
-	defer cancel()
-	metrics := &runner.Metrics{}
-	res, err := pair.MonteCarloSkewCtx(ctx, core.SkewConfig{
-		N:         *mcN,
-		RunConfig: sf.runConfig(*seed, "skew", metrics),
-	})
-	fail(err)
-	fmt.Printf("branch A: mean %.1f ps σ %.2f ps\n", res.ArrivalA.Mean*1e12, res.ArrivalA.Std*1e12)
-	fmt.Printf("branch B: mean %.1f ps σ %.2f ps\n", res.ArrivalB.Mean*1e12, res.ArrivalB.Std*1e12)
-	fmt.Printf("skew    : mean %.2f ps σ %.2f ps (uncorrelated RSS %.2f ps)\n",
-		res.Skew.Mean*1e12, res.Skew.Std*1e12, res.RSS*1e12)
-	fmt.Print(stat.NewHistogram(res.Skews, 10).Render(40, func(v float64) string {
-		return fmt.Sprintf("%7.2f ps", v*1e12)
-	}))
-	printFailures(&res.Failures)
-	printMetrics(metrics)
 }

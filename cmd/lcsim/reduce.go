@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"lcsim/internal/job"
+)
+
+// runReduce builds and executes a model-order-reduction spec:
+//
+//	lcsim reduce -netlist f.sp -order 4 [-at p=0.1,...]
+func runReduce(args []string) {
+	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
+	netlist := fs.String("netlist", "", "SPICE-like netlist file with .PORT directives")
+	order := fs.Int("order", 4, "internal Krylov order")
+	at := fs.String("at", "", "variation sample for the variational library")
+	gout := fs.Float64("gout", 0, "port conductance folded into the load (per port)")
+	pf := registerSpecFlags(fs)
+	fail(fs.Parse(args))
+	if *netlist == "" {
+		fail(fmt.Errorf("reduce needs -netlist"))
+	}
+	spec := mustSpec("reduce", job.RunSpec{}, job.ReduceParams{
+		Netlist: *netlist,
+		Order:   *order,
+		At:      parseSample(*at),
+		Gout:    *gout,
+	})
+	execSpec(spec, pf.DumpSpec, pf.ModelCache, false)
+}

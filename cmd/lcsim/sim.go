@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"lcsim/internal/job"
+)
+
+// runSim builds and executes a transient-simulation spec:
+//
+//	lcsim sim -netlist f.sp -tstop 5n -dt 5p -probe out
+func runSim(args []string) {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	netlist := fs.String("netlist", "", "SPICE-like netlist file")
+	tstop := fs.String("tstop", "5n", "simulation end time")
+	dt := fs.String("dt", "5p", "fixed timestep")
+	probe := fs.String("probe", "", "comma-separated nodes to record")
+	at := fs.String("at", "", "variation sample, e.g. p=0.1,W=0.5")
+	tech := fs.String("tech", "0.18um", "device technology (0.18um or 0.6um)")
+	pf := registerSpecFlags(fs)
+	fail(fs.Parse(args))
+	if *netlist == "" || *probe == "" {
+		fail(fmt.Errorf("sim needs -netlist and -probe"))
+	}
+	spec := mustSpec("sim", job.RunSpec{}, job.SimParams{
+		Netlist: *netlist,
+		TStop:   *tstop,
+		DT:      *dt,
+		Probe:   strings.Split(*probe, ","),
+		At:      parseSample(*at),
+		Tech:    *tech,
+	})
+	execSpec(spec, pf.DumpSpec, pf.ModelCache, false)
+}

@@ -1,0 +1,129 @@
+package main
+
+// Every subcommand is a spec builder: it parses its flags into a
+// job.Spec and hands it to execSpec, which either dumps the spec as
+// JSON (-dump-spec) or executes it through the driver registry — the
+// same code path `lcsim run -spec` takes, so the two are bit-identical
+// by construction.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lcsim/internal/job"
+	"lcsim/internal/modelcache"
+	"lcsim/internal/runner"
+)
+
+// specFlags is the minimal job-layer flag pair registered by the
+// non-statistical subcommands (sim, reduce): every subcommand can dump
+// its spec and characterize through a shared model cache.
+type specFlags struct {
+	DumpSpec   bool
+	ModelCache string
+}
+
+func registerSpecFlags(fs *flag.FlagSet) *specFlags {
+	pf := &specFlags{}
+	fs.BoolVar(&pf.DumpSpec, "dump-spec", false, "print the job spec as JSON instead of running (feed it to `lcsim run -spec -`)")
+	fs.StringVar(&pf.ModelCache, "model-cache", "", "content-addressed macromodel store `dir` shared across runs (empty = off)")
+	return pf
+}
+
+// mustSpec builds a spec or exits.
+func mustSpec(driver string, run job.RunSpec, params any) *job.Spec {
+	spec, err := job.NewSpec(driver, run, params)
+	fail(err)
+	return spec
+}
+
+// execSpec is the tail of every subcommand: dump the spec as canonical
+// JSON when -dump-spec is set, otherwise execute it.
+func execSpec(spec *job.Spec, dump bool, cacheDir string, progress bool) {
+	if dump {
+		buf, err := spec.Marshal()
+		fail(err)
+		os.Stdout.Write(buf)
+		return
+	}
+	runSpecJob(spec, cacheDir, progress, "")
+}
+
+// runSpecJob executes one spec with the process wiring: stdout for the
+// driver's report, a shared metrics sink, the optional on-disk model
+// cache and stderr progress. Model-cache traffic is reported on stderr
+// so driver stdout stays bit-identical between cold and warm runs. A
+// failed driver-level acceptance gate (sta -check, yield -check-mc)
+// exits 1 after the report, exactly as the classic subcommands did.
+func runSpecJob(spec *job.Spec, cacheDir string, progress bool, resultPath string) {
+	metrics := &runner.Metrics{}
+	env := &job.Env{Stdout: os.Stdout, Stderr: os.Stderr, Metrics: metrics}
+	if progress {
+		env.Progress = func(label string) func(done, total int) {
+			return progressFn(true, label)
+		}
+	}
+	var store *modelcache.Store
+	if cacheDir != "" {
+		var err error
+		store, err = modelcache.Open(cacheDir)
+		fail(err)
+		store.Metrics = metrics
+		env.MacroCache = store
+	}
+	res, err := job.Run(context.Background(), spec, env)
+	if store != nil {
+		hits, misses, corrupt := store.Stats()
+		fmt.Fprintf(os.Stderr, "model-cache: %d hits, %d misses, %d corrupt (%s)\n",
+			hits, misses, corrupt, store.Dir())
+	}
+	fail(err)
+	if resultPath != "" {
+		body, err := json.MarshalIndent(res, "", "  ")
+		fail(err)
+		fail(os.WriteFile(resultPath, append(body, '\n'), 0o644))
+	}
+	if res.CheckFailed {
+		stopProfiles()
+		os.Exit(1)
+	}
+}
+
+// runRun is the generic driver entry: execute a serialized job spec.
+//
+//	lcsim path -mc 100 -dump-spec | lcsim run -spec -
+//	lcsim run -spec job.json -result result.json -model-cache ~/.cache/lcsim
+func runRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "job-spec JSON `file` (\"-\" = stdin)")
+	resultPath := fs.String("result", "", "write the machine-readable result envelope as JSON to `file`")
+	progress := fs.Bool("progress", false, "report sweep progress on stderr")
+	cacheDir := fs.String("model-cache", "", "content-addressed macromodel store `dir` shared across runs (empty = off)")
+	list := fs.Bool("list", false, "list the registered drivers and exit")
+	fail(fs.Parse(args))
+	if *list {
+		for _, name := range job.Names() {
+			d, _ := job.Lookup(name)
+			fmt.Printf("%-14s %s\n", name, d.Doc)
+		}
+		return
+	}
+	if *specPath == "" {
+		fail(fmt.Errorf("run needs -spec (or -list to see the registered drivers)"))
+	}
+	var data []byte
+	var err error
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	fail(err)
+	spec, err := job.Parse(data)
+	fail(err)
+	runSpecJob(spec, *cacheDir, *progress, *resultPath)
+}

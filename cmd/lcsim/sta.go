@@ -1,22 +1,13 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"math"
-	"os"
 
-	"lcsim/internal/circuit"
-	"lcsim/internal/core"
-	"lcsim/internal/device"
-	"lcsim/internal/iscas"
-	"lcsim/internal/runner"
-	"lcsim/internal/ssta"
+	"lcsim/internal/job"
 )
 
-// runSTA performs static timing analysis on a benchmark circuit:
+// runSTA builds and executes a static-timing spec on a benchmark
+// circuit:
 //
 //	lcsim sta -bench s27                          # deterministic critical path
 //	lcsim sta -bench s27 -ssta -budget 300p       # full-chip statistical STA
@@ -48,176 +39,18 @@ func runSTA(args []string) {
 		engine: true, policy: true, run: true, watchdog: true, ckpt: true,
 	})
 	fail(fs.Parse(args))
-	if *check > 0 && (!*doSSTA || *mcN == 0) {
-		fail(fmt.Errorf("-check needs both -ssta and -mc"))
-	}
-
-	mapped := loadBenchmark(*bench)
-	st := mapped.Stats()
-	fmt.Printf("%s: %d PIs, %d POs, %d DFFs, %d gates\n", mapped.Name, st.PIs, st.POs, st.DFFs, st.Gates)
-	path, err := mapped.LongestPath()
-	fail(err)
-	fmt.Printf("longest latch-to-latch path: %d stages\n", len(path))
-	for i, pg := range path {
-		fmt.Printf("  %2d. %-8s %-10s <- pin %d (%s)\n", i+1, pg.Gate.Type, pg.Gate.Output, pg.SignalPin, pg.Gate.Inputs[pg.SignalPin])
-	}
-	if !*doSSTA && *mcN == 0 {
-		return
-	}
-
-	var b float64
-	if *budget != "" {
-		b, err = circuit.ParseValue(*budget)
-		fail(err)
-	}
-	sources := core.DeviceSources(device.Tech180, *stdDL, *stdVT)
-	if *wires {
-		sources = append(sources, core.WireSources(0.33)...)
-	}
-	metrics := &runner.Metrics{}
-	cfg := ssta.Config{
-		RunConfig: sf.runConfig(*seed, "ssta-mc", metrics),
-		Sources:   sources,
-		Drive:     *drive,
-		Elems:     *elems,
-		Budget:    b,
-	}
-	ctx, cancel := runCtx(sf.Timeout)
-	defer cancel()
-
-	var res *ssta.Result
-	if *doSSTA {
-		res, err = ssta.Run(ctx, mapped, cfg)
-		fail(err)
-		printSSTA(res, b)
-	}
-	var mc *ssta.MCResult
-	if *mcN > 0 {
-		mc = runSTAMC(ctx, mapped, cfg, *mcN)
-	}
-	if *jsonOut != "" {
-		writeSTAJSON(*jsonOut, mapped.Name, res, mc)
-	}
-	printMetrics(metrics)
-	if *check > 0 && !checkSSTA(res, mc, *check) {
-		stopProfiles()
-		os.Exit(1)
-	}
-}
-
-// loadBenchmark resolves -bench: the builtin s27 netlist, a generated
-// Table-4/5 benchmark by name, or a .bench file — tech-mapped either way.
-func loadBenchmark(name string) *iscas.Circuit {
-	if name == "" || name == "s27" {
-		mapped, err := iscas.S27().TechMap()
-		fail(err)
-		return mapped
-	}
-	if b, ok := iscas.Lookup(name); ok {
-		mapped, err := iscas.Load(b)
-		fail(err)
-		return mapped
-	}
-	f, err := os.Open(name)
-	fail(err)
-	defer f.Close()
-	c, err := iscas.ParseBench(name, f)
-	fail(err)
-	mapped, err := c.TechMap()
-	fail(err)
-	return mapped
-}
-
-// printSSTA renders the SSTA result: characterization economics, the
-// per-sink arrival table (with slack/yield when a budget is set) and the
-// chip-level statistical max.
-func printSSTA(res *ssta.Result, budget float64) {
-	s := res.Stats
-	fmt.Printf("ssta: %d blocks, %d distinct (%d cache hits), %d stage simulations, %v characterization\n",
-		s.Blocks, s.Distinct, s.CacheHits, s.Simulations, s.Wall.Round(1e6))
-	if budget > 0 {
-		fmt.Printf("  %-12s %10s %10s %10s %8s\n", "sink", "mean", "sigma", "slack", "yield")
-	} else {
-		fmt.Printf("  %-12s %10s %10s\n", "sink", "mean", "sigma")
-	}
-	rows := append(append([]ssta.SinkResult(nil), res.Sinks...), res.Chip)
-	for _, sr := range rows {
-		if budget > 0 {
-			fmt.Printf("  %-12s %8.2fps %8.3fps %8.2fps %8.4f\n",
-				sr.Net, sr.Mean*1e12, sr.Std*1e12, sr.Slack*1e12, sr.Yield)
-		} else {
-			fmt.Printf("  %-12s %8.2fps %8.3fps\n", sr.Net, sr.Mean*1e12, sr.Std*1e12)
-		}
-	}
-	fmt.Printf("critical sink: %s\n", res.CriticalSink)
-}
-
-// runSTAMC runs the brute-force reference and renders its per-sink
-// summaries in the same units as the SSTA table.
-func runSTAMC(ctx context.Context, c *iscas.Circuit, cfg ssta.Config, n int) *ssta.MCResult {
-	mc, err := ssta.RunMC(ctx, c, cfg, n)
-	fail(err)
-	fmt.Printf("mc  : %d samples (lhs sampling)\n", n)
-	fmt.Printf("  %-12s %10s %10s %10s %10s\n", "sink", "mean", "sigma", "p05", "p95")
-	for _, s := range mc.Sinks {
-		fmt.Printf("  %-12s %8.2fps %8.3fps %8.2fps %8.2fps\n",
-			s.Net, s.Summary.Mean*1e12, s.Summary.Std*1e12, s.Summary.P05*1e12, s.Summary.P95*1e12)
-	}
-	fmt.Printf("  %-12s %8.2fps %8.3fps %8.2fps %8.2fps\n",
-		"chip", mc.Chip.Mean*1e12, mc.Chip.Std*1e12, mc.Chip.P05*1e12, mc.Chip.P95*1e12)
-	printFailures(&mc.Failures)
-	return mc
-}
-
-// checkSSTA compares SSTA against the MC reference at every sink (and
-// the chip max): relative mean and sigma deviations must stay within
-// tol. It prints the worst deviations and returns false on violation —
-// the machine-checkable gate scripts/ssta_smoke.sh is built on.
-func checkSSTA(res *ssta.Result, mc *ssta.MCResult, tol float64) bool {
-	ok := true
-	worstMean, worstStd := 0.0, 0.0
-	compare := func(net string, mean, std, refMean, refStd float64) {
-		dm := math.Abs(mean-refMean) / math.Abs(refMean)
-		ds := math.Abs(std-refStd) / refStd
-		if dm > worstMean {
-			worstMean = dm
-		}
-		if ds > worstStd {
-			worstStd = ds
-		}
-		if dm > tol || ds > tol {
-			ok = false
-			fmt.Printf("check: sink %s disagrees: mean %.2f%% sigma %.2f%% (tolerance %.2f%%)\n",
-				net, dm*100, ds*100, tol*100)
-		}
-	}
-	for _, sr := range res.Sinks {
-		ref, found := mc.SinkSummary(sr.Net)
-		if !found {
-			ok = false
-			fmt.Printf("check: sink %s missing from the MC reference\n", sr.Net)
-			continue
-		}
-		compare(sr.Net, sr.Mean, sr.Std, ref.Mean, ref.Std)
-	}
-	compare("chip", res.Chip.Mean, res.Chip.Std, mc.Chip.Mean, mc.Chip.Std)
-	if ok {
-		fmt.Printf("check: PASS — worst deviation mean %.2f%%, sigma %.2f%% (tolerance %.2f%%)\n",
-			worstMean*100, worstStd*100, tol*100)
-	}
-	return ok
-}
-
-// staReport is the -json payload: the analytical result next to its
-// brute-force reference.
-type staReport struct {
-	Circuit string         `json:"circuit"`
-	SSTA    *ssta.Result   `json:"ssta,omitempty"`
-	MC      *ssta.MCResult `json:"mc,omitempty"`
-}
-
-func writeSTAJSON(path, name string, res *ssta.Result, mc *ssta.MCResult) {
-	body, err := json.MarshalIndent(staReport{Circuit: name, SSTA: res, MC: mc}, "", "  ")
-	fail(err)
-	fail(os.WriteFile(path, append(body, '\n'), 0o644))
+	spec := mustSpec("sta", sf.runSpec(*seed), job.STAParams{
+		Bench:   *bench,
+		SSTA:    *doSSTA,
+		MC:      *mcN,
+		Check:   *check,
+		Budget:  *budget,
+		Elems:   *elems,
+		Drive:   *drive,
+		StdDL:   *stdDL,
+		StdVT:   *stdVT,
+		Wires:   *wires,
+		JSONOut: *jsonOut,
+	})
+	execSpec(spec, sf.DumpSpec, sf.ModelCache, sf.Progress)
 }

@@ -5,14 +5,14 @@ import (
 	"time"
 
 	"lcsim/internal/checkpoint"
-	"lcsim/internal/core"
-	"lcsim/internal/runner"
+	"lcsim/internal/job"
 )
 
 // sweepOpts selects which optional members of the shared sweep flag
-// block a subcommand registers; the -workers/-batch pair is always
-// included. validate keeps engine off (it has its own -engines list)
-// and bench keeps run/policy off (it measures, it does not analyze).
+// block a subcommand registers; the -workers/-batch pair and the
+// job-layer -dump-spec/-model-cache pair are always included. validate
+// keeps engine off (it has its own -engines list) and bench keeps
+// run/policy off (it measures, it does not analyze).
 type sweepOpts struct {
 	sampler  bool // -sampler: the MC plan choice
 	engine   bool // -engine: single-backend sweeps
@@ -24,8 +24,8 @@ type sweepOpts struct {
 
 // sweepFlags is the execution-policy flag block shared by the
 // statistical subcommands (path, skew, bench, validate). Every knob of
-// core.RunConfig registers here exactly once, so a new knob — like
-// -batch — lands in all sweeps at the same time instead of being
+// job.RunSpec registers here exactly once, so a new knob — like
+// -model-cache — lands in all sweeps at the same time instead of being
 // copy-pasted per subcommand.
 type sweepFlags struct {
 	Workers       int
@@ -36,6 +36,8 @@ type sweepFlags struct {
 	Engine        string
 	OnFailureName string
 	SampleTimeout time.Duration
+	DumpSpec      bool
+	ModelCache    string
 
 	ckptOf func() *checkpoint.Config
 }
@@ -47,6 +49,8 @@ func registerSweepFlags(fs *flag.FlagSet, opts sweepOpts) *sweepFlags {
 	sf := &sweepFlags{OnFailureName: "fail-fast", SamplerName: "lhs"}
 	fs.IntVar(&sf.Workers, "workers", -1, "evaluation workers (0 = serial, -1 = all cores)")
 	fs.IntVar(&sf.Batch, "batch", 0, "samples per worker dispatch batch (0 = automatic; results are identical at any batch size)")
+	fs.BoolVar(&sf.DumpSpec, "dump-spec", false, "print the job spec as JSON instead of running (feed it to `lcsim run -spec -`)")
+	fs.StringVar(&sf.ModelCache, "model-cache", "", "content-addressed macromodel store `dir` shared across runs (empty = off)")
 	if opts.run {
 		fs.DurationVar(&sf.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (0 = none)")
 		fs.BoolVar(&sf.Progress, "progress", false, "report sweep progress on stderr")
@@ -71,38 +75,29 @@ func registerSweepFlags(fs *flag.FlagSet, opts sweepOpts) *sweepFlags {
 	return sf
 }
 
-// policy resolves -on-failure (exits on an unknown name).
-func (sf *sweepFlags) policy() core.FailurePolicy {
-	p, err := core.ParseFailurePolicy(sf.OnFailureName)
-	fail(err)
-	return p
+// checkpointSpec resolves the -checkpoint flag family into its
+// serializable job-spec form (nil = journaling off).
+func (sf *sweepFlags) checkpointSpec() *job.CheckpointSpec {
+	ck := sf.ckptOf()
+	if ck == nil {
+		return nil
+	}
+	return &job.CheckpointSpec{Path: ck.Path, Every: ck.Every, Resume: ck.Resume}
 }
 
-// samplerPlan resolves -sampler (exits on an unknown name).
-func (sf *sweepFlags) samplerPlan() core.Sampler {
-	s, err := core.ParseSampler(sf.SamplerName)
-	fail(err)
-	return s
-}
-
-// checkpoint resolves the -checkpoint flag family (nil = journaling off).
-func (sf *sweepFlags) checkpoint() *checkpoint.Config {
-	return sf.ckptOf()
-}
-
-// runConfig assembles the parsed flags into the shared execution-policy
-// block of MCConfig/SkewConfig. label names the sweep in -progress
-// output.
-func (sf *sweepFlags) runConfig(seed int64, label string, metrics *runner.Metrics) core.RunConfig {
-	return core.RunConfig{
+// runSpec assembles the parsed flags into the serializable
+// execution-policy block of a job spec. Flag names a subcommand did not
+// register keep their zero value, exactly as the classic code paths
+// behaved.
+func (sf *sweepFlags) runSpec(seed int64) job.RunSpec {
+	return job.RunSpec{
 		Seed:          seed,
 		Workers:       sf.Workers,
-		BatchSize:     sf.Batch,
-		Metrics:       metrics,
-		Progress:      progressFn(sf.Progress, label),
-		OnFailure:     sf.policy(),
+		Batch:         sf.Batch,
 		Engine:        sf.Engine,
-		Checkpoint:    sf.checkpoint(),
-		SampleTimeout: sf.SampleTimeout,
+		OnFailure:     sf.OnFailureName,
+		Timeout:       job.Duration(sf.Timeout),
+		SampleTimeout: job.Duration(sf.SampleTimeout),
+		Checkpoint:    sf.checkpointSpec(),
 	}
 }

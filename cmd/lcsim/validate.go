@@ -1,20 +1,16 @@
 package main
 
 import (
-	"context"
 	"flag"
-	"fmt"
-	"math"
 	"strings"
 
-	"lcsim/internal/core"
-	"lcsim/internal/device"
-	"lcsim/internal/experiments"
+	"lcsim/internal/job"
 )
 
-// runValidate cross-checks stage-evaluation backends on a shared sample
-// set and reports per-engine mean/σ plus deltas against the first
-// (reference) engine:
+// runValidate builds and executes a cross-engine validation spec:
+// every named backend evaluates the same sample set, and the report
+// shows per-engine mean/σ plus deltas against the first (reference)
+// engine:
 //
 //	lcsim validate -engines teta-exact,spice-golden -samples 20 -wire 40
 //	lcsim validate -engines teta-fast,teta-exact -cells INV,NAND2,INV -samples 20
@@ -32,113 +28,21 @@ func runValidate(args []string) {
 	elems := fs.Int("elems", 10, "linear elements between chain stages (-cells mode)")
 	drive := fs.Float64("drive", 2, "cell drive strength (-cells mode)")
 	seed := fs.Int64("seed", 1, "sampling seed")
-	sf := registerSweepFlags(fs, sweepOpts{policy: true})
+	sf := registerSweepFlags(fs, sweepOpts{policy: true, run: true, watchdog: true})
 	fail(fs.Parse(args))
-	onFailure := sf.policy()
 	var engines []string
 	for _, e := range strings.Split(*enginesFlag, ",") {
 		if e = strings.TrimSpace(e); e != "" {
 			engines = append(engines, e)
 		}
 	}
-	if len(engines) < 2 {
-		fail(fmt.Errorf("validate needs at least two engines (registered: %v)", core.EngineNames()))
-	}
-	var cols []experiments.EngineValidation
-	if *cells == "" {
-		o := experiments.Ex2Options{
-			Samples: *samples, Seed: *seed,
-			Workers: sf.Workers, BatchSize: sf.Batch, OnFailure: onFailure,
-		}
-		res, err := experiments.ValidateExample2(o, *wire, engines)
-		fail(err)
-		cols = res
-		fmt.Printf("validate: example-2 coupled stage, %g um, %d samples\n", *wire, *samples)
-	} else {
-		cols = validateChain(*cells, *elems, *wire, *drive, *samples, engines, sf.runConfig(*seed, "", nil))
-		fmt.Printf("validate: chain %s, %g um wires, %d samples\n", *cells, *wire, *samples)
-	}
-	fmt.Printf("%-14s %-11s %-10s %-9s %-9s %s\n", "engine", "mean(ps)", "sigma(ps)", "dmean%", "dsigma%", "max|d|(ps)")
-	for i, c := range cols {
-		if i == 0 {
-			fmt.Printf("%-14s %-11.3f %-10.4f %-9s %-9s %s\n",
-				c.Engine, c.Summary.Mean*1e12, c.Summary.Std*1e12, "ref", "ref", "ref")
-			continue
-		}
-		fmt.Printf("%-14s %-11.3f %-10.4f %-+9.3f %-+9.3f %.4f\n",
-			c.Engine, c.Summary.Mean*1e12, c.Summary.Std*1e12,
-			c.MeanDeltaPct, c.StdDeltaPct, c.MaxAbsDelta*1e12)
-	}
-	for _, c := range cols {
-		if c.Skipped > 0 {
-			fmt.Printf("note: %s skipped %d/%d samples; per-sample deltas pair only mutually-delivered samples\n",
-				c.Engine, c.Skipped, *samples)
-		}
-	}
-}
-
-// validateChain runs the same Monte-Carlo sample set through each named
-// engine on a BuildChain path and folds the results into the shared
-// validation-column shape. The execution policy rc (seed, worker count,
-// batch size, failure policy) is identical per engine — only the Engine
-// name changes — so per-sample delays align; under the skip policy each
-// engine's compacted delay list is re-expanded to its original indices
-// with NaN holes first, because different engines may skip different
-// samples.
-func validateChain(cells string, elems int, wireUm, drive float64, n int, engines []string, rc core.RunConfig) []experiments.EngineValidation {
-	var names []string
-	for _, c := range strings.Split(cells, ",") {
-		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
-	}
-	p, err := core.BuildChain(core.ChainSpec{
-		Cells: names, Drive: drive,
-		ElemsBetween: elems, WireLengthUm: wireUm,
-		Variational: true, Tech: device.Tech180,
-		DT: 4e-12, TStop: 1.6e-9, Order: 4,
+	spec := mustSpec("validate", sf.runSpec(*seed), job.ValidateParams{
+		Engines: engines,
+		Samples: *samples,
+		Wire:    *wire,
+		Cells:   *cells,
+		Elems:   *elems,
+		Drive:   *drive,
 	})
-	fail(err)
-	sources := append(core.DeviceSources(device.Tech180, 0.33, 0.33), core.WireSources(0.33)...)
-	cols := make([]experiments.EngineValidation, len(engines))
-	for ei, name := range engines {
-		erc := rc
-		erc.Engine = name
-		mc, err := p.MonteCarloCtx(context.Background(), core.MCConfig{
-			N: n, Sources: sources, KeepSamples: true,
-			RunConfig: erc,
-		})
-		fail(err)
-		cols[ei] = experiments.EngineValidation{
-			Engine:  name,
-			Summary: mc.Summary,
-			Delays:  expandSkipped(mc.Delays, mc.Failures.SkippedIndices, n),
-			Skipped: mc.Failures.Skipped,
-		}
-	}
-	experiments.FinishDeltas(cols)
-	return cols
-}
-
-// expandSkipped re-aligns a compacted per-sample slice to its original
-// sample indices, leaving NaN at the skipped positions. With no skips it
-// returns the compact slice unchanged.
-func expandSkipped(compact []float64, skipped []int, n int) []float64 {
-	if len(skipped) == 0 {
-		return compact
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.NaN()
-	}
-	skip := make(map[int]bool, len(skipped))
-	for _, i := range skipped {
-		skip[i] = true
-	}
-	k := 0
-	for i := 0; i < n && k < len(compact); i++ {
-		if !skip[i] {
-			out[i] = compact[k]
-			k++
-		}
-	}
-	return out
+	execSpec(spec, sf.DumpSpec, sf.ModelCache, sf.Progress)
 }

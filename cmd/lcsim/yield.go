@@ -1,57 +1,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
-	"os"
 	"strings"
 
-	"lcsim/internal/circuit"
-	"lcsim/internal/core"
-	"lcsim/internal/device"
-	"lcsim/internal/runner"
+	"lcsim/internal/job"
 )
 
-// yieldJSON is the machine-readable shape of one `lcsim yield` run: the
-// IS estimate with its uncertainty and cost accounting, plus the
-// optional plain-MC cross-check.
-type yieldJSON struct {
-	BudgetSec   float64 `json:"budget_sec"`
-	BudgetSigma float64 `json:"budget_sigma"`
-	GAYield     float64 `json:"ga_yield"`
-	FailProb    float64 `json:"fail_prob"`
-	Yield       float64 `json:"yield"`
-	StdErr      float64 `json:"std_err"`
-	CIHalf      float64 `json:"ci_half"`
-	ESS         float64 `json:"ess"`
-	FailESS     float64 `json:"fail_ess"`
-	Fails       int     `json:"fails"`
-	Evals       int     `json:"is_evals"`
-	NonFinite   int     `json:"non_finite,omitempty"`
-
-	EvalsTotal    float64 `json:"evals_total"`
-	MCEvalsForCI  float64 `json:"mc_evals_for_same_ci"`
-	EvalReduction float64 `json:"eval_reduction"`
-	VarReduction  float64 `json:"variance_reduction"`
-
-	MC *yieldMCCheck `json:"mc_check,omitempty"`
-}
-
-// yieldMCCheck is the plain-MC cross-check section: the reference
-// estimate with its binomial CI and the agreement verdict.
-type yieldMCCheck struct {
-	N          int     `json:"n"`
-	FailProb   float64 `json:"fail_prob"`
-	CIHalf     float64 `json:"ci_half"`
-	Diff       float64 `json:"diff"`
-	CombinedCI float64 `json:"combined_ci"`
-	Agree      bool    `json:"agree"`
-}
-
-// runYield estimates tail timing yield by importance sampling on a chain
-// of library cells:
+// runYield builds and executes an importance-sampling yield spec on a
+// chain of library cells:
 //
 //	lcsim yield -cells INV,NAND2,INV -budget-sigma 4 -n 1000
 //	lcsim yield -cells INV,INV -budget 400p -target-ci 1e-6 -check-mc 20000
@@ -87,135 +45,27 @@ func runYield(args []string) {
 	if *budget == "" && *budgetSigma == 0 {
 		fail(fmt.Errorf("yield needs -budget (seconds) or -budget-sigma (sigmas above the GA mean)"))
 	}
-	sampler, err := core.ParseSampler(*samplerName)
-	fail(err)
-	var names []string
-	for _, c := range strings.Split(*cells, ",") {
-		names = append(names, strings.ToUpper(strings.TrimSpace(c)))
-	}
-	p, err := core.BuildChain(core.ChainSpec{
-		Cells:        names,
-		Drive:        *drive,
-		ElemsBetween: *elems,
-		WireLengthUm: *wireUm,
-		Variational:  *wires,
-		Tech:         device.Tech180,
-		DT:           4e-12,
-		TStop:        1.6e-9,
-		Order:        4,
-	})
-	fail(err)
-	sources := core.DeviceSources(device.Tech180, *stdDL, *stdVT)
-	if *wires {
-		sources = append(sources, core.WireSources(0.33)...)
-	}
-	absBudget := 0.0
-	if *budget != "" {
-		absBudget, err = circuit.ParseValue(*budget)
-		fail(err)
-	}
-	ctx, cancel := runCtx(sf.Timeout)
-	defer cancel()
-	// The flag's 0 means "pure shifted proposal"; the core zero value
-	// means "default mixture", which is spelled negative there.
-	mix := *defensiveMix
-	if mix == 0 {
-		mix = -1
-	}
-	metrics := &runner.Metrics{}
-	cfg := core.ISConfig{
+	spec := mustSpec("yield", sf.runSpec(*seed), job.YieldParams{
+		ChainParams: job.ChainParams{
+			Cells:  strings.Split(*cells, ","),
+			Elems:  *elems,
+			WireUm: *wireUm,
+			Drive:  *drive,
+			StdDL:  *stdDL,
+			StdVT:  *stdVT,
+			Wires:  *wires,
+		},
 		N:            *n,
-		Sources:      sources,
-		Budget:       absBudget,
+		Budget:       *budget,
 		BudgetSigma:  *budgetSigma,
-		Sampler:      sampler,
-		ShiftScale:   *sigmaShift,
+		SigmaShift:   *sigmaShift,
 		SigmaInflate: *sigmaInflate,
-		DefensiveMix: mix,
+		DefensiveMix: *defensiveMix,
 		TargetCI:     *targetCI,
 		MaxN:         *maxN,
-		RunConfig:    sf.runConfig(*seed, "yield", metrics),
-	}
-	res, err := p.ImportanceYieldCtx(ctx, cfg)
-	fail(err)
-
-	out := yieldJSON{
-		BudgetSec:   res.Budget,
-		BudgetSigma: res.BudgetSigma,
-		GAYield:     res.GAYield,
-		FailProb:    res.FailProb,
-		Yield:       res.Yield,
-		StdErr:      res.StdErr,
-		CIHalf:      res.CIHalf,
-		ESS:         res.ESS,
-		FailESS:     res.FailESS,
-		Fails:       res.Fails,
-		Evals:       res.Evals,
-		NonFinite:   res.NonFinite,
-
-		EvalsTotal:    res.EvalsTotal,
-		MCEvalsForCI:  res.MCEvalsForCI,
-		EvalReduction: res.EvalReduction,
-		VarReduction:  res.VarReduction,
-	}
-
-	// Optional plain-MC cross-check: same path, same sources, an
-	// independent seed. The two estimators measure the same probability,
-	// so their difference is bounded by the combined 95% CI.
-	if *checkMC > 0 {
-		mcRes, err := p.MonteCarloCtx(ctx, core.MCConfig{
-			N: *checkMC, Sources: sources, KeepSamples: true,
-			RunConfig: core.RunConfig{
-				Seed: *seed + 1, Workers: sf.Workers, BatchSize: sf.Batch,
-				Metrics: metrics, OnFailure: sf.policy(), Engine: sf.Engine,
-				SampleTimeout: sf.SampleTimeout,
-				Progress:      progressFn(sf.Progress, "yield/mc-check"),
-			},
-		})
-		fail(err)
-		y := core.Yield(res.Budget, res.GA, mcRes)
-		mcFail := 1 - y.MCYield
-		diff := math.Abs(res.FailProb - mcFail)
-		combined := res.CIHalf + y.MCCIHalf
-		out.MC = &yieldMCCheck{
-			N: y.MCN, FailProb: mcFail, CIHalf: y.MCCIHalf,
-			Diff: diff, CombinedCI: combined, Agree: diff <= combined,
-		}
-	}
-
-	if *jsonOut {
-		buf, err := json.MarshalIndent(&out, "", "  ")
-		fail(err)
-		fmt.Println(string(buf))
-	} else {
-		fmt.Printf("path : %d stages, GA mean %.2f ps σ %.2f ps\n",
-			len(names), res.GA.Mean*1e12, res.GA.Std*1e12)
-		fmt.Printf("budget: %.2f ps = GA mean %+.2fσ (first-order GA yield %.6f)\n",
-			res.Budget*1e12, res.BudgetSigma, res.GAYield)
-		fmt.Printf("IS   : fail prob %.3e ± %.3e (95%% CI), yield %.6f\n",
-			res.FailProb, res.CIHalf, res.Yield)
-		fmt.Printf("       %d evals (%d delivered, %d failing raw), ESS %.0f, fail-ESS %.0f\n",
-			res.Evals, res.N, res.Fails, res.ESS, res.FailESS)
-		if res.FailESS < 30 {
-			fmt.Printf("       warning: fail-ESS %.1f < 30 — the Gaussian CI is not yet trustworthy; raise -n or -target-ci\n", res.FailESS)
-		}
-		if res.EvalReduction > 0 {
-			fmt.Printf("cost : %.0f eval-equivalents (IS + GA overhead); plain MC needs %.3g for the same CI — %.0fx fewer evals (%.0fx variance reduction)\n",
-				res.EvalsTotal, res.MCEvalsForCI, res.EvalReduction, res.VarReduction)
-		}
-		if out.MC != nil {
-			verdict := "agree"
-			if !out.MC.Agree {
-				verdict = "DISAGREE"
-			}
-			fmt.Printf("MC   : fail prob %.3e ± %.3e over %d samples — |Δ| = %.3e vs combined CI %.3e: %s\n",
-				out.MC.FailProb, out.MC.CIHalf, out.MC.N, out.MC.Diff, out.MC.CombinedCI, verdict)
-		}
-		printFailures(&res.Failures)
-		printMetrics(metrics)
-	}
-	if out.MC != nil && !out.MC.Agree {
-		stopProfiles()
-		os.Exit(1)
-	}
+		Sampler:      *samplerName,
+		CheckMC:      *checkMC,
+		JSON:         *jsonOut,
+	})
+	execSpec(spec, sf.DumpSpec, sf.ModelCache, sf.Progress)
 }

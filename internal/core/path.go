@@ -25,6 +25,13 @@
 //     ppm-level failure probabilities at orders of magnitude fewer
 //     engine evaluations than plain MC (measured ≥300× at a 4σ budget;
 //     see BENCH_mc.json's yield section).
+//
+// Every driver is also addressable as a serialized job: internal/job
+// wraps these entry points in a registry of named drivers behind a
+// versioned, content-hashed job.Spec (the `lcsim run -spec` path), and
+// RunConfig.MacroCache threads the cross-run macromodel store
+// (internal/modelcache) through BuildChain's stage characterizations so
+// repeated runs skip the per-stage eigendecompositions entirely.
 package core
 
 import (
@@ -229,6 +236,12 @@ type ChainSpec struct {
 	DT, TStop float64
 	Order     int
 	Chord     teta.ChordPolicy
+
+	// MacroCache, when non-nil, is the cross-run macromodel store every
+	// stage characterizes through (see teta.Config.MacroCache): chains
+	// whose stages were characterized by an earlier process load their
+	// macromodels instead of re-extracting, with bit-identical results.
+	MacroCache teta.MacroStore
 }
 
 // BuildChain characterizes a chain path. Each stage's load is an RC line
@@ -285,6 +298,7 @@ func BuildChain(spec ChainSpec) (*Path, error) {
 		}}, teta.Config{
 			Tech: spec.Tech, DT: spec.DT, TStop: spec.TStop,
 			Order: spec.Order, Chord: spec.Chord,
+			MacroCache: spec.MacroCache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: stage %d (%s): %w", i, cellName, err)

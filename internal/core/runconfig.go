@@ -6,6 +6,7 @@ import (
 
 	"lcsim/internal/checkpoint"
 	"lcsim/internal/runner"
+	"lcsim/internal/teta"
 )
 
 // RunConfig is the execution-policy block shared by every statistical
@@ -67,6 +68,15 @@ type RunConfig struct {
 	// differs from this config refuses to resume with
 	// checkpoint.ErrMismatch.
 	Checkpoint *checkpoint.Config
+	// MacroCache, when non-nil, is the cross-run content-addressed
+	// macromodel store (internal/modelcache): every stage the driver
+	// characterizes — directly or through ssta block characterization —
+	// loads its variational macromodel from the store when an earlier
+	// process already extracted it, and stores it otherwise. Like
+	// Metrics and Progress it is process wiring, not run identity: it is
+	// excluded from checkpoint fingerprints and job-spec hashes, because
+	// cached and uncached runs produce bit-identical results.
+	MacroCache teta.MacroStore
 	// SampleTimeout, when positive, bounds every engine invocation with
 	// a watchdog deadline: an evaluation that has not returned after
 	// this long is abandoned, classified as FailTimeout, and handled by

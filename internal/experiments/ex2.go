@@ -40,6 +40,14 @@ type Ex2Options struct {
 	// sweeps (FailFast or Skip; the Example-2 evaluators have no
 	// degradation ladder). Zero value = FailFast.
 	OnFailure core.FailurePolicy
+	// SampleTimeout, when positive, bounds each sample evaluation of the
+	// validation sweeps with a watchdog deadline, per the core.RunConfig
+	// convention: a sample that has not returned in time fails with
+	// core.ErrSampleTimeout and is handled by OnFailure.
+	SampleTimeout time.Duration
+	// MacroCache, when non-nil, is the cross-run macromodel store stage
+	// construction characterizes through (see teta.Config.MacroCache).
+	MacroCache teta.MacroStore
 }
 
 func (o *Ex2Options) setDefaults() {
@@ -84,7 +92,7 @@ func ex2Stage(o Ex2Options, lengthUm float64, exact bool) (*teta.Stage, error) {
 		{Name: "victim", Cell: device.INV, Drive: o.Drive, Port: 0},
 		{Name: "aggrA", Cell: device.INV, Drive: o.Drive, Port: 1},
 		{Name: "aggrB", Cell: device.INV, Drive: o.Drive, Port: 2},
-	}, teta.Config{Tech: o.Tech, DT: o.DT, TStop: o.TStop, Order: o.Order, ExactExtract: exact})
+	}, teta.Config{Tech: o.Tech, DT: o.DT, TStop: o.TStop, Order: o.Order, ExactExtract: exact, MacroCache: o.MacroCache})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,145 @@
+package job
+
+// This file holds the BENCH_mc.json row and report schema; the
+// measurement code lives beside the section it measures
+// (bench_scaling.go, bench_engine.go, bench_yield.go, bench_ssta.go)
+// and the orchestration in bench_driver.go.
+
+// benchRow is one measured configuration in BENCH_mc.json.
+type benchRow struct {
+	// Engine names the stage-evaluation backend the row was measured with
+	// (a core engine-registry name: teta-fast, teta-exact, ...).
+	Engine          string  `json:"engine"`
+	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch"` // requested batch size (0 = automatic)
+	NsPerSample     float64 `json:"ns_per_sample"`
+	AllocsPerSample float64 `json:"allocs_per_sample"`
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+	// Utilization is BusyNs / (workers × elapsed): the fraction of the
+	// measured wall time workers spent inside sample evaluations.
+	// ChanWaitFrac is SendWaitNs / (workers × elapsed): the fraction lost
+	// blocked handing finished batches to the ordered collector — a high
+	// value means delivery, not evaluation, limits throughput.
+	Utilization  float64 `json:"utilization"`
+	ChanWaitFrac float64 `json:"chan_wait_frac"`
+	// Skipped/Degraded/TimedOut/Failures record the fault-handling counters
+	// of the measured sweep (all zero on a healthy configuration; a non-zero
+	// entry flags that the timing above excludes or degrades part of the
+	// population). TimedOut counts samples cut off by the -sample-timeout
+	// watchdog; they are a subset of Skipped.
+	Skipped  int64            `json:"skipped"`
+	Degraded int64            `json:"degraded"`
+	TimedOut int64            `json:"timed_out"`
+	Failures map[string]int64 `json:"failures,omitempty"`
+}
+
+// benchReport is the BENCH_mc.json schema: the per-sample Monte-Carlo
+// evaluation cost of the Example-2 coupled stage on the characterize-once
+// variational path (1 worker and N workers) and on the per-sample
+// exact-extraction path (1 worker), plus the derived speedups.
+type benchReport struct {
+	Benchmark string  `json:"benchmark"`
+	Date      string  `json:"date"`
+	GoMaxProc int     `json:"gomaxprocs"`
+	Samples   int     `json:"samples"`
+	WireUm    float64 `json:"wire_um"`
+
+	Var1W   benchRow `json:"var_1w"`
+	VarNW   benchRow `json:"var_nw"`
+	Exact1W benchRow `json:"exact_1w"`
+	// EngineRow is the optional extra row measured with -engine: the same
+	// sweep through an arbitrary registered backend (e.g. spice-golden).
+	EngineRow *benchRow `json:"engine_row,omitempty"`
+	// Yield is the optional importance-sampling section (-yield): the
+	// measured evaluation-count reduction over plain MC for a tail
+	// (-yield-sigma) delay budget on the Example-2 path.
+	Yield *yieldBenchRow `json:"yield,omitempty"`
+	// SSTA is the optional full-chip statistical-STA section (-ssta):
+	// the block-partition economics of the -ssta-bench circuit —
+	// characterize-once cache hits are the number the section exists to
+	// track.
+	SSTA *sstaBenchRow `json:"ssta,omitempty"`
+
+	// Scaling is the measured worker-scaling curve of the var path:
+	// workers ∈ {1, 2, 4, NumCPU} (deduplicated, ascending), each point
+	// with its utilization and channel-wait fractions so a flattening
+	// curve also shows why it flattened.
+	Scaling []scalingRow `json:"scaling"`
+
+	// SpeedupCharOnce is exact_1w / var_1w: the single-worker gain from
+	// evaluating the characterize-once macromodel instead of re-extracting
+	// poles/residues per sample.
+	SpeedupCharOnce float64 `json:"speedup_characterize_once_1w"`
+	// SpeedupParallel is var_1w / var_nw: the additional gain from the
+	// worker pool at the N-worker setting.
+	SpeedupParallel float64 `json:"speedup_parallel"`
+
+	// DurationSec / ResumedSamples / TimedOutSamples are recorded
+	// unconditionally (zero counts included) so downstream tooling can
+	// rely on their presence: the wall-clock duration of the whole bench
+	// run, the samples restored from a -resume'd checkpoint journal
+	// instead of re-evaluated, and the samples cut off by the
+	// -sample-timeout watchdog across all rows.
+	DurationSec     float64 `json:"duration_sec"`
+	ResumedSamples  int64   `json:"resumed_samples"`
+	TimedOutSamples int64   `json:"timed_out_samples"`
+
+	// ModelCache is present when the run used a -model-cache store: the
+	// cross-run macromodel hit/miss/corrupt counters accumulated across
+	// every section of this bench run. A warm rerun reports zero misses.
+	ModelCache *modelCacheBenchRow `json:"model_cache,omitempty"`
+}
+
+// modelCacheBenchRow is the -model-cache counter section of
+// BENCH_mc.json.
+type modelCacheBenchRow struct {
+	Dir     string `json:"dir"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Corrupt int64  `json:"corrupt"`
+}
+
+// scalingRow is one point of the worker-scaling curve: the var-path
+// measurement at that worker count plus its speedup over the curve's
+// 1-worker point.
+type scalingRow struct {
+	benchRow
+	Speedup float64 `json:"speedup"`
+}
+
+// yieldBenchRow is the optional importance-sampling yield section of
+// BENCH_mc.json (-yield): a tail failure-probability estimate on the
+// Example-2 path with its evaluations-to-CI accounting against plain
+// Monte Carlo. EvalReduction is the headline number: how many times
+// fewer full engine evaluations IS spent than the plain-MC count
+// (MCEvalsForCI = p(1−p)(1.96/ci_half)²) that reaches the same 95% CI
+// half-width.
+type yieldBenchRow struct {
+	BudgetSigma  float64 `json:"budget_sigma"`
+	BudgetSec    float64 `json:"budget_sec"`
+	FailProb     float64 `json:"fail_prob"`
+	CIHalf       float64 `json:"ci_half"`
+	ESS          float64 `json:"ess"`
+	FailESS      float64 `json:"fail_ess"`
+	ISEvals      float64 `json:"is_evals"` // IS samples + GA overhead, in path-eval equivalents
+	MCEvalsForCI float64 `json:"mc_evals_for_same_ci"`
+	// EvalReduction = MCEvalsForCI / ISEvals; VarReduction the
+	// per-sample variance-reduction factor.
+	EvalReduction float64 `json:"eval_reduction"`
+	VarReduction  float64 `json:"variance_reduction"`
+}
+
+// sstaBenchRow is the optional full-chip SSTA section of BENCH_mc.json
+// (-ssta): how the block partition of a benchmark circuit amortizes
+// characterization (blocks vs distinct macromodels vs cache hits) and
+// what the whole analysis costs wall-clock.
+type sstaBenchRow struct {
+	Circuit     string `json:"circuit"`
+	Blocks      int    `json:"blocks"`
+	Distinct    int    `json:"distinct"`
+	CacheHits   int    `json:"cache_hits"`
+	Sinks       int    `json:"sinks"`
+	Simulations int    `json:"simulations"` // stage simulations spent characterizing
+	CharNs      int64  `json:"characterize_ns"`
+	TotalNs     int64  `json:"total_ns"` // partition + characterize + propagate
+}

@@ -1,0 +1,89 @@
+package job
+
+import (
+	"fmt"
+	"strings"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/core"
+	"lcsim/internal/device"
+)
+
+// ChainParams is the shared geometry/variation block of every
+// chain-based driver (path, yield, and the mc/ga/worstcase
+// primitives): which cells, how much wire, which variation sources.
+// All of it is statistical identity and enters the spec hash.
+type ChainParams struct {
+	Cells  []string `json:"cells"`
+	Elems  int      `json:"elems,omitempty"`
+	WireUm float64  `json:"wire_um,omitempty"`
+	Drive  float64  `json:"drive,omitempty"`
+	StdDL  float64  `json:"std_dl,omitempty"`
+	StdVT  float64  `json:"std_vt,omitempty"`
+	Wires  bool     `json:"wires,omitempty"`
+}
+
+// cellNames normalizes the cell list the way the CLI always has:
+// trimmed, uppercased.
+func (cp *ChainParams) cellNames() ([]string, error) {
+	if len(cp.Cells) == 0 {
+		return nil, fmt.Errorf("job: chain needs cells")
+	}
+	names := make([]string, len(cp.Cells))
+	for i, c := range cp.Cells {
+		names[i] = strings.ToUpper(strings.TrimSpace(c))
+	}
+	return names, nil
+}
+
+// buildChain constructs the path at the classic CLI characterization
+// settings (Tech180, 4 ps step, 1.6 ns window, order 4), characterizing
+// through the env's model cache when one is configured.
+func (cp *ChainParams) buildChain(env *Env) (*core.Path, []string, error) {
+	names, err := cp.cellNames()
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.BuildChain(core.ChainSpec{
+		Cells:        names,
+		Drive:        cp.Drive,
+		ElemsBetween: cp.Elems,
+		WireLengthUm: cp.WireUm,
+		Variational:  cp.Wires,
+		Tech:         device.Tech180,
+		DT:           4e-12,
+		TStop:        1.6e-9,
+		Order:        4,
+		MacroCache:   env.MacroCache,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, names, nil
+}
+
+// sources assembles the variation-source list: device Leff/Vt classes
+// plus, with Wires set, the wire parameter classes.
+func (cp *ChainParams) sources() []core.Source {
+	src := core.DeviceSources(device.Tech180, cp.StdDL, cp.StdVT)
+	if cp.Wires {
+		src = append(src, core.WireSources(0.33)...)
+	}
+	return src
+}
+
+// parseBudget resolves an engineering-notation delay budget ("400p");
+// empty means no budget (0).
+func parseBudget(budget string) (float64, error) {
+	if budget == "" {
+		return 0, nil
+	}
+	return circuit.ParseValue(budget)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,140 @@
+package job
+
+import (
+	"context"
+	"fmt"
+
+	"lcsim/internal/core"
+	"lcsim/internal/stat"
+	"lcsim/internal/teta"
+)
+
+func init() {
+	Register(Driver{
+		Name: "path",
+		Doc:  "statistical path-delay analysis on a chain of library cells (GA, MC, worst-case, yield)",
+		Run:  runPathDriver,
+	})
+}
+
+// PathParams parameterizes the composite path driver — the job-layer
+// form of the classic `lcsim path` flag set.
+type PathParams struct {
+	ChainParams
+	MC      int    `json:"mc,omitempty"`
+	GA      bool   `json:"ga,omitempty"`
+	Worst   bool   `json:"worst,omitempty"`
+	Budget  string `json:"budget,omitempty"`
+	Sampler string `json:"sampler,omitempty"`
+}
+
+// pathSummary is the machine-readable result of one path run.
+type pathSummary struct {
+	Stages       int                   `json:"stages"`
+	Engine       string                `json:"engine"`
+	NominalDelay float64               `json:"nominal_delay_sec"`
+	FinalSlew    float64               `json:"final_slew_sec"`
+	GA           *core.GAResult        `json:"ga,omitempty"`
+	MC           *stat.Summary         `json:"mc,omitempty"`
+	Worst        *core.WorstCaseResult `json:"worst,omitempty"`
+	Yield        *core.TimingYield     `json:"yield,omitempty"`
+}
+
+func runPathDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var pp PathParams
+	if err := decodeParams(spec, &pp); err != nil {
+		return nil, err
+	}
+	sampler, err := core.ParseSampler(pp.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	p, names, err := pp.buildChain(env)
+	if err != nil {
+		return nil, err
+	}
+	sources := pp.sources()
+	// Resolve the engine up front: a bad engine name fails before any
+	// analysis, and the nominal evaluation runs on the same backend as
+	// the statistical drivers below.
+	eng, err := p.Engine(spec.Run.Engine)
+	if err != nil {
+		return nil, err
+	}
+	nom, err := eng.EvalPath(nil, teta.RunSpec{})
+	if err != nil {
+		return nil, err
+	}
+	env.printf("path: %d stages (%s engine), nominal delay %.2f ps, final slew %.2f ps\n",
+		len(names), eng.Name(), nom.Delay*1e12, nom.FinalSlew*1e12)
+	sum := &pathSummary{
+		Stages: len(names), Engine: eng.Name(),
+		NominalDelay: nom.Delay, FinalSlew: nom.FinalSlew,
+	}
+	res := &Result{Summary: sum}
+
+	var gaRes *core.GAResult
+	var mcRes *core.MCResult
+	if pp.GA || pp.Budget != "" || pp.Worst {
+		gaRes, err = p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: env.Metrics, Engine: spec.Run.Engine})
+		if err != nil {
+			return nil, err
+		}
+		env.printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
+			gaRes.Mean*1e12, gaRes.Std*1e12, gaRes.Simulations)
+		for _, s := range sources {
+			env.printf("      %-10s contribution σ = %.3f ps\n", s.Name, absf(gaRes.Sensitivity[s.Name])*s.Sigma*1e12)
+		}
+		sum.GA = gaRes
+	}
+	if pp.MC > 0 {
+		rc, err := spec.Run.runConfig("mc", env)
+		if err != nil {
+			return nil, err
+		}
+		mcRes, err = p.MonteCarloCtx(ctx, core.MCConfig{
+			N: pp.MC, Sources: sources,
+			Sampler: sampler, KeepSamples: true,
+			RunConfig: rc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
+			mcRes.Summary.Mean*1e12, mcRes.Summary.Std*1e12, mcRes.Summary.N, sampler)
+		fmt.Fprint(env.Stdout, stat.NewHistogram(mcRes.Delays, 12).Render(40, func(v float64) string {
+			return fmt.Sprintf("%8.1f ps", v*1e12)
+		}))
+		env.printFailures(&mcRes.Failures)
+		mcSum := mcRes.Summary
+		sum.MC = &mcSum
+		res.Failures = failuresRef(&mcRes.Failures)
+	}
+	if pp.Worst {
+		wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: spec.Run.Engine})
+		if err != nil {
+			return nil, err
+		}
+		env.printf("worst: slow corner %.2f ps (+%.2f ps vs nominal) at", wc.Delay*1e12, (wc.Delay-wc.Nominal)*1e12)
+		for _, s := range sources {
+			env.printf(" %s=%+.0fσ", s.Name, wc.CornerSigns[s.Name])
+		}
+		env.printf("\n")
+		sum.Worst = wc
+	}
+	if pp.Budget != "" {
+		b, err := parseBudget(pp.Budget)
+		if err != nil {
+			return nil, err
+		}
+		y := core.Yield(b, gaRes, mcRes)
+		env.printf("yield at %.1f ps: GA %.4f", b*1e12, y.GAYield)
+		if mcRes != nil {
+			env.printf(", MC %.4f ± %.4f (95%% CI, n=%d)", y.MCYield, y.MCCIHalf, y.MCN)
+		}
+		env.printf("\n")
+		sum.Yield = &y
+	}
+	env.printMetrics()
+	return res, nil
+}

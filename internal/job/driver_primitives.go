@@ -1,0 +1,197 @@
+package job
+
+// This file holds the primitive drivers: each statistical analysis the
+// composite `path` driver bundles — plain Monte Carlo, correlated
+// (PCA-factor) Monte Carlo, gradient analysis, the worst-case corner
+// search — as an individually addressable job. `mc-correlated` is the
+// one analysis that was previously reachable only through the library
+// API: a spec carries the source covariance row-major and the
+// retained-variance fraction, and the driver samples in the compact
+// factor space exactly as core.MonteCarloCorrelatedCtx always has.
+
+import (
+	"context"
+	"fmt"
+
+	"lcsim/internal/core"
+	"lcsim/internal/mat"
+)
+
+func init() {
+	Register(Driver{
+		Name: "mc",
+		Doc:  "plain Monte-Carlo path-delay analysis on a chain of library cells",
+		Run:  runMCDriver,
+	})
+	Register(Driver{
+		Name: "mc-correlated",
+		Doc:  "correlated Monte Carlo through a PCA factor model of the source covariance",
+		Run:  runMCCorrelatedDriver,
+	})
+	Register(Driver{
+		Name: "ga",
+		Doc:  "gradient (sensitivity) analysis of path delay over the variation sources",
+		Run:  runGADriver,
+	})
+	Register(Driver{
+		Name: "worstcase",
+		Doc:  "verified worst-case corner search for path delay",
+		Run:  runWorstCaseDriver,
+	})
+}
+
+// MCParams parameterizes the plain-MC primitive.
+type MCParams struct {
+	ChainParams
+	N       int    `json:"n"`
+	Sampler string `json:"sampler,omitempty"`
+}
+
+func runMCDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var mp MCParams
+	if err := decodeParams(spec, &mp); err != nil {
+		return nil, err
+	}
+	sampler, err := core.ParseSampler(mp.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := mp.buildChain(env)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := spec.Run.runConfig("mc", env)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.MonteCarloCtx(ctx, core.MCConfig{
+		N: mp.N, Sources: mp.sources(),
+		Sampler: sampler, KeepSamples: true,
+		RunConfig: rc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling)\n",
+		res.Summary.Mean*1e12, res.Summary.Std*1e12, res.Summary.N, sampler)
+	env.printFailures(&res.Failures)
+	env.printMetrics()
+	sum := res.Summary
+	return &Result{Summary: &sum, Failures: failuresRef(&res.Failures)}, nil
+}
+
+// MCCorrelatedParams parameterizes the correlated-MC primitive. Cov is
+// the source covariance, row-major over the chain's source list (device
+// classes first, then — with Wires set — the wire classes); Fraction is
+// the variance share the retained PCA factors must explain.
+type MCCorrelatedParams struct {
+	ChainParams
+	N        int         `json:"n"`
+	Sampler  string      `json:"sampler,omitempty"`
+	Cov      [][]float64 `json:"cov"`
+	Fraction float64     `json:"fraction"`
+}
+
+func runMCCorrelatedDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var mp MCCorrelatedParams
+	if err := decodeParams(spec, &mp); err != nil {
+		return nil, err
+	}
+	sampler, err := core.ParseSampler(mp.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := mp.buildChain(env)
+	if err != nil {
+		return nil, err
+	}
+	sources := mp.sources()
+	if len(mp.Cov) != len(sources) {
+		return nil, fmt.Errorf("mc-correlated: covariance has %d rows for %d sources", len(mp.Cov), len(sources))
+	}
+	cov := mat.NewDense(len(sources), len(sources))
+	for i, row := range mp.Cov {
+		if len(row) != len(sources) {
+			return nil, fmt.Errorf("mc-correlated: covariance row %d has %d entries for %d sources", i, len(row), len(sources))
+		}
+		for j, v := range row {
+			cov.Set(i, j, v)
+		}
+	}
+	cs, err := core.NewCorrelatedSources(sources, cov, mp.Fraction)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := spec.Run.runConfig("mc-correlated", env)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.MonteCarloCorrelatedCtx(ctx, cs, core.MCConfig{
+		N: mp.N, Sampler: sampler, KeepSamples: true,
+		RunConfig: rc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.printf("MC  : mean %.2f ps, σ %.2f ps over %d samples (%s sampling, %d factors over %d sources)\n",
+		res.Summary.Mean*1e12, res.Summary.Std*1e12, res.Summary.N, sampler, cs.NumFactors(), len(sources))
+	env.printFailures(&res.Failures)
+	env.printMetrics()
+	sum := res.Summary
+	return &Result{Summary: &sum, Failures: failuresRef(&res.Failures)}, nil
+}
+
+// GAParams parameterizes the gradient-analysis primitive.
+type GAParams struct {
+	ChainParams
+}
+
+func runGADriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var gp GAParams
+	if err := decodeParams(spec, &gp); err != nil {
+		return nil, err
+	}
+	p, _, err := gp.buildChain(env)
+	if err != nil {
+		return nil, err
+	}
+	sources := gp.sources()
+	res, err := p.GradientAnalysis(core.GAConfig{Sources: sources, Metrics: env.Metrics, Engine: spec.Run.Engine})
+	if err != nil {
+		return nil, err
+	}
+	env.printf("GA  : mean %.2f ps, σ %.2f ps (%d simulations)\n",
+		res.Mean*1e12, res.Std*1e12, res.Simulations)
+	for _, s := range sources {
+		env.printf("      %-10s contribution σ = %.3f ps\n", s.Name, absf(res.Sensitivity[s.Name])*s.Sigma*1e12)
+	}
+	env.printMetrics()
+	return &Result{Summary: res}, nil
+}
+
+// WorstCaseParams parameterizes the corner-search primitive.
+type WorstCaseParams struct {
+	ChainParams
+}
+
+func runWorstCaseDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var wp WorstCaseParams
+	if err := decodeParams(spec, &wp); err != nil {
+		return nil, err
+	}
+	p, _, err := wp.buildChain(env)
+	if err != nil {
+		return nil, err
+	}
+	sources := wp.sources()
+	wc, err := p.WorstCase(core.WorstCaseConfig{Sources: sources, Engine: spec.Run.Engine})
+	if err != nil {
+		return nil, err
+	}
+	env.printf("worst: slow corner %.2f ps (+%.2f ps vs nominal) at", wc.Delay*1e12, (wc.Delay-wc.Nominal)*1e12)
+	for _, s := range sources {
+		env.printf(" %s=%+.0fσ", s.Name, wc.CornerSigns[s.Name])
+	}
+	env.printf("\n")
+	return &Result{Summary: wc}, nil
+}

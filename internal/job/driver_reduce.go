@@ -1,0 +1,114 @@
+package job
+
+import (
+	"context"
+	"fmt"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/mor"
+	"lcsim/internal/poleres"
+)
+
+func init() {
+	Register(Driver{
+		Name: "reduce",
+		Doc:  "reduced-order model of a netlist's linear part: poles before and after stabilization",
+		Run:  runReduceDriver,
+	})
+}
+
+// ReduceParams parameterizes the model-reduction driver — the job-layer
+// form of the classic `lcsim reduce` flag set.
+type ReduceParams struct {
+	Netlist string             `json:"netlist"`
+	Order   int                `json:"order"`
+	At      map[string]float64 `json:"at,omitempty"`
+	Gout    float64            `json:"gout,omitempty"`
+}
+
+// reduceSummary is the machine-readable result of one reduction.
+type reduceSummary struct {
+	Order       int     `json:"order"`
+	Ports       int     `json:"ports"`
+	PoleCount   int     `json:"poles"`
+	Removed     int     `json:"removed"`
+	DCErrBefore float64 `json:"dc_err_before,omitempty"`
+}
+
+func runReduceDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var rp ReduceParams
+	if err := decodeParams(spec, &rp); err != nil {
+		return nil, err
+	}
+	if rp.Netlist == "" {
+		return nil, fmt.Errorf("reduce needs a netlist")
+	}
+	nl, err := loadNetlistFile(rp.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := circuit.AssembleVariational(nl)
+	if err != nil {
+		return nil, err
+	}
+	if rp.Gout > 0 {
+		gs := make([]float64, sys.Np)
+		for i := range gs {
+			gs[i] = rp.Gout
+		}
+		if err := sys.SetPortConductance(gs); err != nil {
+			return nil, err
+		}
+	}
+	w := rp.At
+	if w == nil {
+		w = map[string]float64{}
+	}
+	var rom *mor.ROM
+	if len(sys.Params) > 0 {
+		vrom, err := mor.BuildVariational(sys, mor.BuildOptions{Order: rp.Order})
+		if err != nil {
+			return nil, err
+		}
+		rom = vrom.At(w)
+		env.printf("variational library over %v, evaluated at %v\n", sys.Params, w)
+	} else {
+		rom, err = mor.Reduce(sys.GNominal(), sys.CNominal(), sys.Np, rp.Order)
+		if err != nil {
+			return nil, err
+		}
+	}
+	env.printf("reduced order %d (%d ports, %d internal states)\n", rom.Q(), rom.Np, rom.Q()-rom.Np)
+	pr, err := poleres.Extract(rom)
+	if err != nil && rp.Gout == 0 {
+		return nil, fmt.Errorf("%w\n(hint: pass -gout to emulate the driver conductance G_SC)", err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	env.printf("poles:\n")
+	for _, p := range pr.Poles {
+		tag := ""
+		if real(p) > 0 {
+			tag = "   <-- UNSTABLE"
+		}
+		env.printf("  %14.6g %+14.6gi%s\n", real(p), imag(p), tag)
+	}
+	st, rep := pr.StabilizeShift()
+	if len(rep.Removed) > 0 {
+		env.printf("stabilization removed %d poles (DC shift %.4g)\n", len(rep.Removed), rep.DCErrBefore)
+	} else {
+		env.printf("model is stable; no correction needed\n")
+	}
+	env.printf("Z(0) port matrix after stabilization:\n")
+	for i := 0; i < st.Np; i++ {
+		for j := 0; j < st.Np; j++ {
+			env.printf(" %12.6g", st.DCZ().At(i, j))
+		}
+		env.printf("\n")
+	}
+	return &Result{Summary: &reduceSummary{
+		Order: rom.Q(), Ports: rom.Np,
+		PoleCount: len(pr.Poles), Removed: len(rep.Removed), DCErrBefore: rep.DCErrBefore,
+	}}, nil
+}

@@ -1,0 +1,105 @@
+package job
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"lcsim/internal/circuit"
+	"lcsim/internal/device"
+	"lcsim/internal/spice"
+)
+
+func init() {
+	Register(Driver{
+		Name: "sim",
+		Doc:  "Newton transient simulation of a SPICE-like netlist",
+		Run:  runSimDriver,
+	})
+}
+
+// SimParams parameterizes the transient-simulation driver — the
+// job-layer form of the classic `lcsim sim` flag set. TStop and DT keep
+// their engineering-notation string form ("5n", "5p") so specs read
+// like the command lines they came from.
+type SimParams struct {
+	Netlist string             `json:"netlist"`
+	TStop   string             `json:"tstop"`
+	DT      string             `json:"dt"`
+	Probe   []string           `json:"probe"`
+	At      map[string]float64 `json:"at,omitempty"`
+	Tech    string             `json:"tech,omitempty"`
+}
+
+// simSummary is the machine-readable result of one transient run (the
+// waveform itself streams to stdout, as always).
+type simSummary struct {
+	Steps            int `json:"steps"`
+	NewtonIterations int `json:"newton_iterations"`
+	LUFactorizations int `json:"lu_factorizations"`
+}
+
+func runSimDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	var sp SimParams
+	if err := decodeParams(spec, &sp); err != nil {
+		return nil, err
+	}
+	if sp.Netlist == "" || len(sp.Probe) == 0 {
+		return nil, fmt.Errorf("sim needs a netlist and probes")
+	}
+	nl, err := loadNetlistFile(sp.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := circuit.ParseValue(sp.TStop)
+	if err != nil {
+		return nil, err
+	}
+	h, err := circuit.ParseValue(sp.DT)
+	if err != nil {
+		return nil, err
+	}
+	models := device.Tech180
+	if strings.Contains(sp.Tech, "0.6") {
+		models = device.Tech600
+	}
+	w := sp.At
+	if w == nil {
+		w = map[string]float64{}
+	}
+	sim, err := spice.NewSimulator(nl, spice.Options{
+		DT: h, TStop: ts, Models: models, W: w,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sp.Probe)
+	if err != nil {
+		return nil, err
+	}
+	env.printf("# steps=%d newton=%d lu=%d\n", res.Stats.Steps, res.Stats.NewtonIterations, res.Stats.LUFactorizations)
+	env.printf("# t %s\n", strings.Join(sp.Probe, " "))
+	for i, t := range res.T {
+		env.printf("%.6e", t)
+		for _, p := range sp.Probe {
+			env.printf(" %.6e", res.V[p][i])
+		}
+		env.printf("\n")
+	}
+	return &Result{Summary: &simSummary{
+		Steps:            res.Stats.Steps,
+		NewtonIterations: res.Stats.NewtonIterations,
+		LUFactorizations: res.Stats.LUFactorizations,
+	}}, nil
+}
+
+// loadNetlistFile opens and parses a SPICE-like netlist file.
+func loadNetlistFile(path string) (*circuit.Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return circuit.ParseNetlist(f)
+}

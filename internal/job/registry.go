@@ -1,0 +1,113 @@
+package job
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"lcsim/internal/runner"
+)
+
+// Driver is one registered statistical driver: a named adapter that
+// executes a spec's parameters against the core/ssta entry points and
+// renders the classic subcommand report to env.Stdout.
+type Driver struct {
+	// Name is the registry key and the Spec.Driver value.
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Run executes the spec. It returns the result envelope; the
+	// returned error means the run itself failed (driver-level
+	// acceptance gates report through Result.CheckFailed instead).
+	Run func(ctx context.Context, spec *Spec, env *Env) (*Result, error)
+}
+
+var (
+	regMu   sync.RWMutex
+	drivers = map[string]Driver{}
+)
+
+// Register adds a driver to the process-global registry (mirroring
+// core.RegisterEngine). It panics on a duplicate or empty name —
+// registration is init-time wiring, and a collision is a programming
+// error.
+func Register(d Driver) {
+	if d.Name == "" || d.Run == nil {
+		panic("job: Register needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := drivers[d.Name]; dup {
+		panic(fmt.Sprintf("job: driver %q registered twice", d.Name))
+	}
+	drivers[d.Name] = d
+}
+
+// Lookup resolves a driver by name.
+func Lookup(name string) (Driver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := drivers[name]
+	return d, ok
+}
+
+// Names lists the registered drivers, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for name := range drivers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run validates the spec, resolves its driver, applies the spec's
+// wall-clock timeout to ctx, executes, and stamps the result envelope
+// (driver name, spec hash, metrics snapshot). Env fields left nil get
+// safe defaults: io.Discard writers and a private metrics sink.
+func Run(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d, ok := Lookup(spec.Driver)
+	if !ok {
+		return nil, fmt.Errorf("job: unknown driver %q (registered: %v)", spec.Driver, Names())
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		env = &Env{}
+	}
+	if env.Stdout == nil {
+		env.Stdout = io.Discard
+	}
+	if env.Stderr == nil {
+		env.Stderr = io.Discard
+	}
+	if env.Metrics == nil {
+		env.Metrics = &runner.Metrics{}
+	}
+	if t := time.Duration(spec.Run.Timeout); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	res, err := d.Run(ctx, spec, env)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	res.Driver = spec.Driver
+	res.SpecHash = hash
+	res.Metrics = env.Metrics.Snapshot()
+	return res, nil
+}

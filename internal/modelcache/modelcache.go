@@ -1,0 +1,223 @@
+// Package modelcache is the cross-run content-addressed macromodel
+// store: characterized variational pole/residue macromodels
+// (poleres.ExtractVar results), keyed by the content hash of the
+// VarROM library they were extracted from, persisted on disk so that
+// every later process — another subcommand, a warm benchmark rerun, a
+// future lcsimd worker fleet — reuses the characterization instead of
+// re-running the dense eigendecomposition.
+//
+// The store is bytes-in/bytes-out: callers (teta.BuildStage via the
+// teta.MacroStore interface) own the serialization, the store owns
+// integrity and atomicity. Entries follow the internal/checkpoint
+// durability recipe — a JSON header line carrying a CRC32 (IEEE) over
+// the payload bytes, written to a temp file and renamed into place —
+// so a torn write or a flipped bit is detected, the entry deleted, and
+// the model recomputed rather than trusted. Concurrent same-key misses
+// within one process are single-flighted: one goroutine computes, the
+// rest wait and share the bytes.
+package modelcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"lcsim/internal/runner"
+)
+
+// ErrCorruptEntry reports a store entry that failed its integrity check
+// (bad magic, CRC mismatch, truncation). Get deletes such entries;
+// GetOrCompute recomputes through them transparently.
+var ErrCorruptEntry = errors.New("modelcache: entry corrupt")
+
+// magic marks a file as an lcsim macromodel-store entry.
+const magic = "lcsim-macromodel"
+
+// header is the first line of an entry file; the rest is the payload,
+// byte for byte, covered by the CRC (same two-part layout as
+// internal/checkpoint, for the same reason: the checksum must cover the
+// bytes exactly as written).
+type header struct {
+	Magic string `json:"magic"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Store is an on-disk content-addressed macromodel store. It is safe
+// for concurrent use; one Store per process is the intended shape (the
+// single-flight dedup works per Store).
+type Store struct {
+	dir string
+
+	// Metrics, when non-nil, mirrors the hit/miss/corrupt counters into
+	// the shared run metrics so they surface in cost reports and
+	// BENCH_mc.json. Set it before the first GetOrCompute.
+	Metrics *runner.Metrics
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
+
+	mu     sync.Mutex
+	flight map[string]*call
+}
+
+// call is one in-flight computation other goroutines wait on.
+type call struct {
+	done chan struct{}
+	data []byte
+	hit  bool
+	err  error
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("modelcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelcache: %w", err)
+	}
+	return &Store{dir: dir, flight: map[string]*call{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a content key to its entry file, sharded by the first two
+// key characters so huge libraries do not pile into one directory.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".mm")
+}
+
+// Stats reports the store's counters.
+func (s *Store) Stats() (hits, misses, corrupt int64) {
+	return s.hits.Load(), s.misses.Load(), s.corrupt.Load()
+}
+
+// GetOrCompute returns the payload stored under key, computing and
+// storing it on a miss. hit reports whether the bytes came from disk
+// (or from another goroutine's concurrent computation of the same key).
+// A corrupt entry is deleted and recomputed. compute errors are
+// returned to every waiter and nothing is stored (no negative caching:
+// a transient failure must not poison the key). Store I/O errors on
+// write-back are swallowed — the computed bytes are still returned, the
+// cache is an accelerator, never a correctness dependency.
+func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	s.mu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			// Shared results count as hits: the extraction ran once.
+			s.addHit()
+			return c.data, true, nil
+		}
+		return nil, false, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	defer func() {
+		c.data, c.hit, c.err = data, hit, err
+		s.mu.Lock()
+		delete(s.flight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+
+	if data, err := s.read(key); err == nil {
+		s.addHit()
+		return data, true, nil
+	} else if errors.Is(err, ErrCorruptEntry) {
+		s.addCorrupt()
+		os.Remove(s.path(key))
+	}
+	data, err = compute()
+	if err != nil {
+		return nil, false, err
+	}
+	s.addMiss()
+	s.write(key, data)
+	return data, false, nil
+}
+
+func (s *Store) addHit() {
+	s.hits.Add(1)
+	s.Metrics.AddModelCacheHit(1)
+}
+
+func (s *Store) addMiss() {
+	s.misses.Add(1)
+	s.Metrics.AddModelCacheMiss(1)
+}
+
+func (s *Store) addCorrupt() {
+	s.corrupt.Add(1)
+	s.Metrics.AddModelCacheCorrupt(1)
+}
+
+// read loads and verifies one entry. A missing entry returns the
+// underlying fs.ErrNotExist; anything else unreadable wraps
+// ErrCorruptEntry.
+func (s *Store) read(key string) ([]byte, error) {
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: %s: missing header line", ErrCorruptEntry, key)
+	}
+	var hdr header
+	if err := json.Unmarshal(buf[:nl], &hdr); err != nil || hdr.Magic != magic {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorruptEntry, key)
+	}
+	body := buf[nl+1:]
+	if got := crc32.ChecksumIEEE(body); got != hdr.CRC32 {
+		return nil, fmt.Errorf("%w: %s: CRC32 %08x, want %08x", ErrCorruptEntry, key, got, hdr.CRC32)
+	}
+	return body, nil
+}
+
+// write stores one entry atomically: temp file in the entry's shard
+// directory, fsync, rename. Errors are dropped (see GetOrCompute) —
+// a read-only or full cache directory degrades to cache-off behavior.
+func (s *Store) write(key string, body []byte) {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	hdr, err := json.Marshal(header{Magic: magic, CRC32: crc32.ChecksumIEEE(body)})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	if err != nil {
+		return
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(append(append(hdr, '\n'), body...)); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	os.Rename(tmpName, p)
+}

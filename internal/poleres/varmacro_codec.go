@@ -1,0 +1,299 @@
+package poleres
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+
+	"lcsim/internal/mat"
+	"lcsim/internal/mor"
+)
+
+// ErrCodec reports a VarMacromodel byte stream that cannot be decoded:
+// truncated, wrong magic/version, or inconsistent with the live VarROM
+// it is being rebound to. Callers fall back to re-running ExtractVar.
+var ErrCodec = errors.New("poleres: cannot decode VarMacromodel")
+
+// varmacMagic marks an encoded VarMacromodel; the trailing byte is the
+// format version. Every float is serialized as its exact IEEE-754 bit
+// pattern (little-endian), so decode(encode(vm)) reproduces the model
+// bit for bit — the property the cross-run model cache's "warm run
+// matches cold run exactly" contract rests on.
+const varmacMagic = "lcsim-varmac\x01"
+
+// KeyVarROM returns the content address of a variational ROM library:
+// a SHA-256 over its dimensions, parameter list, characterization step
+// and the exact bits of every nominal and sensitivity matrix. The
+// VarROM is a deterministic function of (tech, geometry, cell chain,
+// load, extraction order), so this key subsumes all of them — two
+// stages that reduce to bit-identical libraries share one macromodel,
+// and any change to the inputs changes the key.
+func KeyVarROM(vrom *mor.VarROM) string {
+	h := sha256.New()
+	var b [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wm := func(m *mat.Dense) {
+		wu(uint64(m.Rows()))
+		wu(uint64(m.Cols()))
+		for i := 0; i < m.Rows(); i++ {
+			for _, v := range m.Row(i) {
+				wf(v)
+			}
+		}
+	}
+	ws("lcsim-varrom-key-v1")
+	wu(uint64(vrom.Np))
+	wu(uint64(vrom.Q))
+	wf(vrom.Delta)
+	wu(uint64(len(vrom.Params)))
+	for _, p := range vrom.Params {
+		ws(p)
+	}
+	wm(vrom.Gr0)
+	wm(vrom.Cr0)
+	for _, p := range vrom.Params {
+		wm(vrom.DGr[p])
+		wm(vrom.DCr[p])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// codecWriter serializes the fixed little-endian exact-bits layout.
+type codecWriter struct{ buf []byte }
+
+func (w *codecWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *codecWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *codecWriter) c128(v complex128) {
+	w.f64(real(v))
+	w.f64(imag(v))
+}
+func (w *codecWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *codecWriter) dense(m *mat.Dense) {
+	w.u64(uint64(m.Rows()))
+	w.u64(uint64(m.Cols()))
+	for i := 0; i < m.Rows(); i++ {
+		for _, v := range m.Row(i) {
+			w.f64(v)
+		}
+	}
+}
+func (w *codecWriter) cdense(m *mat.CDense) {
+	w.u64(uint64(m.Rows()))
+	w.u64(uint64(m.Cols()))
+	for i := 0; i < m.Rows(); i++ {
+		for _, v := range m.Row(i) {
+			w.c128(v)
+		}
+	}
+}
+
+// codecReader mirrors codecWriter; every method reports truncation.
+type codecReader struct {
+	buf []byte
+	err error
+}
+
+func (r *codecReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = fmt.Errorf("%w: truncated", ErrCodec)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+func (r *codecReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *codecReader) c128() complex128 {
+	re := r.f64()
+	im := r.f64()
+	return complex(re, im)
+}
+func (r *codecReader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.err = fmt.Errorf("%w: truncated string", ErrCodec)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// dim reads a matrix dimension pair, guarding against absurd sizes from
+// a corrupted stream before any allocation happens.
+func (r *codecReader) dim() (int, int) {
+	rows, cols := r.u64(), r.u64()
+	const maxDim = 1 << 20
+	if r.err == nil && (rows > maxDim || cols > maxDim) {
+		r.err = fmt.Errorf("%w: implausible matrix dimension %dx%d", ErrCodec, rows, cols)
+	}
+	if r.err != nil {
+		return 0, 0
+	}
+	return int(rows), int(cols)
+}
+func (r *codecReader) dense() *mat.Dense {
+	rows, cols := r.dim()
+	if r.err != nil {
+		return nil
+	}
+	m := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.f64()
+		}
+	}
+	return m
+}
+func (r *codecReader) cdense() *mat.CDense {
+	rows, cols := r.dim()
+	if r.err != nil {
+		return nil
+	}
+	m := mat.NewCDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.c128()
+		}
+	}
+	return m
+}
+
+// EncodeVarMacromodel serializes a characterized variational macromodel
+// for the cross-run model cache. The unexported gr0/dgr references into
+// the source VarROM are deliberately NOT serialized: they are rebound to
+// the live library by DecodeVarMacromodel, which is what makes a cached
+// model safe to share across processes.
+func EncodeVarMacromodel(vm *VarMacromodel) ([]byte, error) {
+	w := &codecWriter{buf: make([]byte, 0, 1<<12)}
+	w.buf = append(w.buf, varmacMagic...)
+	w.u64(uint64(vm.Np))
+	w.u64(uint64(len(vm.Params)))
+	for _, p := range vm.Params {
+		w.str(p)
+	}
+	w.dense(vm.Nominal.D0)
+	w.u64(uint64(len(vm.Nominal.Poles)))
+	for _, p := range vm.Nominal.Poles {
+		w.c128(p)
+	}
+	for _, res := range vm.Nominal.Res {
+		w.cdense(res)
+	}
+	for _, prm := range vm.Params {
+		dp := vm.DPoles[prm]
+		if len(dp) != len(vm.Nominal.Poles) {
+			return nil, fmt.Errorf("poleres: encode: DPoles[%s] has %d entries for %d poles", prm, len(dp), len(vm.Nominal.Poles))
+		}
+		for _, v := range dp {
+			w.c128(v)
+		}
+		for _, res := range vm.DRes[prm] {
+			w.cdense(res)
+		}
+		w.dense(vm.DD0[prm])
+	}
+	return w.buf, nil
+}
+
+// DecodeVarMacromodel reconstructs a macromodel from EncodeVarMacromodel
+// bytes and rebinds it to the live library vrom: the decoded model's DC
+// correction (fixDC) needs the library's Gr0/DGr matrices, which are not
+// part of the stream. The stream must describe the same library — same
+// port count and parameter list — or ErrCodec is returned and the caller
+// should re-extract.
+func DecodeVarMacromodel(data []byte, vrom *mor.VarROM) (*VarMacromodel, error) {
+	if len(data) < len(varmacMagic) || string(data[:len(varmacMagic)]) != varmacMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	r := &codecReader{buf: data[len(varmacMagic):]}
+	np := int(r.u64())
+	nparams := int(r.u64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if np != vrom.Np {
+		return nil, fmt.Errorf("%w: stream has %d ports, library has %d", ErrCodec, np, vrom.Np)
+	}
+	if nparams != len(vrom.Params) {
+		return nil, fmt.Errorf("%w: stream has %d params, library has %d", ErrCodec, nparams, len(vrom.Params))
+	}
+	params := make([]string, nparams)
+	for i := range params {
+		params[i] = r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if params[i] != vrom.Params[i] {
+			return nil, fmt.Errorf("%w: stream param %q, library param %q", ErrCodec, params[i], vrom.Params[i])
+		}
+	}
+	nom := &Macromodel{Np: np, D0: r.dense()}
+	npoles := int(r.u64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if npoles < 0 || npoles > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible pole count %d", ErrCodec, npoles)
+	}
+	nom.Poles = make([]complex128, npoles)
+	for k := range nom.Poles {
+		nom.Poles[k] = r.c128()
+	}
+	nom.Res = make([]*mat.CDense, npoles)
+	for k := range nom.Res {
+		nom.Res[k] = r.cdense()
+	}
+	vm := &VarMacromodel{
+		Np:      np,
+		Params:  params,
+		Nominal: nom,
+		DPoles:  make(map[string][]complex128, nparams),
+		DRes:    make(map[string][]*mat.CDense, nparams),
+		DD0:     make(map[string]*mat.Dense, nparams),
+		gr0:     vrom.Gr0,
+		dgr:     vrom.DGr,
+	}
+	for _, prm := range params {
+		dp := make([]complex128, npoles)
+		for k := range dp {
+			dp[k] = r.c128()
+		}
+		dres := make([]*mat.CDense, npoles)
+		for k := range dres {
+			dres[k] = r.cdense()
+		}
+		vm.DPoles[prm] = dp
+		vm.DRes[prm] = dres
+		vm.DD0[prm] = r.dense()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.buf))
+	}
+	return vm, nil
+}

@@ -1,0 +1,116 @@
+package poleres
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestVarMacromodelCodecRoundTrip: decode(encode(vm)) must reproduce the
+// model bit for bit — the property the cross-run model cache's "warm run
+// matches cold run exactly" contract rests on. Re-encoding the decoded
+// model and comparing byte streams checks every serialized float at full
+// bit width in one shot.
+func TestVarMacromodelCodecRoundTrip(t *testing.T) {
+	vrom := varLadder(t, 12, 4)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeVarMacromodel(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeVarMacromodel(enc, vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeVarMacromodel(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding the decoded macromodel changed the byte stream: codec is not bit-exact")
+	}
+	// The decoded model must also be rebound to the live library: its
+	// evaluation (which exercises the unexported Gr0/DGr references the
+	// stream does not carry) has to agree exactly with the original.
+	w := map[string]float64{"rw": 0.3, "cw": -0.2}
+	if e := zErr(mustAt(t, dec, w), mustAt(t, vm, w)); e != 0 {
+		t.Fatalf("decoded macromodel evaluates differently from the original: zErr=%.3g", e)
+	}
+}
+
+// TestDecodeVarMacromodelRejectsDamage: every corruption class — bad
+// magic, truncation, trailing garbage — must surface ErrCodec so the
+// cache layer falls back to re-extraction instead of trusting the bytes.
+func TestDecodeVarMacromodelRejectsDamage(t *testing.T) {
+	vrom := varLadder(t, 8, 3)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeVarMacromodel(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("not-a-macromodel"), enc[16:]...),
+		"truncated":   enc[:len(enc)-9],
+		"header only": enc[:16],
+		"trailing":    append(append([]byte{}, enc...), 0xab),
+	}
+	for name, data := range cases {
+		if _, err := DecodeVarMacromodel(data, vrom); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: err = %v, want ErrCodec", name, err)
+		}
+	}
+}
+
+// TestDecodeVarMacromodelRejectsWrongLibrary: a stream rebound to a
+// library with a different shape or parameter list must be refused —
+// a decoded model silently bound to the wrong Gr0/DGr would evaluate
+// plausibly and wrongly.
+func TestDecodeVarMacromodelRejectsWrongLibrary(t *testing.T) {
+	vrom := varLadder(t, 8, 3)
+	vm, err := ExtractVar(vrom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeVarMacromodel(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := synthVarROM() // 1 port but params ["p"], not ["rw","cw"]
+	if _, err := DecodeVarMacromodel(enc, other); !errors.Is(err, ErrCodec) {
+		t.Fatalf("stream accepted against a mismatched library: %v", err)
+	}
+}
+
+// TestKeyVarROMContentAddress: identical libraries share one key; any
+// bit of content — a matrix value, the parameter list, the
+// characterization step — changes it.
+func TestKeyVarROMContentAddress(t *testing.T) {
+	a, b := varLadder(t, 8, 3), varLadder(t, 8, 3)
+	ka := KeyVarROM(a)
+	if len(ka) != 64 {
+		t.Fatalf("key %q is not 64 hex chars", ka)
+	}
+	if kb := KeyVarROM(b); kb != ka {
+		t.Fatalf("identical libraries key differently: %s vs %s", ka, kb)
+	}
+	b.Cr0.Set(0, 0, b.Cr0.At(0, 0)*(1+1e-15))
+	if kb := KeyVarROM(b); kb == ka {
+		t.Fatal("a one-ulp matrix change did not change the key")
+	}
+	c := varLadder(t, 8, 3)
+	c.Delta += 1e-6
+	if kc := KeyVarROM(c); kc == ka {
+		t.Fatal("changing the characterization step did not change the key")
+	}
+	d := varLadder(t, 9, 3)
+	if kd := KeyVarROM(d); kd == ka {
+		t.Fatal("a different ladder keyed identically")
+	}
+}

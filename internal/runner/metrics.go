@@ -23,6 +23,9 @@ type Metrics struct {
 	resumed    atomic.Int64
 	busyNs     atomic.Int64
 	sendWaitNs atomic.Int64
+	mcHits     atomic.Int64
+	mcMisses   atomic.Int64
+	mcCorrupt  atomic.Int64
 	failures   sync.Map // failure class (string) → *atomic.Int64
 }
 
@@ -44,6 +47,14 @@ type Snapshot struct {
 	// finished batches to the ordered-delivery collector — the channel
 	// contention a flat scaling curve is made of.
 	SendWaitNs int64
+	// ModelCacheHits/Misses/Corrupt report the cross-run macromodel
+	// store: characterizations served from disk, characterizations that
+	// had to run (and were then stored), and on-disk entries rejected by
+	// the integrity check (deleted and recomputed). A fully warm run has
+	// zero misses.
+	ModelCacheHits    int64
+	ModelCacheMisses  int64
+	ModelCacheCorrupt int64
 	// Failures maps failure class name → occurrence count (nil when no
 	// failure was ever recorded).
 	Failures map[string]int64
@@ -120,6 +131,30 @@ func (m *Metrics) AddResumed(n int) {
 	}
 }
 
+// AddModelCacheHit counts characterizations served from the cross-run
+// macromodel store instead of being recomputed.
+func (m *Metrics) AddModelCacheHit(n int) {
+	if m != nil {
+		m.mcHits.Add(int64(n))
+	}
+}
+
+// AddModelCacheMiss counts characterizations the store did not hold:
+// the extraction ran in this process and the result was written back.
+func (m *Metrics) AddModelCacheMiss(n int) {
+	if m != nil {
+		m.mcMisses.Add(int64(n))
+	}
+}
+
+// AddModelCacheCorrupt counts on-disk store entries that failed their
+// integrity check and were deleted and recomputed.
+func (m *Metrics) AddModelCacheCorrupt(n int) {
+	if m != nil {
+		m.mcCorrupt.Add(int64(n))
+	}
+}
+
 // AddFailure counts one per-sample failure of the named class. Classes
 // are free-form strings (the core layer passes its FailureClass names);
 // each class gets its own atomic counter, created on first use.
@@ -164,6 +199,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Resumed:      m.resumed.Load(),
 		BusyNs:       m.busyNs.Load(),
 		SendWaitNs:   m.sendWaitNs.Load(),
+
+		ModelCacheHits:    m.mcHits.Load(),
+		ModelCacheMisses:  m.mcMisses.Load(),
+		ModelCacheCorrupt: m.mcCorrupt.Load(),
 	}
 	m.failures.Range(func(k, v any) bool {
 		if s.Failures == nil {
@@ -192,6 +231,9 @@ func (m *Metrics) Merge(s Snapshot) {
 	m.resumed.Add(s.Resumed)
 	m.busyNs.Add(s.BusyNs)
 	m.sendWaitNs.Add(s.SendWaitNs)
+	m.mcHits.Add(s.ModelCacheHits)
+	m.mcMisses.Add(s.ModelCacheMisses)
+	m.mcCorrupt.Add(s.ModelCacheCorrupt)
 	for class, n := range s.Failures {
 		c, ok := m.failures.Load(class)
 		if !ok {

@@ -103,6 +103,7 @@ func characterize(ctx context.Context, g *Graph, cfg Config) (map[string]*BlockM
 			DT:           cfg.DT,
 			TStop:        cfg.TStop,
 			Order:        cfg.Order,
+			MacroCache:   cfg.MacroCache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ssta: characterizing block %q: %w", key, err)

@@ -1,0 +1,51 @@
+package teta
+
+import (
+	"lcsim/internal/mor"
+	"lcsim/internal/poleres"
+)
+
+// MacroStore is the cross-run macromodel cache BuildStage characterizes
+// through when Config.MacroCache is set (internal/modelcache implements
+// it over a content-addressed on-disk store). The contract is
+// bytes-in/bytes-out: GetOrCompute returns the payload stored under
+// key, calling compute — once per key, even under concurrent misses —
+// when the store does not hold it. hit reports whether compute was
+// skipped. The interface lives here so teta depends only on the
+// caching contract, not on any store implementation.
+type MacroStore interface {
+	GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error)
+}
+
+// extractVarCached characterizes the variational macromodel of a
+// library, through the cross-run store when one is configured. The
+// store path is exact: EncodeVarMacromodel serializes every float at
+// full bit width, and both the cold (just-computed) and warm (read from
+// disk) paths hand back the decoded form, so a cached stage evaluates
+// bit-identically to an uncached one. Any store or codec trouble falls
+// back to a direct extraction — the cache accelerates, it never gates.
+func extractVarCached(vrom *mor.VarROM, store MacroStore) (*poleres.VarMacromodel, error) {
+	if store == nil {
+		return poleres.ExtractVar(vrom)
+	}
+	data, _, err := store.GetOrCompute(poleres.KeyVarROM(vrom), func() ([]byte, error) {
+		vm, err := poleres.ExtractVar(vrom)
+		if err != nil {
+			return nil, err
+		}
+		return poleres.EncodeVarMacromodel(vm)
+	})
+	if err != nil {
+		// A compute-side extraction failure is the legitimate
+		// per-sample-fallback outcome; a store-side failure must not take
+		// the fast path down with it. Re-extracting distinguishes the two:
+		// it returns the same extraction error, or succeeds despite the
+		// store.
+		return poleres.ExtractVar(vrom)
+	}
+	vm, err := poleres.DecodeVarMacromodel(data, vrom)
+	if err != nil {
+		return poleres.ExtractVar(vrom)
+	}
+	return vm, nil
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// reference for the fast path and the baseline of the
 	// characterization-speedup benchmark.
 	ExactExtract bool
+	// MacroCache, when non-nil, is the cross-run macromodel store:
+	// BuildStage characterizes through it, so a stage whose variational
+	// library was already characterized by any earlier process loads the
+	// macromodel instead of re-running the extraction. Stages built
+	// through the cache evaluate bit-identically to uncached ones.
+	MacroCache MacroStore
 }
 
 func (c *Config) setDefaults() error {
@@ -205,9 +211,10 @@ func BuildStage(load *circuit.Netlist, drivers []DriverSpec, cfg Config) (*Stage
 		Ports: sys.Np, LoadNodes: sys.N, LoadElements: stt.LinearElements,
 		ROMOrder: st.varrom.Q,
 	}
-	// Characterize the variational pole/residue macromodel once; a
-	// near-degenerate nominal spectrum falls back to per-sample extraction.
-	if vm, err := poleres.ExtractVar(st.varrom); err == nil {
+	// Characterize the variational pole/residue macromodel once — through
+	// the cross-run store when one is configured; a near-degenerate
+	// nominal spectrum falls back to per-sample extraction.
+	if vm, err := extractVarCached(st.varrom, cfg.MacroCache); err == nil {
 		st.varmac = vm
 		st.BuildStats.VarMacro = true
 	} else {

@@ -1,0 +1,56 @@
+#!/bin/sh
+# cache_smoke.sh — cross-run model-cache gate (the `cache-smoke` leg of
+# `make check`).
+#
+# Two assertions on the `-model-cache` store, for both a path sweep and
+# the full-chip SSTA driver:
+#   1. Warm runs are warm: the second run over the same cache directory
+#      must report zero misses on stderr — zero macromodel
+#      characterizations ran; every stage model came from disk.
+#   2. The cache is invisible in the results: the warm run's stdout must
+#      be bit-identical to the cold run's (the store serializes every
+#      float at full width, so a cached model evaluates exactly like a
+#      fresh extraction).
+set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$workdir/lcsim"
+go build -o "$bin" ./cmd/lcsim
+
+# strip_wall drops the one wall-clock field in the sta output (the
+# characterization time on the ssta line); everything statistical stays.
+strip_wall() {
+    sed 's/, [^,]* characterization$//'
+}
+
+check_warm() {
+    name=$1
+    shift
+    cache="$workdir/$name.cache"
+    "$bin" "$@" -model-cache "$cache" > "$workdir/$name.cold.raw" 2> "$workdir/$name.cold.err"
+    "$bin" "$@" -model-cache "$cache" > "$workdir/$name.warm.raw" 2> "$workdir/$name.warm.err"
+
+    if ! grep '^model-cache: ' "$workdir/$name.warm.err" | grep -q ' 0 misses'; then
+        echo "cache-smoke: $name: warm run still characterized macromodels:" >&2
+        grep '^model-cache: ' "$workdir/$name.warm.err" >&2 || cat "$workdir/$name.warm.err" >&2
+        exit 1
+    fi
+    if grep '^model-cache: ' "$workdir/$name.warm.err" | grep -q '^model-cache: 0 hits'; then
+        echo "cache-smoke: $name: warm run hit nothing — the store is not being consulted:" >&2
+        grep '^model-cache: ' "$workdir/$name.warm.err" >&2
+        exit 1
+    fi
+    strip_wall < "$workdir/$name.cold.raw" > "$workdir/$name.cold"
+    strip_wall < "$workdir/$name.warm.raw" > "$workdir/$name.warm"
+    if ! diff -u "$workdir/$name.cold" "$workdir/$name.warm"; then
+        echo "cache-smoke: $name: warm output differs from cold — the cache changed a result" >&2
+        exit 1
+    fi
+}
+
+check_warm path path -cells INV,NAND2,INV -mc 50 -seed 3 -workers 1
+check_warm ssta sta -bench s27 -ssta -budget 300p -workers 1
+
+echo "cache-smoke: OK (warm reruns: zero characterizations, bit-identical output)"
