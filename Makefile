@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke fmt
+.PHONY: check vet staticcheck build test race race-short bench bench-json checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke daemon-smoke fmt
 
 # Full CI gate: vet + staticcheck, build, race-enabled tests (full +
 # short modes), paper benchmarks, crash-safety kill/resume gate,
 # multi-core scaling smoke, importance-sampling yield gate, full-chip
 # SSTA gate, warm model-cache gate. Run before every merge (see README
 # "Failure policy" / pre-merge gate).
-check: vet staticcheck build race race-short bench checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke
+check: vet staticcheck build race race-short bench checkpoint-resume scaling-smoke yield-smoke ssta-smoke cache-smoke daemon-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,13 @@ ssta-smoke:
 # bit-identical to the first.
 cache-smoke:
 	sh scripts/cache_smoke.sh
+
+# Crash-only daemon gate: three jobs served under deterministic fault
+# injection, daemon SIGKILLed mid-shard, restarted, drained with
+# SIGTERM; every committed result must be bit-identical to a clean
+# direct `lcsim run` of the same spec.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -100,6 +100,33 @@
 // .bak generation. The lcsim path/skew/bench subcommands expose
 // -checkpoint, -checkpoint-every, -resume and -sample-timeout.
 //
+// # Crash-only job daemon (lcsimd)
+//
+// cmd/lcsimd (internal/jobd) serves the job layer as a daemon: a
+// durable on-disk queue of job.Specs, each executed as a chain of
+// checkpoint-journaled sample-range shards (checkpoint.Config.Limit +
+// core.ErrPartial) on a bounded worker pool, with per-shard retry under
+// capped exponential backoff, a typed transient/permanent/interrupted
+// failure split over the taxonomy above (jobd.Classify), heartbeat
+// watchdog cancellation of stalled attempts, graceful drain on
+// SIGTERM, and full recovery from SIGKILL — on restart the daemon
+// resumes every journal, and the merged result is bit-identical to a
+// direct `lcsim run` of the same spec at any shard size. There is no
+// "running" state on disk: completion derives from the files that
+// exist, and a corrupt scheduling record self-heals to "queued".
+//
+// internal/faultinj is the deterministic chaos layer behind the
+// daemon's tests: a seeded, budgeted fault schedule (torn writes,
+// ENOSPC, fsync/rename failures, read corruption, scripted engine
+// failures and hangs) injected through the filesystem seam that
+// internal/checkpoint, internal/modelcache and the jobd queue write
+// through, and through a core engine wrapper that preserves engine
+// names (so spec hashes and journal fingerprints stay valid under
+// chaos). `lcsimd serve -fault ...` arms the same schedule in the real
+// binary; the daemon-smoke leg of `make check` kills the daemon
+// mid-shard under fault injection and requires bit-identical results
+// after restart.
+//
 // # Engine registry
 //
 // Stage evaluation is pluggable behind the core.Engine interface. Four

@@ -27,7 +27,29 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"lcsim/internal/faultinj"
+	"lcsim/internal/runner"
 )
+
+// fsys is the filesystem every snapshot read/write goes through. The
+// default is the real OS; SetFS swaps in a fault-injecting shim
+// (internal/faultinj) so chaos tests and `lcsimd -fault` can exercise
+// torn writes, ENOSPC, fsync errors and rename failures on the journal
+// without touching real disks. Process wiring: set it once at startup
+// (or under test), never concurrently with snapshot I/O.
+var fsys faultinj.FS = faultinj.OS{}
+
+// SetFS replaces the filesystem behind Save/Load (nil restores the real
+// OS) and returns the previous one, so tests can defer the swap back.
+func SetFS(f faultinj.FS) faultinj.FS {
+	prev := fsys
+	if f == nil {
+		f = faultinj.OS{}
+	}
+	fsys = f
+	return prev
+}
 
 // Version is the snapshot schema version. Load rejects snapshots written
 // by a different (future or obsolete) schema.
@@ -141,12 +163,37 @@ func BakPath(path string) string { return path + ".bak" }
 // resuming driver treats as "start from sample 0".
 func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
 
+// renameAttempts bounds the atomic-install rename retry; renameBackoff
+// is the initial sleep between attempts (doubled each retry).
+const renameAttempts = 3
+const renameBackoff = 2 * time.Millisecond
+
+// rename installs a file with a bounded retry: transient failures
+// (injected or real — NFS silliness, AV scanners, overlay filesystems)
+// are retried with a short doubling backoff, and every retry is
+// surfaced as a typed counter on m instead of being silent. m may be
+// nil.
+func rename(oldpath, newpath string, m *runner.Metrics) error {
+	var err error
+	for attempt := 0; attempt < renameAttempts; attempt++ {
+		if attempt > 0 {
+			m.AddCheckpointRenameRetry(1)
+			time.Sleep(renameBackoff << (attempt - 1))
+		}
+		if err = fsys.Rename(oldpath, newpath); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // Save writes snap to path atomically: marshal, CRC, write to a temp
 // file in the same directory, fsync, then rotate the current snapshot
 // (if any) to BakPath and rename the temp file into place. A crash at
 // any instant leaves either the old snapshot, the new one, or the old
-// one under .bak — never a half-written file that parses.
-func Save(path string, snap *Snapshot) error {
+// one under .bak — never a half-written file that parses. Rename
+// retries are counted on m (nil = uncounted).
+func Save(path string, snap *Snapshot, m *runner.Metrics) error {
 	if snap.Version == 0 {
 		snap.Version = Version
 	}
@@ -165,12 +212,12 @@ func Save(path string, snap *Snapshot) error {
 	buf = append(buf, '\n')
 
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
@@ -184,12 +231,12 @@ func Save(path string, snap *Snapshot) error {
 	}
 	// Rotate the previous good snapshot to .bak so a corrupt new file
 	// (torn disk, bad sector) still leaves a recoverable generation.
-	if _, err := os.Stat(path); err == nil {
-		if err := os.Rename(path, BakPath(path)); err != nil {
+	if _, err := fsys.Stat(path); err == nil {
+		if err := rename(path, BakPath(path), m); err != nil {
 			return fmt.Errorf("checkpoint: rotate %s: %w", path, err)
 		}
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := rename(tmpName, path, m); err != nil {
 		return fmt.Errorf("checkpoint: install %s: %w", path, err)
 	}
 	return nil
@@ -201,19 +248,22 @@ func Save(path string, snap *Snapshot) error {
 // wrapping ErrCorruptCheckpoint. A missing primary with no .bak returns
 // the underlying fs.ErrNotExist so callers can distinguish "never
 // checkpointed" from "corrupted". The second return is true when the
-// snapshot came from the .bak fallback.
-func Load(path string) (*Snapshot, bool, error) {
+// snapshot came from the .bak fallback; that event is also counted on
+// m (nil = uncounted) so resumes that survived a bad primary surface
+// in cost reports instead of passing silently.
+func Load(path string, m *runner.Metrics) (*Snapshot, bool, error) {
 	snap, primaryErr := loadOne(path)
 	if primaryErr == nil {
 		return snap, false, nil
 	}
 	if os.IsNotExist(primaryErr) {
-		if _, bakErr := os.Stat(BakPath(path)); os.IsNotExist(bakErr) {
+		if _, bakErr := fsys.Stat(BakPath(path)); os.IsNotExist(bakErr) {
 			return nil, false, fmt.Errorf("checkpoint: %s: %w", path, primaryErr)
 		}
 	}
 	bak, bakErr := loadOne(BakPath(path))
 	if bakErr == nil {
+		m.AddCheckpointBakLoad(1)
 		return bak, true, nil
 	}
 	return nil, false, fmt.Errorf("checkpoint: %s unusable (%v) and no good .bak (%v)", path, primaryErr, bakErr)
@@ -221,7 +271,7 @@ func Load(path string) (*Snapshot, bool, error) {
 
 // loadOne reads one snapshot generation, verifying CRC and version.
 func loadOne(path string) (*Snapshot, error) {
-	buf, err := os.ReadFile(path)
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +314,17 @@ type Config struct {
 	// must match the live run (ErrMismatch otherwise); a corrupt primary
 	// falls back to Path+".bak".
 	Resume bool
+	// Limit, when positive and below the sweep's N, stops the sweep once
+	// samples [0, Limit) are durable in the journal: the driver writes a
+	// final snapshot at Next=Limit and returns an error wrapping
+	// core.ErrPartial instead of a (meaningless) partial result. A later
+	// run with Resume set — and a higher Limit, or none — continues from
+	// the cut. This is the sample-range shard primitive behind lcsimd:
+	// because resuming re-evaluates deterministically, a job split into
+	// any number of Limit-bounded legs is bit-identical to one
+	// uninterrupted run. Requires Resume semantics on the follow-up legs
+	// and is meaningless without a journal Path.
+	Limit int
 }
 
 // Validate checks the config.
@@ -279,6 +340,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Interval < 0 {
 		return fmt.Errorf("checkpoint: Config.Interval must be >= 0, got %v", c.Interval)
+	}
+	if c.Limit < 0 {
+		return fmt.Errorf("checkpoint: Config.Limit must be >= 0, got %d", c.Limit)
 	}
 	return nil
 }

@@ -21,10 +21,10 @@ func testSnap(next int) *Snapshot {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	want := testSnap(42)
-	if err := Save(path, want); err != nil {
+	if err := Save(path, want, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, fromBak, err := Load(path)
+	got, fromBak, err := Load(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadMissing(t *testing.T) {
-	_, _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"))
+	_, _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), nil)
 	if err == nil || !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("missing checkpoint should surface fs.ErrNotExist, got %v", err)
 	}
@@ -53,13 +53,13 @@ func TestLoadMissing(t *testing.T) {
 // first snapshot to .bak.
 func TestRotationKeepsPreviousGeneration(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	if err := Save(path, testSnap(10)); err != nil {
+	if err := Save(path, testSnap(10), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Save(path, testSnap(20)); err != nil {
+	if err := Save(path, testSnap(20), nil); err != nil {
 		t.Fatal(err)
 	}
-	cur, _, err := Load(path)
+	cur, _, err := Load(path, nil)
 	if err != nil || cur.Next != 20 {
 		t.Fatalf("current generation: next=%v err=%v", cur, err)
 	}
@@ -86,10 +86,10 @@ func TestCorruptFallsBackToBak(t *testing.T) {
 	for name, corrupt := range corruptions {
 		t.Run(name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "run.ckpt")
-			if err := Save(path, testSnap(10)); err != nil {
+			if err := Save(path, testSnap(10), nil); err != nil {
 				t.Fatal(err)
 			}
-			if err := Save(path, testSnap(20)); err != nil {
+			if err := Save(path, testSnap(20), nil); err != nil {
 				t.Fatal(err)
 			}
 			buf, err := os.ReadFile(path)
@@ -104,7 +104,7 @@ func TestCorruptFallsBackToBak(t *testing.T) {
 				t.Fatalf("corrupt primary not detected: %v", err)
 			}
 			// ...and Load must recover the previous generation.
-			snap, fromBak, err := Load(path)
+			snap, fromBak, err := Load(path, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,10 +119,10 @@ func TestCorruptFallsBackToBak(t *testing.T) {
 // good generation remains.
 func TestBothGenerationsCorrupt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
-	if err := Save(path, testSnap(10)); err != nil {
+	if err := Save(path, testSnap(10), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Save(path, testSnap(20)); err != nil {
+	if err := Save(path, testSnap(20), nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{path, BakPath(path)} {
@@ -130,7 +130,7 @@ func TestBothGenerationsCorrupt(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, _, err := Load(path)
+	_, _, err := Load(path, nil)
 	if err == nil || !strings.Contains(err.Error(), "unusable") {
 		t.Fatalf("expected an unusable-checkpoint error, got %v", err)
 	}
@@ -142,7 +142,7 @@ func TestVersionRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	s := testSnap(5)
 	s.Version = Version + 1
-	if err := Save(path, s); err != nil {
+	if err := Save(path, s, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loadOne(path); err == nil || !errors.Is(err, ErrCorruptCheckpoint) {

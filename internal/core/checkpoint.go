@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -12,6 +13,14 @@ import (
 	"lcsim/internal/runner"
 	"lcsim/internal/stat"
 )
+
+// ErrPartial reports that a Limit-bounded sweep stopped on purpose at its
+// durable prefix cut: samples [0, Limit) are in the journal, no result was
+// produced, and a follow-up run with Resume set continues from the cut.
+// Callers executing a sweep in sample-range shards (lcsimd) treat an error
+// wrapping ErrPartial as "shard done, more to go" — every other error is a
+// real failure.
+var ErrPartial = errors.New("partial run: checkpoint limit reached")
 
 // This file is the glue between the statistical drivers and the durable
 // run journal (internal/checkpoint): config fingerprints, the
@@ -137,8 +146,8 @@ type skewPayload struct {
 // — no snapshot on disk yet — and the run starts from sample 0, so
 // enabling Resume unconditionally is safe for first runs. state is
 // decoded into statePtr.
-func resumeSnapshot(ck *checkpoint.Config, fp checkpoint.Fingerprint, statePtr any) (start int, err error) {
-	snap, _, err := checkpoint.Load(ck.Path)
+func resumeSnapshot(ck *checkpoint.Config, fp checkpoint.Fingerprint, m *runner.Metrics, statePtr any) (start int, err error) {
+	snap, _, err := checkpoint.Load(ck.Path, m)
 	if err != nil {
 		if checkpoint.IsNotExist(err) {
 			return 0, nil
@@ -182,6 +191,7 @@ func restoreMetrics(m *runner.Metrics, s runner.Snapshot, next int) {
 type ckptWriter struct {
 	ck      *checkpoint.Config
 	fp      checkpoint.Fingerprint
+	m       *runner.Metrics
 	payload func(next int) any
 	err     error
 }
@@ -196,7 +206,7 @@ func (w *ckptWriter) flush(next int) {
 	}
 	body, err := json.Marshal(w.payload(next))
 	if err == nil {
-		err = checkpoint.Save(w.ck.Path, &checkpoint.Snapshot{Fingerprint: w.fp, Next: next, State: body})
+		err = checkpoint.Save(w.ck.Path, &checkpoint.Snapshot{Fingerprint: w.fp, Next: next, State: body}, w.m)
 	}
 	if err != nil {
 		w.err = err

@@ -107,6 +107,29 @@ func EngineNames() []string {
 	return names
 }
 
+// engineWrapper is a process-global decoration hook applied to every
+// engine resolved through (*Path).Engine (and therefore to every ladder
+// rung): the seam the fault-injection layer uses to script engine
+// failures and hangs without renaming the engine — names feed spec hashes
+// and checkpoint fingerprints, so a chaos run must keep them intact to
+// stay resumable against (and comparable to) a clean run.
+var engineWrapper struct {
+	sync.RWMutex
+	fn func(Engine) Engine
+}
+
+// SetEngineWrapper installs fn as the process-global engine decoration
+// hook (nil removes it) and returns the previous hook. A wrapper must
+// preserve Name() and Cost(). Intended for chaos/fault-injection tests
+// only; production paths leave it unset.
+func SetEngineWrapper(fn func(Engine) Engine) (prev func(Engine) Engine) {
+	engineWrapper.Lock()
+	defer engineWrapper.Unlock()
+	prev = engineWrapper.fn
+	engineWrapper.fn = fn
+	return prev
+}
+
 // Engine resolves a registered engine by name for this path ("" selects
 // teta-fast). Construction is cheap; callers resolve once per analysis,
 // not per sample.
@@ -123,6 +146,12 @@ func (p *Path) Engine(name string) (Engine, error) {
 	eng, err := e.build(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: engine %s: %w", name, err)
+	}
+	engineWrapper.RLock()
+	wrap := engineWrapper.fn
+	engineWrapper.RUnlock()
+	if wrap != nil {
+		eng = wrap(eng)
 	}
 	return eng, nil
 }

@@ -397,7 +397,7 @@ func (p *Path) ImportanceYieldCtx(ctx context.Context, cfg ISConfig) (*ISResult,
 	if ck := cfg.Checkpoint; ck != nil {
 		if ck.Resume {
 			var st isPayload
-			next, err := resumeSnapshot(ck, fp, &st)
+			next, err := resumeSnapshot(ck, fp, cfg.Metrics, &st)
 			if err != nil {
 				return nil, err
 			}
@@ -410,7 +410,7 @@ func (p *Path) ImportanceYieldCtx(ctx context.Context, cfg ISConfig) (*ISResult,
 				start = next
 			}
 		}
-		ckpt = &ckptWriter{ck: ck, fp: fp, payload: func(int) any {
+		ckpt = &ckptWriter{ck: ck, fp: fp, m: cfg.Metrics, payload: func(int) any {
 			return isPayload{
 				Est:      est.State(),
 				Weighted: weighted.State(),

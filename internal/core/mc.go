@@ -298,7 +298,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 	if ck := cfg.Checkpoint; ck != nil {
 		if ck.Resume {
 			var st mcPayload
-			next, err := resumeSnapshot(ck, fp, &st)
+			next, err := resumeSnapshot(ck, fp, cfg.Metrics, &st)
 			if err != nil {
 				return nil, err
 			}
@@ -314,7 +314,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 				start = next
 			}
 		}
-		ckpt = &ckptWriter{ck: ck, fp: fp, payload: func(next int) any {
+		ckpt = &ckptWriter{ck: ck, fp: fp, m: cfg.Metrics, payload: func(next int) any {
 			st := mcPayload{
 				Stream:   stream.State(),
 				TotalSC:  res.TotalSC,
@@ -327,6 +327,18 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 			}
 			return st
 		}}
+	}
+
+	// A Limit-bounded shard evaluates only samples [start, limit): the
+	// sweep is capped at the cut, the journal flushes exactly there, and
+	// the caller gets ErrPartial instead of a result — the next leg
+	// resumes from the journal. sweepN == cfg.N means run to completion.
+	sweepN := cfg.N
+	if ck := cfg.Checkpoint; ck != nil && ck.Limit > 0 && ck.Limit < cfg.N {
+		sweepN = ck.Limit
+		if start >= sweepN {
+			return nil, fmt.Errorf("core: samples [0,%d) already durable in %s: %w", start, ck.Path, ErrPartial)
+		}
 	}
 
 	// Primary evaluation and policy recovery both live on the shared
@@ -386,7 +398,7 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 			return v, err
 		}
 	}
-	err = runner.MapWorker(ctx, cfg.N, opts,
+	err = runner.MapWorker(ctx, sweepN, opts,
 		newState,
 		evalFn,
 		func(i int, v mcEval) {
@@ -419,10 +431,13 @@ func (p *Path) runMonteCarlo(ctx context.Context, cfg MCConfig, fp checkpoint.Fi
 		// One unconditional snapshot after the sweep: resuming a completed
 		// run restores the final state and evaluates nothing, which also
 		// makes kill/resume scripts race-free when the kill lands late.
-		ckpt.flush(cfg.N)
+		ckpt.flush(sweepN)
 		if ckpt.err != nil {
 			return nil, fmt.Errorf("core: checkpoint write failed: %w", ckpt.err)
 		}
+	}
+	if sweepN < cfg.N {
+		return nil, fmt.Errorf("core: samples [0,%d) of %d durable in %s: %w", sweepN, cfg.N, cfg.Checkpoint.Path, ErrPartial)
 	}
 	if cfg.KeepSamples {
 		if len(res.Failures.SkippedIndices) > 0 {

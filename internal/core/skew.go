@@ -250,7 +250,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 	if ck := cfg.Checkpoint; ck != nil {
 		if ck.Resume {
 			var st skewPayload
-			next, err := resumeSnapshot(ck, fp, &st)
+			next, err := resumeSnapshot(ck, fp, cfg.Metrics, &st)
 			if err != nil {
 				return nil, err
 			}
@@ -263,13 +263,23 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 				start = next
 			}
 		}
-		ckpt = &ckptWriter{ck: ck, fp: fp, payload: func(int) any {
+		ckpt = &ckptWriter{ck: ck, fp: fp, m: cfg.Metrics, payload: func(int) any {
 			return skewPayload{
 				A: as, B: bs, Skews: res.Skews,
 				Failures: res.Failures,
 				Metrics:  saveMetrics(cfg.Metrics),
 			}
 		}}
+	}
+
+	// Limit-bounded shard: cap the sweep at the cut and return ErrPartial
+	// after the final flush (see runMonteCarlo for the contract).
+	sweepN := cfg.N
+	if ck := cfg.Checkpoint; ck != nil && ck.Limit > 0 && ck.Limit < cfg.N {
+		sweepN = ck.Limit
+		if start >= sweepN {
+			return nil, fmt.Errorf("core: samples [0,%d) already durable in %s: %w", start, ck.Path, ErrPartial)
+		}
 	}
 
 	opts := cfg.runnerOptions()
@@ -288,7 +298,7 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		opts.CheckpointEvery = cfg.Checkpoint.Every
 		opts.CheckpointInterval = cfg.Checkpoint.Interval
 	}
-	err = runner.MapWorker(ctx, cfg.N, opts,
+	err = runner.MapWorker(ctx, sweepN, opts,
 		newState,
 		evalFn,
 		func(_ int, d pairDelay) {
@@ -303,10 +313,13 @@ func (pp *PathPair) MonteCarloSkewCtx(ctx context.Context, cfg SkewConfig) (*Ske
 		return nil, err
 	}
 	if ckpt != nil {
-		ckpt.flush(cfg.N)
+		ckpt.flush(sweepN)
 		if ckpt.err != nil {
 			return nil, fmt.Errorf("core: checkpoint write failed: %w", ckpt.err)
 		}
+	}
+	if sweepN < cfg.N {
+		return nil, fmt.Errorf("core: samples [0,%d) of %d durable in %s: %w", sweepN, cfg.N, cfg.Checkpoint.Path, ErrPartial)
 	}
 	res.ArrivalA = stat.Summarize(as)
 	res.ArrivalB = stat.Summarize(bs)

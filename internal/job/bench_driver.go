@@ -109,12 +109,14 @@ func runBenchDriver(ctx context.Context, spec *Spec, env *Env) (*Result, error) 
 	rep.SpeedupCharOnce = rep.Exact1W.NsPerSample / rep.Var1W.NsPerSample
 	rep.SpeedupParallel = rep.Var1W.NsPerSample / rep.VarNW.NsPerSample
 	if bp.Engine != "" {
-		row, resumed, err := benchEngine(o, bp.Wire, bp.Engine, specs, deadline, ck)
+		row, snap, err := benchEngine(o, bp.Wire, bp.Engine, specs, deadline, ck)
 		if err != nil {
 			return nil, err
 		}
 		rep.EngineRow = &row
-		rep.ResumedSamples = resumed
+		rep.ResumedSamples = snap.Resumed
+		rep.CheckpointBakLoads = snap.CheckpointBakLoads
+		rep.CheckpointRenameRetries = snap.CheckpointRenameRetries
 	}
 	rep.TimedOutSamples += rep.Exact1W.TimedOut
 	if rep.EngineRow != nil {

@@ -29,16 +29,16 @@ type benchState struct {
 
 // benchEngine times the same sweep through an arbitrary registered
 // backend via the experiments Example-2 evaluator (single worker),
-// returning the row and the number of samples restored from a resumed
-// journal. Without a journal the full warm-up pass matches benchStage,
+// returning the row and the final metrics snapshot (resumed-sample and
+// checkpoint self-repair counters included). Without a journal the full warm-up pass matches benchStage,
 // so keep -samples small for slow backends like spice-golden. With
 // -checkpoint the warm-up is skipped — the row exists to survive crashes
 // of hour-long spice-golden sweeps, and a resume must not redo the full
 // population as a warm-up — so the measurement is cold-start inclusive.
-func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec, deadline time.Duration, ck *checkpoint.Config) (benchRow, int64, error) {
+func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []teta.RunSpec, deadline time.Duration, ck *checkpoint.Config) (benchRow, runner.Snapshot, error) {
 	eval, err := experiments.Example2Evaluator(o, wire, name)
 	if err != nil {
-		return benchRow{}, 0, err
+		return benchRow{}, runner.Snapshot{}, err
 	}
 
 	fp := checkpoint.Fingerprint{
@@ -53,16 +53,16 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 	start := 0
 	var prior benchState
 	if ck != nil && ck.Resume {
-		snap, _, err := checkpoint.Load(ck.Path)
+		snap, _, err := checkpoint.Load(ck.Path, nil)
 		if err != nil && !checkpoint.IsNotExist(err) {
-			return benchRow{}, 0, err
+			return benchRow{}, runner.Snapshot{}, err
 		}
 		if err == nil {
 			if err := fp.Check(snap.Fingerprint); err != nil {
-				return benchRow{}, 0, err
+				return benchRow{}, runner.Snapshot{}, err
 			}
 			if err := json.Unmarshal(snap.State, &prior); err != nil {
-				return benchRow{}, 0, err
+				return benchRow{}, runner.Snapshot{}, err
 			}
 			start = snap.Next
 		}
@@ -95,7 +95,7 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 					Metrics:   s,
 				})
 				if err == nil {
-					err = checkpoint.Save(ck.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body})
+					err = checkpoint.Save(ck.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body}, metrics)
 				}
 				ckErr = err
 			}
@@ -126,7 +126,7 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 	}
 	if ck == nil {
 		if _, err := run(false); err != nil { // warm-up
-			return benchRow{}, 0, err
+			return benchRow{}, runner.Snapshot{}, err
 		}
 	}
 	runtime.GC()
@@ -134,11 +134,11 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 	runtime.ReadMemStats(&m0)
 	el, err := run(true)
 	if err != nil {
-		return benchRow{}, 0, err
+		return benchRow{}, runner.Snapshot{}, err
 	}
 	runtime.ReadMemStats(&m1)
 	if ckErr != nil {
-		return benchRow{}, 0, ckErr
+		return benchRow{}, runner.Snapshot{}, ckErr
 	}
 	n := float64(len(specs))
 	// Wall time accumulates across the resume chain; allocations can only
@@ -159,5 +159,5 @@ func benchEngine(o experiments.Ex2Options, wire float64, name string, specs []te
 		Degraded:        snap.Degraded,
 		TimedOut:        snap.TimedOut,
 		Failures:        snap.Failures,
-	}, snap.Resumed, nil
+	}, snap, nil
 }

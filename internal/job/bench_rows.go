@@ -84,6 +84,15 @@ type benchReport struct {
 	ResumedSamples  int64   `json:"resumed_samples"`
 	TimedOutSamples int64   `json:"timed_out_samples"`
 
+	// CheckpointBakLoads / CheckpointRenameRetries surface the journal's
+	// previously-silent self-repairs during the -checkpoint'ed engine row:
+	// resumes served from the .bak rotation because the primary snapshot
+	// was missing or corrupt, and atomic-install renames that needed a
+	// retry. Recorded unconditionally (zero on healthy filesystems) so
+	// regressions show up as a diff, not an absence.
+	CheckpointBakLoads      int64 `json:"checkpoint_bak_loads"`
+	CheckpointRenameRetries int64 `json:"checkpoint_rename_retries"`
+
 	// ModelCache is present when the run used a -model-cache store: the
 	// cross-run macromodel hit/miss/corrupt counters accumulated across
 	// every section of this bench run. A warm rerun reports zero misses.

@@ -14,6 +14,16 @@ func init() {
 		Name: "path",
 		Doc:  "statistical path-delay analysis on a chain of library cells (GA, MC, worst-case, yield)",
 		Run:  runPathDriver,
+		// The MC sweep is the driver's only checkpointable loop, so its
+		// sample count is the shard domain (0 = GA/worst-only specs, which
+		// execute as a single shard).
+		Samples: func(spec *Spec) (int, error) {
+			var pp PathParams
+			if err := decodeParams(spec, &pp); err != nil {
+				return 0, err
+			}
+			return pp.MC, nil
+		},
 	})
 }
 

@@ -14,6 +14,13 @@ func init() {
 		Name: "skew",
 		Doc:  "Monte-Carlo skew between two buffer-chain branches with shared wire variations",
 		Run:  runSkewDriver,
+		Samples: func(spec *Spec) (int, error) {
+			var sp SkewParams
+			if err := decodeParams(spec, &sp); err != nil {
+				return 0, err
+			}
+			return sp.MC, nil
+		},
 	})
 }
 

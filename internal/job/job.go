@@ -77,13 +77,18 @@ type CheckpointSpec struct {
 	Path   string `json:"path"`
 	Every  int    `json:"every,omitempty"`
 	Resume bool   `json:"resume,omitempty"`
+	// Limit bounds the sweep to samples [0, Limit): the driver journals
+	// the cut and fails with core.ErrPartial instead of producing a
+	// result (see checkpoint.Config.Limit). lcsimd sets it to execute a
+	// job as a chain of resumable sample-range shards.
+	Limit int `json:"limit,omitempty"`
 }
 
 func (c *CheckpointSpec) config() *checkpoint.Config {
 	if c == nil {
 		return nil
 	}
-	return &checkpoint.Config{Path: c.Path, Every: c.Every, Resume: c.Resume}
+	return &checkpoint.Config{Path: c.Path, Every: c.Every, Resume: c.Resume, Limit: c.Limit}
 }
 
 // RunSpec is the serializable execution-policy block of a job spec: the

@@ -23,6 +23,32 @@ type Driver struct {
 	// returned error means the run itself failed (driver-level
 	// acceptance gates report through Result.CheckFailed instead).
 	Run func(ctx context.Context, spec *Spec, env *Env) (*Result, error)
+	// Samples, when non-nil, reports the fixed sample count of the
+	// spec's main sweep — the contract that makes the driver shardable:
+	// lcsimd may execute the run as a chain of Checkpoint.Limit legs over
+	// one journal and trust the completing leg's Result to be
+	// bit-identical to a single uninterrupted Run. Drivers whose sweep
+	// length is not fixed up front (adaptive yield growth) or that run no
+	// checkpointable sweep leave it nil and execute as a single shard.
+	Samples func(spec *Spec) (int, error)
+}
+
+// SweepSamples reports the sample count of the spec's main sweep and
+// whether the driver supports sample-range sharding at all. The error
+// return is driver parameter validation (unknown driver, bad params).
+func SweepSamples(spec *Spec) (n int, shardable bool, err error) {
+	d, ok := Lookup(spec.Driver)
+	if !ok {
+		return 0, false, fmt.Errorf("job: unknown driver %q (registered: %v)", spec.Driver, Names())
+	}
+	if d.Samples == nil {
+		return 0, false, nil
+	}
+	n, err = d.Samples(spec)
+	if err != nil {
+		return 0, false, err
+	}
+	return n, true, nil
 }
 
 var (
@@ -84,6 +110,12 @@ func Run(ctx context.Context, spec *Spec, env *Env) (*Result, error) {
 	}
 	if env == nil {
 		env = &Env{}
+	} else {
+		// Default onto a shallow copy: a single Env is shared by every
+		// job in a daemon worker pool, so writing defaults into the
+		// caller's struct would race.
+		cp := *env
+		env = &cp
 	}
 	if env.Stdout == nil {
 		env.Stdout = io.Discard

@@ -1,0 +1,48 @@
+package jobd
+
+import (
+	"fmt"
+	"time"
+
+	"lcsim/internal/core"
+	"lcsim/internal/faultinj"
+	"lcsim/internal/teta"
+)
+
+// InstallChaos installs a process-global engine wrapper that consults
+// the fault schedule before every path evaluation: KindFail returns a
+// scripted evaluation error, KindHang sleeps the schedule's hang
+// duration first (deliberately ignoring contexts — that is the point:
+// it exercises the shard watchdog and the abandon-after-grace path).
+// The wrapper preserves the engine's name and cost, so spec hashes and
+// checkpoint fingerprints are identical to an un-chaosed run — the
+// property that lets a chaos-interrupted journal finish cleanly after
+// the chaos is lifted, and the chaotic result compare bit-for-bit
+// against a clean direct run.
+//
+// Returns a restore function. Chaos runs should use the fail-fast
+// failure policy: under skip/degrade, injected failures would enter the
+// skip-set or degrade counters and legitimately change the statistics.
+func InstallChaos(s *faultinj.Schedule) (restore func()) {
+	prev := core.SetEngineWrapper(func(e core.Engine) core.Engine {
+		return &chaosEngine{Engine: e, s: s}
+	})
+	return func() { core.SetEngineWrapper(prev) }
+}
+
+// chaosEngine delegates everything to the wrapped engine, interposing
+// only on EvalPath (the statistical drivers' per-sample entry point).
+type chaosEngine struct {
+	core.Engine
+	s *faultinj.Schedule
+}
+
+func (c *chaosEngine) EvalPath(sc any, rs teta.RunSpec) (*core.PathEval, error) {
+	switch c.s.Decide(faultinj.OpEngine) {
+	case faultinj.KindFail:
+		return nil, fmt.Errorf("jobd: scripted engine failure: %w", faultinj.ErrInjected)
+	case faultinj.KindHang:
+		time.Sleep(c.s.Hang())
+	}
+	return c.Engine.EvalPath(sc, rs)
+}

@@ -1,0 +1,81 @@
+package jobd
+
+import (
+	"context"
+	"errors"
+
+	"lcsim/internal/checkpoint"
+	"lcsim/internal/core"
+)
+
+// FailureKind is the supervisor's typed split over shard-attempt errors:
+// what happens next depends only on the kind, never on string matching.
+type FailureKind int
+
+const (
+	// Transient: retry the shard (capped exponential backoff, bounded by
+	// MaxAttempts). The default for unrecognized errors — a daemon that
+	// gives up on a job because of an unclassified hiccup is worse than
+	// one that burns a few retries, and MaxAttempts bounds the burn.
+	Transient FailureKind = iota
+	// Permanent: re-running cannot help — the spec itself produces this
+	// error deterministically. Fail the job immediately; retrying would
+	// reproduce the same bits MaxAttempts times.
+	Permanent
+	// Interrupted: the attempt was canceled from outside (drain, watchdog,
+	// process shutdown). Not a failure of the job: requeue it, journal
+	// intact, and let the next claim resume from the durable prefix.
+	Interrupted
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case Permanent:
+		return "permanent"
+	case Interrupted:
+		return "interrupted"
+	default:
+		return "transient"
+	}
+}
+
+// permanentClasses are the deterministic per-sample failure classes: the
+// evaluation is a pure function of (spec, sample index), so a sample
+// that diverged once diverges every time. A fail-fast run surfacing one
+// of these is permanently failed; under skip/degrade policies the class
+// never escapes the sweep as a run error in the first place.
+var permanentClasses = map[core.FailureClass]bool{
+	core.ClassSCDiverged:       true,
+	core.ClassSCStalled:        true,
+	core.ClassDCNewtonFailed:   true,
+	core.ClassSingularGr:       true,
+	core.ClassAllPolesUnstable: true,
+	core.ClassWaveformNaN:      true,
+}
+
+// Classify maps a shard-attempt error to its FailureKind.
+func Classify(err error) FailureKind {
+	switch {
+	case err == nil:
+		return Transient // caller bug; retrying is the safe answer
+	case errors.Is(err, context.Canceled):
+		// Cancellation only ever comes from the supervisor itself (drain
+		// or watchdog); the run layers wrap but preserve it.
+		return Interrupted
+	case errors.Is(err, checkpoint.ErrMismatch):
+		// The journal belongs to a different statistical run. Re-running
+		// reproduces the refusal; an operator has to intervene.
+		return Permanent
+	case errors.Is(err, context.DeadlineExceeded):
+		// A spec-level wall-clock timeout. The budget restarts with the
+		// attempt and the journal keeps the finished prefix, so retrying
+		// makes forward progress even when single attempts keep timing
+		// out.
+		return Transient
+	}
+	var se *core.SampleError
+	if errors.As(err, &se) && permanentClasses[se.Class] {
+		return Permanent
+	}
+	return Transient
+}

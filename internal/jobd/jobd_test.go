@@ -1,0 +1,591 @@
+package jobd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcsim/internal/checkpoint"
+	"lcsim/internal/faultinj"
+	"lcsim/internal/job"
+	"lcsim/internal/modelcache"
+	"lcsim/internal/runner"
+)
+
+// pathSpec builds a small but real path-MC spec: two inverters through
+// the full characterization/evaluation stack, fail-fast policy (the
+// chaos-safe one — skip/degrade would let injected failures legitimately
+// change the statistics).
+func pathSpec(t *testing.T, seed int64, mc int) *job.Spec {
+	t.Helper()
+	spec, err := job.NewSpec("path", job.RunSpec{Seed: seed, Workers: 2, OnFailure: "fail-fast"},
+		job.PathParams{
+			ChainParams: job.ChainParams{Cells: []string{"INV", "INV"}, StdDL: 0.3, StdVT: 0.3},
+			MC:          mc,
+		})
+	if err != nil {
+		t.Fatalf("NewSpec: %v", err)
+	}
+	return spec
+}
+
+// directResult executes the spec in-process, no daemon, no checkpoint —
+// the ground truth every daemon result must match bit for bit.
+func directResult(t *testing.T, spec *job.Spec, cache *modelcache.Store) *job.Result {
+	t.Helper()
+	env := &job.Env{Stdout: io.Discard, Stderr: io.Discard, Metrics: &runner.Metrics{}}
+	if cache != nil {
+		env.MacroCache = cache.Bind(context.Background())
+	}
+	res, err := job.Run(context.Background(), spec, env)
+	if err != nil {
+		t.Fatalf("direct job.Run: %v", err)
+	}
+	return res
+}
+
+// canon renders a value as canonical JSON: marshal, re-read into plain
+// maps (Go marshals map keys sorted), marshal again. This erases struct
+// field order so a daemon Result read back from result.json compares
+// equal to an in-memory direct Result.
+func canon(t *testing.T, v any) string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("canon marshal: %v", err)
+	}
+	var x any
+	if err := json.Unmarshal(buf, &x); err != nil {
+		t.Fatalf("canon unmarshal: %v", err)
+	}
+	out, err := json.Marshal(x)
+	if err != nil {
+		t.Fatalf("canon remarshal: %v", err)
+	}
+	return string(out)
+}
+
+// assertSameRun compares the statistically meaningful parts of two
+// results — Summary and Failures. Metrics are execution wiring (resume
+// counts, retries) and legitimately differ between daemon and direct.
+func assertSameRun(t *testing.T, got, want *job.Result) {
+	t.Helper()
+	if got.SpecHash != want.SpecHash {
+		t.Fatalf("spec hash: daemon %s, direct %s", got.SpecHash, want.SpecHash)
+	}
+	if g, w := canon(t, got.Summary), canon(t, want.Summary); g != w {
+		t.Fatalf("summary differs\ndaemon: %s\ndirect: %s", g, w)
+	}
+	if g, w := canon(t, got.Failures), canon(t, want.Failures); g != w {
+		t.Fatalf("failures differ\ndaemon: %s\ndirect: %s", g, w)
+	}
+}
+
+// testLog is a concurrency-safe Logf sink tests can grep.
+type testLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *testLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *testLog) contains(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ln := range l.lines {
+		if strings.Contains(ln, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// startSupervisor runs a supervisor until stop() is called; stop blocks
+// through the drain.
+func startSupervisor(t *testing.T, cfg Config) (stop func()) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.Run(ctx); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+}
+
+// waitStatus polls one job until it reaches want (fatal on timeout, and
+// fatal immediately if the job lands in a different terminal state).
+func waitStatus(t *testing.T, q *Queue, id string, want Status, timeout time.Duration) *State {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := q.State(id)
+		if err != nil {
+			t.Fatalf("State(%s): %v", id, err)
+		}
+		if st.Status == want {
+			return st
+		}
+		if st.Status == StatusFailed && want != StatusFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: status %s after %v, want %s", id, st.Status, timeout, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRecordCorruptionHeals(t *testing.T) {
+	fs := faultinj.OS{}
+	path := t.TempDir() + "/state.rec"
+	want := &State{Status: StatusFailed, Attempts: 3, Error: "boom", Updated: time.Now().UTC()}
+	if err := writeRecord(fs, path, want); err != nil {
+		t.Fatalf("writeRecord: %v", err)
+	}
+	got, err := readRecord(fs, path)
+	if err != nil {
+		t.Fatalf("readRecord: %v", err)
+	}
+	if got.Status != want.Status || got.Attempts != want.Attempts || got.Error != want.Error {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+
+	// Torn write: keep only a prefix.
+	buf, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecord(fs, path); !isCorrupt(err) {
+		t.Fatalf("torn record: err = %v, want ErrCorruptRecord", err)
+	}
+
+	// Bit flip in the body.
+	if err := writeRecord(fs, path, want); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ = os.ReadFile(path)
+	buf[len(buf)-2] ^= 0x01
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecord(fs, path); !isCorrupt(err) {
+		t.Fatalf("flipped record: err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func isCorrupt(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "state record corrupt")
+}
+
+func TestEnqueueIdempotent(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	spec := pathSpec(t, 1, 8)
+	id1, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	id2, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatalf("re-Enqueue: %v", err)
+	}
+	if id1 != id2 {
+		t.Fatalf("same spec enqueued twice: ids %s vs %s", id1, id2)
+	}
+	if !idPattern.MatchString(id1) {
+		t.Fatalf("id %q does not match %v", id1, idPattern)
+	}
+	// A different seed is a different statistical run: different id.
+	other, err := q.Enqueue(pathSpec(t, 2, 8))
+	if err != nil {
+		t.Fatalf("Enqueue other: %v", err)
+	}
+	if other == id1 {
+		t.Fatalf("different seeds produced the same id %s", id1)
+	}
+	ids, err := q.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("Jobs() = %v, want 2 entries", ids)
+	}
+	// The spec round-trips: same content hash in, same out.
+	back, err := q.Spec(id1)
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	h1, _ := spec.Hash()
+	h2, _ := back.Hash()
+	if h1 != h2 {
+		t.Fatalf("spec hash changed through the queue: %s vs %s", h1, h2)
+	}
+}
+
+func TestStateDerivation(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pathSpec(t, 3, 8)
+	id, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.State(id); st.Status != StatusQueued {
+		t.Fatalf("fresh job state = %s, want queued", st.Status)
+	}
+
+	// A corrupt record heals to queued with zero attempts.
+	if err := q.SetState(id, &State{Status: StatusFailed, Attempts: 4, Error: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(q.statePath(id), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusQueued || st.Attempts != 0 {
+		t.Fatalf("corrupt record: state = %+v, want queued/0", st)
+	}
+
+	// A record claiming done without a readable result heals to queued —
+	// the crash landed between the two writes.
+	if err := q.SetState(id, &State{Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.State(id); st.Status != StatusQueued {
+		t.Fatalf("done record without result: state = %s, want queued", st.Status)
+	}
+
+	// A torn result.json is "not done": State keeps reporting queued.
+	if err := os.WriteFile(q.ResultPath(id), []byte(`{"driver":"path"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.State(id); st.Status != StatusQueued {
+		t.Fatalf("torn result: state = %s, want queued", st.Status)
+	}
+
+	// A committed result is done regardless of the record.
+	h, _ := spec.Hash()
+	if err := q.PutResult(id, &job.Result{Driver: "path", SpecHash: h}, []byte("ok\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(q.statePath(id), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.State(id); st.Status != StatusDone {
+		t.Fatalf("result committed but state = %s, want done", st.Status)
+	}
+}
+
+func TestSupervisorRunsJobsToDone(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := modelcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []*job.Spec{pathSpec(t, 11, 24), pathSpec(t, 12, 24)}
+	var ids []string
+	for _, sp := range specs {
+		id, err := q.Enqueue(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// ShardSamples 7 over MC 24 forces four journaled legs per job — the
+	// bit-identity claim is only interesting when sharding actually
+	// happens.
+	stop := startSupervisor(t, Config{
+		Queue: q, Jobs: 2, ShardSamples: 7, Every: 4,
+		Poll: 10 * time.Millisecond, Heartbeat: -1, MacroCache: cache,
+	})
+	defer stop()
+	for _, id := range ids {
+		waitStatus(t, q, id, StatusDone, 120*time.Second)
+	}
+	stop()
+
+	for i, id := range ids {
+		got, err := q.Result(id)
+		if err != nil {
+			t.Fatalf("Result(%s): %v", id, err)
+		}
+		assertSameRun(t, got, directResult(t, specs[i], cache))
+		// The journal is the daemon's own artifact and must cover the
+		// whole sweep.
+		snap, _, err := checkpoint.Load(q.JournalPath(id), nil)
+		if err != nil {
+			t.Fatalf("journal: %v", err)
+		}
+		if snap.Next != 24 {
+			t.Fatalf("journal Next = %d, want 24", snap.Next)
+		}
+		if out, err := os.ReadFile(q.StdoutPath(id)); err != nil || len(out) == 0 {
+			t.Fatalf("stdout artifact: %v (%d bytes)", err, len(out))
+		}
+	}
+}
+
+func TestSupervisorRetriesTransient(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := modelcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pathSpec(t, 13, 16)
+	id, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one scripted engine failure (op 2 = the second MC sample of
+	// the first attempt), then quiet: the first attempt dies fail-fast,
+	// the retry must finish the job.
+	sched := faultinj.NewSchedule(1).RuleAt(faultinj.OpEngine, faultinj.KindFail, 2).SetBudget(1)
+	restore := InstallChaos(sched)
+	defer restore()
+
+	log := &testLog{}
+	stop := startSupervisor(t, Config{
+		Queue: q, ShardSamples: -1, Every: 4, Poll: 10 * time.Millisecond,
+		Heartbeat: -1, BackoffBase: 5 * time.Millisecond, MacroCache: cache,
+		Logf: log.logf,
+	})
+	defer stop()
+	waitStatus(t, q, id, StatusDone, 120*time.Second)
+	stop()
+	restore()
+
+	if !log.contains("transient failure") {
+		t.Fatalf("no transient retry logged; log:\n%s", strings.Join(log.lines, "\n"))
+	}
+	got, err := q.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, got, directResult(t, spec, cache))
+}
+
+func TestSupervisorPermanentFailures(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unknown driver and malformed driver params are both
+	// deterministic: one attempt, no retry burn.
+	unknown := &job.Spec{Version: job.SpecVersion, Driver: "no-such-driver"}
+	badParams, err := job.NewSpec("path", job.RunSpec{Seed: 1}, map[string]any{"mcc": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idU, err := q.Enqueue(unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := q.Enqueue(badParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := startSupervisor(t, Config{Queue: q, Poll: 10 * time.Millisecond, Heartbeat: -1})
+	defer stop()
+	stU := waitStatus(t, q, idU, StatusFailed, 30*time.Second)
+	stB := waitStatus(t, q, idB, StatusFailed, 30*time.Second)
+	stop()
+
+	if !strings.Contains(stU.Error, "unknown driver") {
+		t.Fatalf("unknown-driver failure recorded as: %s", stU.Error)
+	}
+	if !strings.Contains(stB.Error, "mcc") {
+		t.Fatalf("bad-params failure recorded as: %s", stB.Error)
+	}
+	// MaxAttempts defaulted to 5; a deterministic failure must not have
+	// burned the budget on identical retries.
+	if stU.Attempts > 1 || stB.Attempts > 1 {
+		t.Fatalf("deterministic failures retried: attempts %d and %d", stU.Attempts, stB.Attempts)
+	}
+}
+
+func TestSupervisorDrainRequeuesAndRestartCompletes(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := modelcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mc = 40
+	spec := pathSpec(t, 14, mc)
+	id, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the macromodel cache so the sweep (not characterization)
+	// dominates the first attempt's wall clock.
+	want := directResult(t, spec, cache)
+
+	// Slow every engine evaluation by 3ms so the drain reliably lands
+	// mid-sweep instead of racing job completion.
+	sched := faultinj.NewSchedule(2).Rule(faultinj.OpEngine, faultinj.KindHang, 1).SetHang(3 * time.Millisecond)
+	restore := InstallChaos(sched)
+	defer restore()
+
+	stop := startSupervisor(t, Config{
+		Queue: q, ShardSamples: 16, Every: 2, Poll: 10 * time.Millisecond,
+		Heartbeat: -1, DrainGrace: 5 * time.Second, MacroCache: cache,
+	})
+	// Wait for the first durable cut, then drain.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if snap, _, err := checkpoint.Load(q.JournalPath(id), nil); err == nil && snap.Next > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no journal flush before deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	restore()
+
+	st, err := q.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusQueued {
+		t.Fatalf("after drain: state = %s, want queued", st.Status)
+	}
+	snap, _, err := checkpoint.Load(q.JournalPath(id), nil)
+	if err != nil {
+		t.Fatalf("journal after drain: %v", err)
+	}
+	if snap.Next <= 0 || snap.Next >= mc {
+		t.Fatalf("drain was not mid-run: journal Next = %d of %d", snap.Next, mc)
+	}
+
+	// A fresh supervisor (the restarted daemon) resumes from the durable
+	// prefix and the merged result is bit-identical to the direct run.
+	stop2 := startSupervisor(t, Config{
+		Queue: q, ShardSamples: 16, Every: 4, Poll: 10 * time.Millisecond,
+		Heartbeat: -1, MacroCache: cache,
+	})
+	defer stop2()
+	waitStatus(t, q, id, StatusDone, 120*time.Second)
+	stop2()
+
+	got, err := q.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, got, want)
+	if got.Metrics.Resumed == 0 {
+		t.Fatalf("restarted job reports no resumed samples; journal cut was %d", snap.Next)
+	}
+}
+
+func TestWatchdogKillsStalledShard(t *testing.T) {
+	q, err := OpenQueue(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := modelcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pathSpec(t, 15, 16)
+	id, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache so attempt time is sweep time and the heartbeat can
+	// be tight.
+	want := directResult(t, spec, cache)
+
+	// One engine evaluation (op 5) sleeps 1.5s while the heartbeat
+	// threshold is 300ms: the watchdog must cancel the attempt, classify
+	// it as a stall (not an interrupt), and the retry must finish.
+	sched := faultinj.NewSchedule(3).RuleAt(faultinj.OpEngine, faultinj.KindHang, 5).SetHang(1500 * time.Millisecond)
+	restore := InstallChaos(sched)
+	defer restore()
+
+	log := &testLog{}
+	stop := startSupervisor(t, Config{
+		Queue: q, ShardSamples: -1, Every: 2, Poll: 10 * time.Millisecond,
+		Heartbeat: 300 * time.Millisecond, DrainGrace: 5 * time.Second,
+		BackoffBase: 5 * time.Millisecond, MacroCache: cache, Logf: log.logf,
+	})
+	defer stop()
+	waitStatus(t, q, id, StatusDone, 120*time.Second)
+	stop()
+	restore()
+
+	if !log.contains("stalled") {
+		t.Fatalf("watchdog never fired; log:\n%s", strings.Join(log.lines, "\n"))
+	}
+	got, err := q.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, got, want)
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FailureKind
+	}{
+		{context.Canceled, Interrupted},
+		{fmt.Errorf("wrapped: %w", context.Canceled), Interrupted},
+		{checkpoint.ErrMismatch, Permanent},
+		{fmt.Errorf("resume: %w", checkpoint.ErrMismatch), Permanent},
+		{context.DeadlineExceeded, Transient},
+		{fmt.Errorf("disk on fire"), Transient},
+		{fmt.Errorf("chaos: %w", faultinj.ErrInjected), Transient},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+	if !reflect.DeepEqual(Classify(nil), Transient) {
+		t.Errorf("Classify(nil) should be Transient")
+	}
+}

@@ -19,15 +19,16 @@ package modelcache
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"lcsim/internal/faultinj"
 	"lcsim/internal/runner"
 )
 
@@ -53,6 +54,7 @@ type header struct {
 // single-flight dedup works per Store).
 type Store struct {
 	dir string
+	fs  faultinj.FS
 
 	// Metrics, when non-nil, mirrors the hit/miss/corrupt counters into
 	// the shared run metrics so they surface in cost reports and
@@ -76,14 +78,22 @@ type call struct {
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenFS(dir, nil) }
+
+// OpenFS opens a store whose entry I/O goes through f (nil selects the
+// real OS) — the fault-injection seam chaos tests use to feed the store
+// torn writes, ENOSPC and corrupt reads without touching real disks.
+func OpenFS(dir string, f faultinj.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("modelcache: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if f == nil {
+		f = faultinj.OS{}
+	}
+	if err := f.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("modelcache: %w", err)
 	}
-	return &Store{dir: dir, flight: map[string]*call{}}, nil
+	return &Store{dir: dir, fs: f, flight: map[string]*call{}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -113,10 +123,25 @@ func (s *Store) Stats() (hits, misses, corrupt int64) {
 // write-back are swallowed — the computed bytes are still returned, the
 // cache is an accelerator, never a correctness dependency.
 func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	return s.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with a cancellation point for waiters:
+// a goroutine blocked on another goroutine's in-flight computation of
+// the same key returns ctx.Err() as soon as ctx is done, so one hung
+// extraction cannot strand every concurrent job that shares the key. The
+// leader itself is not interrupted (its compute closure owns its own
+// cancellation), and an abandoned wait neither consumes nor poisons the
+// eventual result — later callers still share it.
+func (s *Store) GetOrComputeCtx(ctx context.Context, key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
 	s.mu.Lock()
 	if c, ok := s.flight[key]; ok {
 		s.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		if c.err == nil {
 			// Shared results count as hits: the extraction ran once.
 			s.addHit()
@@ -141,7 +166,7 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data [
 		return data, true, nil
 	} else if errors.Is(err, ErrCorruptEntry) {
 		s.addCorrupt()
-		os.Remove(s.path(key))
+		s.fs.Remove(s.path(key))
 	}
 	data, err = compute()
 	if err != nil {
@@ -171,7 +196,7 @@ func (s *Store) addCorrupt() {
 // underlying fs.ErrNotExist; anything else unreadable wraps
 // ErrCorruptEntry.
 func (s *Store) read(key string) ([]byte, error) {
-	buf, err := os.ReadFile(s.path(key))
+	buf, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		return nil, err
 	}
@@ -195,19 +220,19 @@ func (s *Store) read(key string) ([]byte, error) {
 // a read-only or full cache directory degrades to cache-off behavior.
 func (s *Store) write(key string, body []byte) {
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return
 	}
 	hdr, err := json.Marshal(header{Magic: magic, CRC32: crc32.ChecksumIEEE(body)})
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	tmp, err := s.fs.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
 	if err != nil {
 		return
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer s.fs.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(append(append(hdr, '\n'), body...)); err != nil {
 		tmp.Close()
 		return
@@ -219,5 +244,24 @@ func (s *Store) write(key string, body []byte) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	os.Rename(tmpName, p)
+	s.fs.Rename(tmpName, p)
+}
+
+// Bound is a context-bound view of a Store: it satisfies the structural
+// teta.MacroStore interface (whose GetOrCompute carries no context) while
+// still honoring the bound context's cancellation for single-flight
+// waiters. Each lcsimd shard attempt binds the shared per-process Store
+// to its own attempt context, so a watchdog-canceled attempt unblocks
+// immediately even when it is parked on another job's extraction.
+type Bound struct {
+	s   *Store
+	ctx context.Context
+}
+
+// Bind returns a view of s whose waiters honor ctx.
+func (s *Store) Bind(ctx context.Context) *Bound { return &Bound{s: s, ctx: ctx} }
+
+// GetOrCompute implements teta.MacroStore through the bound context.
+func (b *Bound) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return b.s.GetOrComputeCtx(b.ctx, key, compute)
 }

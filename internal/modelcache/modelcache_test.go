@@ -2,6 +2,7 @@ package modelcache
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,8 +10,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"lcsim/internal/runner"
+	"lcsim/internal/teta"
 )
 
 const testKey = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
@@ -248,4 +251,63 @@ func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") succeeded")
 	}
+}
+
+// TestWaiterHonorsContext: a single-flight waiter parked behind a hung
+// computation returns ctx.Err() when its context is canceled — a wedged
+// extraction must not strand every concurrent job sharing the key. The
+// hung leader's eventual result is still shared with later callers.
+func TestWaiterHonorsContext(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	payload := []byte("slow")
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		s.GetOrCompute(testKey, func() ([]byte, error) {
+			close(entered)
+			<-release
+			return payload, nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(ctx, testKey, func() ([]byte, error) {
+			t.Error("canceled waiter ran the computation")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter park on the flight
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter is still stranded behind the hung computation")
+	}
+
+	// The leader finishes unharmed and its result is shared.
+	close(release)
+	<-leaderDone
+	data, hit, err := s.Bind(context.Background()).GetOrCompute(testKey, func() ([]byte, error) {
+		t.Error("computed despite a stored entry")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(data, payload) {
+		t.Fatalf("post-cancel lookup = (%q, %v, %v)", data, hit, err)
+	}
+}
+
+// TestBoundStoreIsMacroStore: the context-bound view satisfies the
+// structural teta.MacroStore contract.
+func TestBoundStoreIsMacroStore(t *testing.T) {
+	var _ teta.MacroStore = mustOpen(t, t.TempDir()).Bind(context.Background())
 }

@@ -26,6 +26,8 @@ type Metrics struct {
 	mcHits     atomic.Int64
 	mcMisses   atomic.Int64
 	mcCorrupt  atomic.Int64
+	ckptBak    atomic.Int64
+	ckptRetry  atomic.Int64
 	failures   sync.Map // failure class (string) → *atomic.Int64
 }
 
@@ -55,6 +57,13 @@ type Snapshot struct {
 	ModelCacheHits    int64
 	ModelCacheMisses  int64
 	ModelCacheCorrupt int64
+	// CheckpointBakLoads counts resumes served from the .bak rotation
+	// because the primary snapshot was missing or corrupt;
+	// CheckpointRenameRetries counts atomic-install renames that needed
+	// a retry. Both were previously silent recoveries — non-zero values
+	// mean the journal survived real filesystem trouble.
+	CheckpointBakLoads      int64
+	CheckpointRenameRetries int64
 	// Failures maps failure class name → occurrence count (nil when no
 	// failure was ever recorded).
 	Failures map[string]int64
@@ -155,6 +164,23 @@ func (m *Metrics) AddModelCacheCorrupt(n int) {
 	}
 }
 
+// AddCheckpointBakLoad counts snapshot loads that fell back to the
+// .bak rotation because the primary generation was missing or failed
+// its integrity check.
+func (m *Metrics) AddCheckpointBakLoad(n int) {
+	if m != nil {
+		m.ckptBak.Add(int64(n))
+	}
+}
+
+// AddCheckpointRenameRetry counts atomic-install renames of a snapshot
+// that failed transiently and were retried.
+func (m *Metrics) AddCheckpointRenameRetry(n int) {
+	if m != nil {
+		m.ckptRetry.Add(int64(n))
+	}
+}
+
 // AddFailure counts one per-sample failure of the named class. Classes
 // are free-form strings (the core layer passes its FailureClass names);
 // each class gets its own atomic counter, created on first use.
@@ -203,6 +229,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		ModelCacheHits:    m.mcHits.Load(),
 		ModelCacheMisses:  m.mcMisses.Load(),
 		ModelCacheCorrupt: m.mcCorrupt.Load(),
+
+		CheckpointBakLoads:      m.ckptBak.Load(),
+		CheckpointRenameRetries: m.ckptRetry.Load(),
 	}
 	m.failures.Range(func(k, v any) bool {
 		if s.Failures == nil {
@@ -234,6 +263,8 @@ func (m *Metrics) Merge(s Snapshot) {
 	m.mcHits.Add(s.ModelCacheHits)
 	m.mcMisses.Add(s.ModelCacheMisses)
 	m.mcCorrupt.Add(s.ModelCacheCorrupt)
+	m.ckptBak.Add(s.CheckpointBakLoads)
+	m.ckptRetry.Add(s.CheckpointRenameRetries)
 	for class, n := range s.Failures {
 		c, ok := m.failures.Load(class)
 		if !ok {

@@ -317,7 +317,7 @@ func RunMC(ctx context.Context, c *iscas.Circuit, cfg Config, n int) (*MCResult,
 	flush := func(int) {}
 	if ck := cfg.Checkpoint; ck != nil {
 		if ck.Resume {
-			snap, _, err := checkpoint.Load(ck.Path)
+			snap, _, err := checkpoint.Load(ck.Path, cfg.Metrics)
 			switch {
 			case checkpoint.IsNotExist(err):
 			case err != nil:
@@ -364,7 +364,7 @@ func RunMC(ctx context.Context, c *iscas.Circuit, cfg Config, n int) (*MCResult,
 			}
 			body, err := json.Marshal(st)
 			if err == nil {
-				err = checkpoint.Save(cfg.Checkpoint.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body})
+				err = checkpoint.Save(cfg.Checkpoint.Path, &checkpoint.Snapshot{Fingerprint: fp, Next: next, State: body}, cfg.Metrics)
 			}
 			if err != nil {
 				flushErr = err

@@ -1,0 +1,96 @@
+#!/bin/sh
+# daemon_smoke.sh — crash-only daemon integration gate (the
+# `daemon-smoke` leg of `make check`).
+#
+# Enqueues three path-MC jobs into an lcsimd queue, serves them with the
+# deterministic fault-injection schedule armed (torn journal writes,
+# fsync/rename failures, read corruption, scripted engine failures),
+# SIGKILLs the daemon once a shard journal shows a durable cut, restarts
+# it over the same queue, waits for every job to complete, drains the
+# restarted daemon with SIGTERM, and finally requires each committed
+# result to be bit-identical (driver, spec hash, summary, failure
+# report) to a clean direct `lcsim run` of the same spec.
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+trap 'if [ -n "${pid:-}" ]; then kill -9 "$pid" 2>/dev/null || true; fi; rm -rf "$workdir"' EXIT
+
+lcsim="$workdir/lcsim"
+lcsimd="$workdir/lcsimd"
+go build -o "$lcsim" ./cmd/lcsim
+go build -o "$lcsimd" ./cmd/lcsimd
+
+queue="$workdir/queue"
+fault="seed=7,max=40,write.torn=0.05,sync.err=0.04,rename.err=0.04,read.corrupt=0.03,engine.fail=0.01"
+
+die() {
+    echo "daemon-smoke: $1" >&2
+    [ -f "$workdir/daemon.log" ] && cat "$workdir/daemon.log" >&2
+    exit 1
+}
+
+# Three distinct statistical runs (different seeds), specs dumped by the
+# classic CLI — exactly what an operator would enqueue.
+ids=""
+for seed in 101 102 103; do
+    "$lcsim" path -cells INV,NAND2,INV -mc 60 -seed "$seed" -dump-spec > "$workdir/spec_$seed.json"
+    id=$("$lcsimd" enqueue -queue "$queue" -spec "$workdir/spec_$seed.json")
+    ids="$ids $id"
+done
+
+# Enqueue is content-addressed and idempotent: the same spec maps to the
+# same job id.
+again=$("$lcsimd" enqueue -queue "$queue" -spec "$workdir/spec_101.json")
+first=$(echo "$ids" | awk '{print $1}')
+[ "$again" = "$first" ] || die "enqueue not idempotent: $again vs $first"
+
+serve() {
+    "$lcsimd" serve -queue "$queue" -model-cache "$workdir/cache" \
+        -shard 8 -every 1 -poll 100ms -backoff 10ms -max-attempts 20 \
+        -fault "$fault" >> "$workdir/daemon.log" 2>&1 &
+    pid=$!
+}
+
+# First daemon lifetime: killed hard (SIGKILL — no drain, no cleanup)
+# as soon as any job has a durable journal cut, i.e. mid-shard with the
+# fault schedule firing.
+serve
+i=0
+found=""
+while [ -z "$found" ]; do
+    for id in $ids; do
+        if [ -f "$queue/jobs/$id/journal.ck" ]; then
+            found=$id
+            break
+        fi
+    done
+    i=$((i + 1))
+    [ "$i" -ge 1200 ] && die "no shard journal appeared"
+    sleep 0.05
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Restarted daemon over the same queue: recovery is just "read the
+# journals and keep going". Every job must reach done.
+serve
+"$lcsimd" wait -queue "$queue" -timeout 300s || die "jobs did not complete after restart"
+
+# Graceful drain: SIGTERM must exit 0 once the executors unwind.
+kill -TERM "$pid"
+wait "$pid" || die "drain exited non-zero"
+pid=""
+
+# Bit-identity: each daemon result equals a clean direct run (no
+# daemon, no faults, fresh model cache) of the same spec.
+n=0
+for seed in 101 102 103; do
+    n=$((n + 1))
+    id=$(echo "$ids" | awk -v n="$n" '{print $n}')
+    "$lcsim" run -spec "$workdir/spec_$seed.json" -model-cache "$workdir/cache-direct" \
+        -result "$workdir/direct_$seed.json" > /dev/null 2>&1
+    "$lcsimd" cmp "$queue/jobs/$id/result.json" "$workdir/direct_$seed.json" \
+        || die "job $id differs from the direct run"
+done
+echo "daemon-smoke: OK (SIGKILL mid-shard under fault injection, restarted, drained; 3/3 results bit-identical)"
